@@ -1,0 +1,36 @@
+//! Bench: ablation A3 — admission control (size threshold, second-hit
+//! filter) in front of LRU.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use webcache_bench::{dfn_trace, experiments};
+use webcache_core::{AdmissionRule, PolicyKind};
+use webcache_sim::{SimulationConfig, Simulator};
+use webcache_trace::ByteSize;
+
+fn bench(c: &mut Criterion) {
+    let scale = 1.0 / 256.0;
+    let trace = dfn_trace(scale, 1);
+    let capacity = ByteSize::new((trace.overall_size().as_f64() * 0.05) as u64);
+    let mut g = c.benchmark_group("ablation_admission");
+    g.sample_size(10);
+    for (name, rule) in [
+        ("all", AdmissionRule::All),
+        ("thold_64k", AdmissionRule::MaxSize(ByteSize::from_kib(64))),
+        ("second_hit", AdmissionRule::SecondHit(1 << 16)),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                Simulator::new(
+                    PolicyKind::Lru.instantiate(),
+                    SimulationConfig::new(capacity).with_admission_rule(rule),
+                )
+                .run(&trace)
+            })
+        });
+    }
+    g.finish();
+    println!("{}", experiments::ablation_admission(scale, 1));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

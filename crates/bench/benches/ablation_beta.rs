@@ -1,0 +1,40 @@
+//! Bench: ablation A1 — GD\* fixed-β vs online-adaptive β (the design
+//! choice DESIGN.md calls out for the GD\* implementation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use webcache_bench::{dfn_trace, experiments};
+use webcache_core::policy::{BetaMode, GdStar};
+use webcache_core::CostModel;
+use webcache_sim::{SimulationConfig, Simulator};
+use webcache_trace::ByteSize;
+
+fn bench(c: &mut Criterion) {
+    let scale = 1.0 / 256.0;
+    let trace = dfn_trace(scale, 1);
+    let capacity = ByteSize::new((trace.overall_size().as_f64() * 0.05) as u64);
+    let mut g = c.benchmark_group("ablation_beta");
+    g.sample_size(10);
+    g.bench_function("fixed_beta", |b| {
+        b.iter(|| {
+            Simulator::new(
+                Box::new(GdStar::with_fixed_beta(CostModel::Constant, 1.0)),
+                SimulationConfig::new(capacity),
+            )
+            .run(&trace)
+        })
+    });
+    g.bench_function("adaptive_beta", |b| {
+        b.iter(|| {
+            Simulator::new(
+                Box::new(GdStar::new(CostModel::Constant, BetaMode::default())),
+                SimulationConfig::new(capacity),
+            )
+            .run(&trace)
+        })
+    });
+    g.finish();
+    println!("{}", experiments::ablation_beta(scale, 1));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Bench: ablation A2 — the paper's 5%-delta modification rule vs the
+//! any-size-change rule of Jin & Bestavros [7, 8].
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use webcache_bench::{dfn_trace, experiments};
+use webcache_core::PolicyKind;
+use webcache_sim::{ModificationRule, SimulationConfig, Simulator};
+use webcache_trace::ByteSize;
+
+fn bench(c: &mut Criterion) {
+    let scale = 1.0 / 256.0;
+    let trace = dfn_trace(scale, 1);
+    let capacity = ByteSize::new((trace.overall_size().as_f64() * 0.05) as u64);
+    let mut g = c.benchmark_group("ablation_modification");
+    g.sample_size(10);
+    for rule in [ModificationRule::SizeDelta, ModificationRule::AnyChange] {
+        g.bench_function(format!("{rule:?}"), |b| {
+            b.iter(|| {
+                Simulator::new(
+                    PolicyKind::Lru.instantiate(),
+                    SimulationConfig::new(capacity).with_modification_rule(rule),
+                )
+                .run(&trace)
+            })
+        });
+    }
+    g.finish();
+    println!("{}", experiments::ablation_modification(scale, 1));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

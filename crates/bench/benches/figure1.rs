@@ -1,0 +1,24 @@
+//! Bench: regenerate Figure 1 (adaptability of GD\* — cache occupancy by
+//! document type under GD\*(1) and GD\*(P), DFN trace).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use webcache_bench::{dfn_trace, experiments};
+use webcache_core::CostModel;
+
+fn bench(c: &mut Criterion) {
+    let scale = 1.0 / 256.0;
+    let trace = dfn_trace(scale, 1);
+    let capacity = experiments::figure1_capacity(scale);
+    let mut g = c.benchmark_group("figure1");
+    g.sample_size(10);
+    for cost in [CostModel::Constant, CostModel::Packet] {
+        g.bench_function(format!("gdstar_{cost}"), |b| {
+            b.iter(|| experiments::figure1_run(&trace, cost, capacity))
+        });
+    }
+    g.finish();
+    println!("{}", experiments::figure1(scale, 1));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

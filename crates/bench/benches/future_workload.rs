@@ -1,0 +1,29 @@
+//! Bench: extension E1 — policy performance as the workload shifts
+//! towards the paper's conjectured rich-media future.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use webcache_bench::experiments;
+use webcache_sim::{SimulationConfig, Simulator};
+use webcache_core::{CostModel, PolicyKind};
+use webcache_trace::ByteSize;
+use webcache_workload::WorkloadProfile;
+
+fn bench(c: &mut Criterion) {
+    let scale = 1.0 / 256.0;
+    let trace = WorkloadProfile::future().scaled(scale).build_trace(1);
+    let capacity = ByteSize::new((trace.overall_size().as_f64() * 0.05) as u64);
+    let mut g = c.benchmark_group("future_workload");
+    g.sample_size(10);
+    for kind in [PolicyKind::Lru, PolicyKind::GdStar(CostModel::Packet)] {
+        g.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                Simulator::new(kind.instantiate(), SimulationConfig::new(capacity)).run(&trace)
+            })
+        });
+    }
+    g.finish();
+    println!("{}", experiments::future_workload(scale, 1));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

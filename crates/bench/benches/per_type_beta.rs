@@ -1,0 +1,40 @@
+//! Bench: extension E3 — GD\* with per-type online β vs the single
+//! global β of the paper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use webcache_bench::{dfn_trace, experiments};
+use webcache_core::policy::{BetaMode, GdStar};
+use webcache_core::CostModel;
+use webcache_sim::{SimulationConfig, Simulator};
+use webcache_trace::ByteSize;
+
+fn bench(c: &mut Criterion) {
+    let scale = 1.0 / 256.0;
+    let trace = dfn_trace(scale, 1);
+    let capacity = ByteSize::new((trace.overall_size().as_f64() * 0.05) as u64);
+    let mut g = c.benchmark_group("per_type_beta");
+    g.sample_size(10);
+    g.bench_function("global_beta", |b| {
+        b.iter(|| {
+            Simulator::new(
+                Box::new(GdStar::new(CostModel::Constant, BetaMode::default())),
+                SimulationConfig::new(capacity),
+            )
+            .run(&trace)
+        })
+    });
+    g.bench_function("per_type_beta", |b| {
+        b.iter(|| {
+            Simulator::new(
+                Box::new(GdStar::with_per_type_beta(CostModel::Constant)),
+                SimulationConfig::new(capacity),
+            )
+            .run(&trace)
+        })
+    });
+    g.finish();
+    println!("{}", experiments::per_type_beta(scale, 1));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

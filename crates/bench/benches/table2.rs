@@ -1,0 +1,18 @@
+//! Bench: regenerate Table 2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use webcache_bench::experiments;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    g.bench_function("characterize_dfn_rtp", |b| {
+        b.iter(|| experiments::table2(1.0 / 256.0, 1))
+    });
+    g.finish();
+    // Emit the artifact once so `cargo bench` output doubles as a report.
+    println!("{}", experiments::table2(1.0 / 256.0, 1));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,189 @@
+//! Minimal `--flag value` argument parsing.
+//!
+//! The CLI's entire surface is `--key value` pairs plus boolean
+//! `--switch`es, so a small hand-rolled parser keeps the workspace free
+//! of an argument-parsing dependency.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parsed argument list: `--key value` pairs and boolean switches.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+/// Errors produced while parsing or querying arguments.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ArgError {
+    /// A non-flag token appeared where a `--flag` was expected.
+    Unexpected(String),
+    /// The same flag appeared twice.
+    Duplicate(String),
+    /// A required flag is absent.
+    Missing(&'static str),
+    /// A flag's value failed to parse.
+    Invalid {
+        /// The flag name.
+        flag: String,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::Unexpected(tok) => write!(f, "unexpected argument `{tok}`"),
+            ArgError::Duplicate(flag) => write!(f, "flag `--{flag}` given twice"),
+            ArgError::Missing(flag) => write!(f, "missing required flag `--{flag}`"),
+            ArgError::Invalid { flag, message } => {
+                write!(f, "bad value for `--{flag}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// The switches that take no value.
+const SWITCHES: [&str; 2] = ["csv", "markdown"];
+
+impl Args {
+    /// Parses a token list.
+    ///
+    /// # Errors
+    ///
+    /// Fails on bare tokens, duplicated flags, or a trailing flag with no
+    /// value.
+    pub fn parse(tokens: &[String]) -> Result<Args, ArgError> {
+        let mut args = Args::default();
+        let mut iter = tokens.iter();
+        while let Some(token) = iter.next() {
+            let Some(flag) = token.strip_prefix("--") else {
+                return Err(ArgError::Unexpected(token.clone()));
+            };
+            if SWITCHES.contains(&flag) {
+                if args.switches.iter().any(|s| s == flag) {
+                    return Err(ArgError::Duplicate(flag.to_owned()));
+                }
+                args.switches.push(flag.to_owned());
+                continue;
+            }
+            let Some(value) = iter.next() else {
+                return Err(ArgError::Invalid {
+                    flag: flag.to_owned(),
+                    message: "expected a value".to_owned(),
+                });
+            };
+            if args
+                .values
+                .insert(flag.to_owned(), value.clone())
+                .is_some()
+            {
+                return Err(ArgError::Duplicate(flag.to_owned()));
+            }
+        }
+        Ok(args)
+    }
+
+    /// An optional string value.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.values.get(flag).map(String::as_str)
+    }
+
+    /// A required string value.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgError::Missing`] when absent.
+    pub fn require(&self, flag: &'static str) -> Result<&str, ArgError> {
+        self.get(flag).ok_or(ArgError::Missing(flag))
+    }
+
+    /// Whether a boolean switch was given.
+    pub fn switch(&self, flag: &str) -> bool {
+        self.switches.iter().any(|s| s == flag)
+    }
+
+    /// An optional value parsed with `FromStr`.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgError::Invalid`] when present but unparsable.
+    pub fn get_parsed<T: std::str::FromStr>(&self, flag: &str) -> Result<Option<T>, ArgError>
+    where
+        T::Err: fmt::Display,
+    {
+        match self.get(flag) {
+            None => Ok(None),
+            Some(raw) => raw.parse::<T>().map(Some).map_err(|e| ArgError::Invalid {
+                flag: flag.to_owned(),
+                message: e.to_string(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn parses_pairs_and_switches() {
+        let a = Args::parse(&toks("--profile dfn --seed 7 --csv")).unwrap();
+        assert_eq!(a.get("profile"), Some("dfn"));
+        assert_eq!(a.get_parsed::<u64>("seed").unwrap(), Some(7));
+        assert!(a.switch("csv"));
+        assert!(!a.switch("quiet"));
+        assert_eq!(a.get("missing"), None);
+    }
+
+    #[test]
+    fn rejects_bare_tokens() {
+        assert_eq!(
+            Args::parse(&toks("dfn")).unwrap_err(),
+            ArgError::Unexpected("dfn".into())
+        );
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        assert_eq!(
+            Args::parse(&toks("--seed 1 --seed 2")).unwrap_err(),
+            ArgError::Duplicate("seed".into())
+        );
+        assert_eq!(
+            Args::parse(&toks("--csv --csv")).unwrap_err(),
+            ArgError::Duplicate("csv".into())
+        );
+    }
+
+    #[test]
+    fn rejects_trailing_flag() {
+        let err = Args::parse(&toks("--out")).unwrap_err();
+        assert!(matches!(err, ArgError::Invalid { .. }));
+    }
+
+    #[test]
+    fn require_and_parse_errors() {
+        let a = Args::parse(&toks("--seed notanumber")).unwrap();
+        assert_eq!(a.require("out"), Err(ArgError::Missing("out")));
+        assert!(a.get_parsed::<u64>("seed").is_err());
+        assert!(a.require("seed").is_ok());
+    }
+
+    #[test]
+    fn error_messages_are_actionable() {
+        assert_eq!(
+            ArgError::Missing("out").to_string(),
+            "missing required flag `--out`"
+        );
+        assert!(ArgError::Duplicate("x".into()).to_string().contains("twice"));
+    }
+}

@@ -1,0 +1,157 @@
+//! Human-friendly cache-capacity parsing.
+
+use webcache_trace::ByteSize;
+
+/// A capacity specification: absolute bytes or a fraction of the
+/// workload's overall size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CapacitySpec {
+    /// An absolute byte count.
+    Bytes(ByteSize),
+    /// A fraction in `(0, 1]` of the trace's overall size.
+    FractionOfTrace(f64),
+}
+
+impl CapacitySpec {
+    /// Resolves the specification against a trace's overall size.
+    pub fn resolve(self, overall: ByteSize) -> ByteSize {
+        match self {
+            CapacitySpec::Bytes(b) => b,
+            CapacitySpec::FractionOfTrace(f) => {
+                ByteSize::new((overall.as_f64() * f).round().max(1.0) as u64)
+            }
+        }
+    }
+}
+
+/// Parses a capacity string: raw bytes (`1048576`), binary units
+/// (`64KiB`, `32MiB`, `2GiB`, case-insensitive, `KB`/`MB`/`GB` accepted
+/// as synonyms), or a percentage of the trace (`5%`, `0.5%`).
+///
+/// # Errors
+///
+/// Returns a human-readable message for malformed input.
+///
+/// ```
+/// use webcache_cli::parse_capacity;
+/// use webcache_cli::capacity::CapacitySpec;
+/// use webcache_trace::ByteSize;
+///
+/// assert_eq!(
+///     parse_capacity("64KiB").unwrap(),
+///     CapacitySpec::Bytes(ByteSize::from_kib(64))
+/// );
+/// assert_eq!(
+///     parse_capacity("5%").unwrap(),
+///     CapacitySpec::FractionOfTrace(0.05)
+/// );
+/// ```
+pub fn parse_capacity(raw: &str) -> Result<CapacitySpec, String> {
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return Err("empty capacity".to_owned());
+    }
+    if let Some(pct) = raw.strip_suffix('%') {
+        let value: f64 = pct
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad percentage `{raw}`"))?;
+        if !(value > 0.0 && value <= 100.0) {
+            return Err(format!("percentage must be in (0, 100], got `{raw}`"));
+        }
+        return Ok(CapacitySpec::FractionOfTrace(value / 100.0));
+    }
+
+    let lower = raw.to_ascii_lowercase();
+    let (digits, multiplier) = if let Some(d) = lower.strip_suffix("kib").or(lower.strip_suffix("kb")) {
+        (d, 1024u64)
+    } else if let Some(d) = lower.strip_suffix("mib").or(lower.strip_suffix("mb")) {
+        (d, 1024 * 1024)
+    } else if let Some(d) = lower.strip_suffix("gib").or(lower.strip_suffix("gb")) {
+        (d, 1024 * 1024 * 1024)
+    } else if let Some(d) = lower.strip_suffix('b') {
+        (d, 1)
+    } else {
+        (lower.as_str(), 1)
+    };
+    let value: f64 = digits
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad capacity `{raw}`"))?;
+    if !(value > 0.0) {
+        return Err(format!("capacity must be positive, got `{raw}`"));
+    }
+    Ok(CapacitySpec::Bytes(ByteSize::new(
+        (value * multiplier as f64).round() as u64,
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_bytes() {
+        assert_eq!(
+            parse_capacity("1048576").unwrap(),
+            CapacitySpec::Bytes(ByteSize::from_mib(1))
+        );
+        assert_eq!(
+            parse_capacity("100B").unwrap(),
+            CapacitySpec::Bytes(ByteSize::new(100))
+        );
+    }
+
+    #[test]
+    fn units_case_insensitive() {
+        for (s, bytes) in [
+            ("64KiB", 64 * 1024),
+            ("64kb", 64 * 1024),
+            ("32MiB", 32 << 20),
+            ("32mb", 32 << 20),
+            ("2GiB", 2u64 << 30),
+            ("2gb", 2u64 << 30),
+            ("1.5kib", 1536),
+        ] {
+            assert_eq!(
+                parse_capacity(s).unwrap(),
+                CapacitySpec::Bytes(ByteSize::new(bytes)),
+                "{s}"
+            );
+        }
+    }
+
+    #[test]
+    fn percentages() {
+        assert_eq!(
+            parse_capacity("5%").unwrap(),
+            CapacitySpec::FractionOfTrace(0.05)
+        );
+        assert_eq!(
+            parse_capacity("0.5 %").unwrap(),
+            CapacitySpec::FractionOfTrace(0.005)
+        );
+        assert!(parse_capacity("0%").is_err());
+        assert!(parse_capacity("150%").is_err());
+    }
+
+    #[test]
+    fn resolution() {
+        let overall = ByteSize::from_mib(100);
+        assert_eq!(
+            CapacitySpec::FractionOfTrace(0.05).resolve(overall),
+            ByteSize::from_mib(5)
+        );
+        assert_eq!(
+            CapacitySpec::Bytes(ByteSize::new(42)).resolve(overall),
+            ByteSize::new(42)
+        );
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        for s in ["", "MiB", "abc", "-5", "1..2kb"] {
+            assert!(parse_capacity(s).is_err(), "{s}");
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! Subcommand implementations.
+
+use std::fs;
+
+use webcache_core::PolicyKind;
+use webcache_sim::report::{figure_panel, occupancy_csv, sweep_csv, Metric};
+use webcache_sim::{
+    clairvoyant, simulate_hierarchy, CacheSizeSweep, HierarchyConfig, LatencyModel,
+    SimulationConfig, Simulator,
+};
+use webcache_stats::{Table, TraceCharacterization};
+use webcache_trace::{format as trace_format, preprocess, squid, ByteSize, DocumentType, Trace};
+use webcache_workload::WorkloadProfile;
+
+use crate::args::Args;
+use crate::capacity::{parse_capacity, CapacitySpec};
+use crate::CliError;
+
+fn usage(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
+
+/// Loads a trace, auto-detecting the binary format by its magic.
+fn load_trace(path: &str) -> Result<Trace, CliError> {
+    let bytes = fs::read(path)?;
+    if bytes.starts_with(&webcache_trace::format_bin::MAGIC) {
+        Ok(webcache_trace::format_bin::from_bytes(&bytes)?)
+    } else {
+        Ok(trace_format::read_trace(bytes.as_slice())?)
+    }
+}
+
+/// Serializes a trace in the requested format (`text` default, `bin`
+/// for the fixed-width binary format).
+fn encode_trace(trace: &Trace, format: Option<&str>) -> Result<Vec<u8>, CliError> {
+    match format.unwrap_or("text") {
+        "text" => {
+            let mut buf = Vec::new();
+            trace_format::write_trace(&mut buf, trace)?;
+            Ok(buf)
+        }
+        "bin" => Ok(webcache_trace::format_bin::to_bytes(trace)),
+        other => Err(usage(format!("unknown format `{other}` (text|bin)"))),
+    }
+}
+
+fn load_squid(path: &str) -> Result<(Trace, preprocess::PreprocessStats), CliError> {
+    let text = fs::read_to_string(path)?;
+    let entries = squid::parse_log(&text)?;
+    Ok(preprocess::preprocess(&entries))
+}
+
+/// Loads a trace from `--trace FILE` or `--squid FILE`.
+fn input_trace(args: &Args) -> Result<(Trace, String), CliError> {
+    match (args.get("trace"), args.get("squid")) {
+        (Some(path), None) => Ok((load_trace(path)?, path.to_owned())),
+        (None, Some(path)) => Ok((load_squid(path)?.0, path.to_owned())),
+        _ => Err(usage("give exactly one of --trace FILE or --squid FILE")),
+    }
+}
+
+/// `webcache generate`.
+pub fn generate(args: &Args) -> Result<String, CliError> {
+    let profile = match args.require("profile")?.to_ascii_lowercase().as_str() {
+        "dfn" => WorkloadProfile::dfn(),
+        "rtp" => WorkloadProfile::rtp(),
+        other => return Err(usage(format!("unknown profile `{other}` (dfn|rtp)"))),
+    };
+    let denom: f64 = args.get_parsed("scale")?.unwrap_or(256.0);
+    if denom < 1.0 {
+        return Err(usage("--scale expects a denominator ≥ 1"));
+    }
+    let seed: u64 = args.get_parsed("seed")?.unwrap_or(1);
+    let out = args.require("out")?;
+
+    let trace = profile.scaled(1.0 / denom).build_trace(seed);
+    let buf = encode_trace(&trace, args.get("format"))?;
+    fs::write(out, buf)?;
+    Ok(format!(
+        "wrote {} requests ({} distinct documents, {}) to {out}\n",
+        trace.len(),
+        trace.distinct_documents(),
+        trace.requested_bytes(),
+    ))
+}
+
+/// `webcache characterize`.
+pub fn characterize(args: &Args) -> Result<String, CliError> {
+    let (trace, default_name) = input_trace(args)?;
+    let name = args.get("name").unwrap_or(&default_name).to_owned();
+    let ch = TraceCharacterization::measure(&trace);
+    Ok(format!(
+        "{}\n{}\n{}",
+        ch.properties_table(&name),
+        ch.breakdown_table(&name),
+        ch.statistics_table(&name),
+    ))
+}
+
+/// `webcache simulate`.
+pub fn simulate(args: &Args) -> Result<String, CliError> {
+    let (trace, _) = input_trace(args)?;
+    let policy_name = args.require("policy")?;
+    let is_oracle = policy_name.eq_ignore_ascii_case("oracle")
+        || policy_name.eq_ignore_ascii_case("clairvoyant");
+    let kind = if is_oracle {
+        None
+    } else {
+        Some(
+            PolicyKind::parse(policy_name)
+                .ok_or_else(|| usage(format!("unknown policy `{policy_name}`")))?,
+        )
+    };
+    let spec = match args.get("capacity") {
+        Some(raw) => parse_capacity(raw).map_err(usage)?,
+        None => CapacitySpec::FractionOfTrace(0.05),
+    };
+    let capacity = spec.resolve(trace.overall_size());
+    let warmup: f64 = args.get_parsed("warmup")?.unwrap_or(0.10);
+    if !(0.0..1.0).contains(&warmup) {
+        return Err(usage("--warmup expects a fraction in [0, 1)"));
+    }
+    let occupancy: usize = args.get_parsed("occupancy")?.unwrap_or(0);
+
+    let config = SimulationConfig::new(capacity)
+        .with_warmup_fraction(warmup)
+        .with_occupancy_samples(occupancy);
+    let (label, by_type, occupancy_series) = match kind {
+        Some(kind) => {
+            let report = Simulator::new(kind.instantiate(), config).run(&trace);
+            (report.policy.clone(), *report.by_type(), Some(report.occupancy))
+        }
+        None => (
+            "clairvoyant".to_owned(),
+            clairvoyant(&trace, &config),
+            None,
+        ),
+    };
+
+    let mut table = Table::new(vec![
+        "Type".into(),
+        "requests".into(),
+        "hits".into(),
+        "hit rate".into(),
+        "byte hit rate".into(),
+        "mod misses".into(),
+    ])
+    .with_title(format!("{label} @ {capacity} (warm-up {warmup})"));
+    let mut overall = webcache_sim::HitStats::default();
+    for (_, s) in by_type.iter() {
+        overall += *s;
+    }
+    for ty in DocumentType::ALL {
+        let s = by_type[ty];
+        table.push_row(vec![
+            ty.label().to_owned(),
+            s.requests.to_string(),
+            s.hits.to_string(),
+            format!("{:.4}", s.hit_rate()),
+            format!("{:.4}", s.byte_hit_rate()),
+            s.modification_misses.to_string(),
+        ]);
+    }
+    table.push_row(vec![
+        "Overall".to_owned(),
+        overall.requests.to_string(),
+        overall.hits.to_string(),
+        format!("{:.4}", overall.hit_rate()),
+        format!("{:.4}", overall.byte_hit_rate()),
+        overall.modification_misses.to_string(),
+    ]);
+    let mut out = if args.switch("markdown") {
+        table.to_markdown()
+    } else {
+        table.render()
+    };
+    let latency = LatencyModel::campus_2001().estimate_stats(&overall);
+    out.push_str(&format!(
+        "\nestimated user latency (campus-2001 link model): mean {:.1} ms/request, \
+         {:.1}% saved vs no cache\n",
+        latency.mean_ms(),
+        latency.savings() * 100.0,
+    ));
+    if occupancy > 0 {
+        if let Some(series) = &occupancy_series {
+            out.push('\n');
+            out.push_str(&occupancy_csv(series));
+        }
+    }
+    Ok(out)
+}
+
+/// `webcache hierarchy`.
+pub fn hierarchy(args: &Args) -> Result<String, CliError> {
+    let (trace, _) = input_trace(args)?;
+    let overall = trace.overall_size();
+    let leaves: usize = args.get_parsed("leaves")?.unwrap_or(4);
+    if leaves == 0 {
+        return Err(usage("--leaves must be at least 1"));
+    }
+    let leaf_capacity = match args.get("leaf-capacity") {
+        Some(raw) => parse_capacity(raw).map_err(usage)?.resolve(overall),
+        None => ByteSize::new((overall.as_f64() * 0.01).round().max(1.0) as u64),
+    };
+    let parent_capacity = match args.get("parent-capacity") {
+        Some(raw) => parse_capacity(raw).map_err(usage)?.resolve(overall),
+        None => ByteSize::new((overall.as_f64() * 0.10).round().max(1.0) as u64),
+    };
+    let mut config = HierarchyConfig::new(leaves, leaf_capacity, parent_capacity);
+    if let Some(name) = args.get("leaf-policy") {
+        config = config.with_leaf_policy(
+            PolicyKind::parse(name).ok_or_else(|| usage(format!("unknown policy `{name}`")))?,
+        );
+    }
+    if let Some(name) = args.get("parent-policy") {
+        config = config.with_parent_policy(
+            PolicyKind::parse(name).ok_or_else(|| usage(format!("unknown policy `{name}`")))?,
+        );
+    }
+    let report = simulate_hierarchy(&trace, config);
+    Ok(format!(
+        "hierarchy: {leaves} leaves @ {leaf_capacity} ({}) -> parent @ {parent_capacity} ({})\n\
+         leaf   hit rate {:.4} ({} requests)\n\
+         parent hit rate {:.4} ({} leaf misses)\n\
+         combined: hit rate {:.4}, byte hit rate {:.4}\n",
+        config.leaf_policy.label(),
+        config.parent_policy.label(),
+        report.leaf.hit_rate(),
+        report.leaf.requests,
+        report.parent.hit_rate(),
+        report.parent.requests,
+        report.combined_hit_rate(),
+        report.combined_byte_hit_rate(),
+    ))
+}
+
+/// `webcache sweep`.
+pub fn sweep(args: &Args) -> Result<String, CliError> {
+    let (trace, _) = input_trace(args)?;
+    let policies: Vec<PolicyKind> = match args.get("policies") {
+        None => PolicyKind::PAPER_CONSTANT.to_vec(),
+        Some(list) => list
+            .split(',')
+            .map(|name| {
+                PolicyKind::parse(name.trim())
+                    .ok_or_else(|| usage(format!("unknown policy `{name}`")))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let capacities: Vec<ByteSize> = match args.get("fractions") {
+        None => CacheSizeSweep::paper_capacities(&trace),
+        Some(list) => {
+            let overall = trace.overall_size();
+            list.split(',')
+                .map(|f| {
+                    let frac: f64 = f
+                        .trim()
+                        .parse()
+                        .map_err(|_| usage(format!("bad fraction `{f}`")))?;
+                    if !(frac > 0.0 && frac <= 1.0) {
+                        return Err(usage(format!("fraction out of (0, 1]: `{f}`")));
+                    }
+                    Ok(ByteSize::new((overall.as_f64() * frac).round().max(1.0) as u64))
+                })
+                .collect::<Result<_, _>>()?
+        }
+    };
+
+    let report = CacheSizeSweep::new(policies, capacities).run(&trace);
+    if args.switch("csv") {
+        return Ok(sweep_csv(&report));
+    }
+    let mut out = String::new();
+    for metric in [Metric::HitRate, Metric::ByteHitRate] {
+        out.push_str(&figure_panel(&report, metric, None).render());
+        out.push('\n');
+        for ty in DocumentType::MAIN {
+            out.push_str(&figure_panel(&report, metric, Some(ty)).render());
+            out.push('\n');
+        }
+    }
+    Ok(out)
+}
+
+/// `webcache convert`.
+pub fn convert(args: &Args) -> Result<String, CliError> {
+    let input = args.require("squid")?;
+    let out = args.require("out")?;
+    let (trace, stats) = load_squid(input)?;
+    let buf = encode_trace(&trace, args.get("format"))?;
+    fs::write(out, buf)?;
+    Ok(format!(
+        "converted {} log entries -> {} cacheable requests ({} dynamic, {} status, \
+         {} method, {} unsized dropped) -> {out}\n",
+        stats.input,
+        stats.output,
+        stats.dropped_dynamic,
+        stats.dropped_status,
+        stats.dropped_method,
+        stats.dropped_unsized,
+    ))
+}

@@ -1,0 +1,141 @@
+//! # webcache-cli
+//!
+//! The library behind the `webcache` command-line tool. All subcommands
+//! are plain functions from parsed arguments to output text, so the
+//! whole surface is unit-testable; the binary is a thin wrapper.
+//!
+//! ```text
+//! webcache generate     --profile dfn --scale 256 --seed 1 --out trace.wct
+//! webcache characterize --trace trace.wct [--name DFN]
+//! webcache characterize --squid access.log
+//! webcache simulate     --trace trace.wct --policy 'gd*(p)' --capacity 64MiB
+//! webcache sweep        --trace trace.wct --policies lru,lfu-da,gds1,gd*1 [--csv]
+//! webcache convert      --squid access.log --out trace.wct
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod capacity;
+mod commands;
+
+pub use args::{ArgError, Args};
+pub use capacity::parse_capacity;
+
+use std::fmt;
+
+/// Errors surfaced to the command-line user.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line.
+    Usage(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Trace parsing failure.
+    Trace(webcache_trace::TraceError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Io(e) => write!(f, "i/o: {e}"),
+            CliError::Trace(e) => write!(f, "trace: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<webcache_trace::TraceError> for CliError {
+    fn from(e: webcache_trace::TraceError) -> Self {
+        CliError::Trace(e)
+    }
+}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Usage(e.to_string())
+    }
+}
+
+const USAGE: &str = "\
+webcache — trace-driven web cache replacement evaluation
+
+subcommands:
+  generate     --profile dfn|rtp [--scale DENOM] [--seed N] --out FILE
+               [--format text|bin]
+               synthesize a workload trace
+  characterize (--trace FILE | --squid FILE) [--name NAME]
+               print the Section-2 tables (properties, per-type mix,
+               size statistics, alpha, beta)
+  simulate     --trace FILE --policy NAME [--capacity SIZE|PCT%]
+               [--warmup FRAC] [--occupancy N]
+               run one policy over a trace and report per-type rates
+  sweep        --trace FILE [--policies a,b,c] [--fractions f1,f2,...]
+               [--csv]
+               policy x cache-size grid (the Figure 2/3 engine)
+  convert      --squid FILE --out FILE [--format text|bin]
+               preprocess a Squid access.log into the compact format
+  hierarchy    --trace FILE [--leaves N] [--leaf-capacity SIZE|PCT%]
+               [--parent-capacity SIZE|PCT%] [--leaf-policy P]
+               [--parent-policy P]
+               simulate institutional leaves behind a backbone parent
+  help         print this text
+
+policies: lru fifo lfu size lfu-da slru lru2 gds(1) gds(p) gdsf(1)
+          gdsf(p) gd*(1) gd*(p); `simulate --policy oracle` runs the
+          clairvoyant (Belady-style) upper bound
+capacities: raw bytes (1048576), units (64KiB, 32MiB, 1GiB) or a
+            percentage of the trace's overall size (5%)
+";
+
+/// Runs a full command line (without the program name), returning the
+/// text to print on stdout.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] on malformed command lines and wraps I/O
+/// and parse failures otherwise.
+pub fn run(argv: &[String]) -> Result<String, CliError> {
+    let Some((command, rest)) = argv.split_first() else {
+        return Ok(USAGE.to_owned());
+    };
+    match command.as_str() {
+        "generate" => commands::generate(&Args::parse(rest)?),
+        "characterize" => commands::characterize(&Args::parse(rest)?),
+        "simulate" => commands::simulate(&Args::parse(rest)?),
+        "sweep" => commands::sweep(&Args::parse(rest)?),
+        "convert" => commands::convert(&Args::parse(rest)?),
+        "hierarchy" => commands::hierarchy(&Args::parse(rest)?),
+        "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
+        other => Err(CliError::Usage(format!("unknown subcommand `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn empty_and_help_print_usage() {
+        assert!(run(&[]).unwrap().contains("subcommands"));
+        assert!(run(&argv("help")).unwrap().contains("policies:"));
+    }
+
+    #[test]
+    fn unknown_subcommand_errors() {
+        let err = run(&argv("frobnicate")).unwrap_err();
+        assert!(err.to_string().contains("frobnicate"));
+    }
+}

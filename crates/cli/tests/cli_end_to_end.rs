@@ -1,0 +1,239 @@
+//! End-to-end tests of the CLI surface, driving `webcache_cli::run`
+//! through temp files: generate → characterize → simulate → sweep, and
+//! the Squid conversion path.
+
+use std::fs;
+use std::path::PathBuf;
+
+use webcache_cli::run;
+
+fn argv(s: &str) -> Vec<String> {
+    s.split_whitespace().map(str::to_owned).collect()
+}
+
+/// A unique temp path per test.
+fn temp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("webcache-cli-test-{}-{name}", std::process::id()));
+    p
+}
+
+fn generate_trace(name: &str) -> PathBuf {
+    let path = temp_path(name);
+    let out = run(&argv(&format!(
+        "generate --profile dfn --scale 2048 --seed 5 --out {}",
+        path.display()
+    )))
+    .unwrap();
+    assert!(out.contains("wrote"), "{out}");
+    path
+}
+
+#[test]
+fn generate_then_characterize() {
+    let path = generate_trace("char.wct");
+    let out = run(&argv(&format!(
+        "characterize --trace {} --name DFN-mini",
+        path.display()
+    )))
+    .unwrap();
+    assert!(out.contains("DFN-mini"));
+    assert!(out.contains("Distinct Documents"));
+    assert!(out.contains("Multi Media"));
+    assert!(out.contains("alpha"));
+    fs::remove_file(path).ok();
+}
+
+#[test]
+fn simulate_reports_per_type_rates() {
+    let path = generate_trace("sim.wct");
+    let out = run(&argv(&format!(
+        "simulate --trace {} --policy gd*1 --capacity 5% --warmup 0.1",
+        path.display()
+    )))
+    .unwrap();
+    assert!(out.contains("GD*(1)"), "{out}");
+    assert!(out.contains("Overall"));
+    assert!(out.contains("hit rate"));
+    fs::remove_file(path).ok();
+}
+
+#[test]
+fn simulate_with_occupancy_emits_csv() {
+    let path = generate_trace("occ.wct");
+    let out = run(&argv(&format!(
+        "simulate --trace {} --policy lru --capacity 64KiB --occupancy 5",
+        path.display()
+    )))
+    .unwrap();
+    assert!(out.contains("request_index"), "{out}");
+    fs::remove_file(path).ok();
+}
+
+#[test]
+fn sweep_renders_panels_and_csv() {
+    let path = generate_trace("sweep.wct");
+    let text = run(&argv(&format!(
+        "sweep --trace {} --policies lru,gds1 --fractions 0.01,0.1",
+        path.display()
+    )))
+    .unwrap();
+    assert!(text.contains("Hit Rate"));
+    assert!(text.contains("GDS(1)"));
+
+    let csv = run(&argv(&format!(
+        "sweep --trace {} --policies lru --fractions 0.05 --csv",
+        path.display()
+    )))
+    .unwrap();
+    assert!(csv.starts_with("policy,capacity_bytes"));
+    assert_eq!(csv.lines().count(), 1 + 6, "1 policy x 1 size x 6 scopes");
+    fs::remove_file(path).ok();
+}
+
+#[test]
+fn convert_squid_log() {
+    let log_path = temp_path("access.log");
+    let out_path = temp_path("converted.wct");
+    fs::write(
+        &log_path,
+        "\
+100.000 5 c TCP_MISS/200 900 GET http://e.de/a.gif - DIRECT/- image/gif
+100.500 5 c TCP_MISS/404 300 GET http://e.de/missing - DIRECT/- -
+101.000 5 c TCP_MISS/200 900 GET http://e.de/cgi-bin/x - DIRECT/- text/html
+102.000 5 c TCP_HIT/200 900 GET http://e.de/a.gif - NONE/- image/gif
+",
+    )
+    .unwrap();
+    let out = run(&argv(&format!(
+        "convert --squid {} --out {}",
+        log_path.display(),
+        out_path.display()
+    )))
+    .unwrap();
+    assert!(out.contains("2 cacheable requests"), "{out}");
+    let sim = run(&argv(&format!(
+        "simulate --trace {} --policy lru --capacity 10KiB --warmup 0",
+        out_path.display()
+    )))
+    .unwrap();
+    assert!(sim.contains("LRU"));
+    fs::remove_file(log_path).ok();
+    fs::remove_file(out_path).ok();
+}
+
+#[test]
+fn characterize_accepts_squid_directly() {
+    let log_path = temp_path("direct.log");
+    fs::write(
+        &log_path,
+        "100.000 5 c TCP_MISS/200 900 GET http://e.de/a.gif - DIRECT/- image/gif\n",
+    )
+    .unwrap();
+    let out = run(&argv(&format!("characterize --squid {}", log_path.display()))).unwrap();
+    assert!(out.contains("Total Requests"));
+    fs::remove_file(log_path).ok();
+}
+
+#[test]
+fn usage_errors_are_reported() {
+    for bad in [
+        "generate --profile dfn", // missing --out
+        "generate --profile mars --out /tmp/x",
+        "simulate --policy lru",        // missing input
+        "simulate --trace a --squid b --policy lru", // both inputs
+        "sweep --trace missing-file.wct",
+        "simulate --trace missing-file.wct --policy nonsense",
+    ] {
+        assert!(run(&argv(bad)).is_err(), "`{bad}` should fail");
+    }
+}
+
+#[test]
+fn binary_format_roundtrips_through_cli() {
+    let path = temp_path("bin.wctb");
+    let out = run(&argv(&format!(
+        "generate --profile rtp --scale 2048 --seed 3 --out {} --format bin",
+        path.display()
+    )))
+    .unwrap();
+    assert!(out.contains("wrote"), "{out}");
+    // The file must carry the binary magic...
+    let bytes = fs::read(&path).unwrap();
+    assert_eq!(&bytes[..4], b"WCTB");
+    // ...and be loadable by every downstream subcommand transparently.
+    let text = run(&argv(&format!(
+        "simulate --trace {} --policy lfu-da --capacity 2%",
+        path.display()
+    )))
+    .unwrap();
+    assert!(text.contains("LFU-DA"), "{text}");
+    fs::remove_file(path).ok();
+}
+
+#[test]
+fn simulate_reports_latency_estimate() {
+    let path = generate_trace("lat.wct");
+    let out = run(&argv(&format!(
+        "simulate --trace {} --policy lru --capacity 5%",
+        path.display()
+    )))
+    .unwrap();
+    assert!(out.contains("estimated user latency"), "{out}");
+    assert!(out.contains("saved vs no cache"), "{out}");
+    fs::remove_file(path).ok();
+}
+
+#[test]
+fn hierarchy_subcommand_reports_combined_rates() {
+    let path = generate_trace("hier.wct");
+    let out = run(&argv(&format!(
+        "hierarchy --trace {} --leaves 2 --leaf-capacity 1% --parent-capacity 10% \
+         --leaf-policy gd*1 --parent-policy gd*p",
+        path.display()
+    )))
+    .unwrap();
+    assert!(out.contains("combined: hit rate"), "{out}");
+    assert!(out.contains("GD*(1)"), "{out}");
+    assert!(out.contains("GD*(P)"), "{out}");
+    fs::remove_file(path).ok();
+}
+
+#[test]
+fn oracle_policy_in_simulate() {
+    let path = generate_trace("oracle.wct");
+    let oracle = run(&argv(&format!(
+        "simulate --trace {} --policy oracle --capacity 5%",
+        path.display()
+    )))
+    .unwrap();
+    assert!(oracle.contains("clairvoyant"), "{oracle}");
+    let lru = run(&argv(&format!(
+        "simulate --trace {} --policy lru --capacity 5%",
+        path.display()
+    )))
+    .unwrap();
+    // Extract the overall hit rates and compare: oracle must dominate.
+    let rate = |text: &str| -> f64 {
+        text.lines()
+            .find(|l| l.starts_with("Overall"))
+            .and_then(|l| l.split_whitespace().nth(3))
+            .and_then(|v| v.parse().ok())
+            .expect("overall row")
+    };
+    assert!(rate(&oracle) >= rate(&lru), "oracle {oracle} vs lru {lru}");
+    fs::remove_file(path).ok();
+}
+
+#[test]
+fn markdown_switch_renders_pipes() {
+    let path = generate_trace("md.wct");
+    let out = run(&argv(&format!(
+        "simulate --trace {} --policy lru --capacity 5% --markdown",
+        path.display()
+    )))
+    .unwrap();
+    assert!(out.contains("| Type |"), "{out}");
+    assert!(out.contains("| :-- |"), "{out}");
+    fs::remove_file(path).ok();
+}

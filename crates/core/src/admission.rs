@@ -1,0 +1,156 @@
+//! Cache admission control.
+//!
+//! Replacement decides *what to evict*; admission decides *what to let
+//! in*. The proxy literature around the paper studied both: size
+//! thresholds (LRU-THOLD — never cache documents above a limit, an
+//! admission-side approximation of the SIZE policy) and frequency
+//! filters (cache only on the second request, suppressing the one-timer
+//! majority that both DFN and RTP exhibit). The [`Cache`](crate::Cache)
+//! consults an [`AdmissionController`] before storing a fetched
+//! document; rejected documents are forwarded to the client without
+//! being stored.
+
+use std::collections::{HashMap, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+use webcache_trace::{ByteSize, DocId};
+
+/// Admission policy selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum AdmissionRule {
+    /// Admit everything (the paper's setting).
+    #[default]
+    All,
+    /// Admit only documents of at most this size (LRU-THOLD).
+    MaxSize(ByteSize),
+    /// Admit a document only on its second fetch within a sliding window
+    /// of recently seen fetches (a one-timer filter). The `usize` is the
+    /// window capacity in distinct documents.
+    SecondHit(usize),
+}
+
+/// Stateful admission decision-maker. See the module-level documentation above.
+#[derive(Debug)]
+pub struct AdmissionController {
+    rule: AdmissionRule,
+    /// SecondHit memory: docs seen once, in FIFO order for bounded size.
+    seen_once: HashMap<DocId, ()>,
+    order: VecDeque<DocId>,
+}
+
+impl AdmissionController {
+    /// Creates a controller for the given rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a [`AdmissionRule::SecondHit`] window is zero.
+    pub fn new(rule: AdmissionRule) -> Self {
+        if let AdmissionRule::SecondHit(window) = rule {
+            assert!(window > 0, "second-hit window must be positive");
+        }
+        AdmissionController {
+            rule,
+            seen_once: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    /// The configured rule.
+    pub fn rule(&self) -> AdmissionRule {
+        self.rule
+    }
+
+    /// Decides whether a fetched document may enter the cache, updating
+    /// internal state.
+    pub fn admit(&mut self, doc: DocId, size: ByteSize) -> bool {
+        match self.rule {
+            AdmissionRule::All => true,
+            AdmissionRule::MaxSize(limit) => size <= limit,
+            AdmissionRule::SecondHit(window) => {
+                if self.seen_once.remove(&doc).is_some() {
+                    // Second fetch: admit. (The stale entry in `order`
+                    // is skipped when it surfaces.)
+                    return true;
+                }
+                self.seen_once.insert(doc, ());
+                self.order.push_back(doc);
+                // Bound the memory to the window, skipping stale handles.
+                while self.seen_once.len() > window {
+                    let Some(old) = self.order.pop_front() else {
+                        break;
+                    };
+                    self.seen_once.remove(&old);
+                }
+                false
+            }
+        }
+    }
+
+    /// Number of documents currently remembered by the second-hit filter.
+    pub fn remembered(&self) -> usize {
+        self.seen_once.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(i: u64) -> DocId {
+        DocId::new(i)
+    }
+
+    #[test]
+    fn admit_all() {
+        let mut c = AdmissionController::new(AdmissionRule::All);
+        assert!(c.admit(doc(1), ByteSize::from_gib(10)));
+        assert_eq!(c.remembered(), 0);
+    }
+
+    #[test]
+    fn max_size_threshold() {
+        let mut c = AdmissionController::new(AdmissionRule::MaxSize(ByteSize::new(1000)));
+        assert!(c.admit(doc(1), ByteSize::new(1000)), "boundary is inclusive");
+        assert!(!c.admit(doc(2), ByteSize::new(1001)));
+    }
+
+    #[test]
+    fn second_hit_admits_on_refetch() {
+        let mut c = AdmissionController::new(AdmissionRule::SecondHit(100));
+        assert!(!c.admit(doc(1), ByteSize::new(10)), "first fetch rejected");
+        assert!(c.admit(doc(1), ByteSize::new(10)), "second fetch admitted");
+        // After admission the memory entry is consumed: a later fetch
+        // (e.g. after eviction) starts the cycle over.
+        assert!(!c.admit(doc(1), ByteSize::new(10)));
+    }
+
+    #[test]
+    fn second_hit_window_forgets_old_documents() {
+        let mut c = AdmissionController::new(AdmissionRule::SecondHit(2));
+        c.admit(doc(1), ByteSize::new(1));
+        c.admit(doc(2), ByteSize::new(1));
+        c.admit(doc(3), ByteSize::new(1)); // evicts doc 1 from the window
+        assert_eq!(c.remembered(), 2);
+        assert!(!c.admit(doc(1), ByteSize::new(1)), "doc 1 was forgotten");
+    }
+
+    #[test]
+    fn second_hit_skips_stale_order_entries() {
+        let mut c = AdmissionController::new(AdmissionRule::SecondHit(2));
+        c.admit(doc(1), ByteSize::new(1));
+        assert!(c.admit(doc(1), ByteSize::new(1))); // consume doc 1
+        // Window has a stale `order` entry for doc 1; filling it must
+        // still retain the two live docs.
+        c.admit(doc(2), ByteSize::new(1));
+        c.admit(doc(3), ByteSize::new(1));
+        assert_eq!(c.remembered(), 2);
+        assert!(c.admit(doc(2), ByteSize::new(1)), "doc 2 must still be live");
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        let _ = AdmissionController::new(AdmissionRule::SecondHit(0));
+    }
+}

@@ -1,0 +1,417 @@
+//! The byte-capacity cache.
+//!
+//! [`Cache`] owns the set of resident documents, enforces the byte
+//! capacity by querying its [`ReplacementPolicy`] for victims, and keeps
+//! per-[document-type](DocumentType) occupancy counters — the quantities
+//! plotted in Figure 1 of the paper (fraction of cached documents and of
+//! cached bytes per type).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use webcache_trace::{ByteSize, DocId, DocumentType, TypeMap};
+
+use crate::admission::{AdmissionController, AdmissionRule};
+use crate::policy::ReplacementPolicy;
+
+/// Per-type occupancy counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Occupancy {
+    /// Number of resident documents of this type.
+    pub documents: u64,
+    /// Bytes occupied by documents of this type.
+    pub bytes: ByteSize,
+}
+
+/// Result of [`Cache::insert`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvictionOutcome {
+    /// Whether the document was actually admitted. `false` only when the
+    /// document is larger than the whole cache.
+    pub inserted: bool,
+    /// Documents evicted to make room, in eviction order.
+    pub evicted: Vec<DocId>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    size: ByteSize,
+    doc_type: DocumentType,
+}
+
+/// A web cache with a fixed byte capacity and a pluggable replacement
+/// policy.
+///
+/// ```
+/// use webcache_core::{Cache, PolicyKind};
+/// use webcache_trace::{ByteSize, DocId, DocumentType};
+///
+/// let mut cache = Cache::new(ByteSize::new(100), PolicyKind::Lru.instantiate());
+/// cache.insert(DocId::new(1), DocumentType::Image, ByteSize::new(60));
+/// let outcome = cache.insert(DocId::new(2), DocumentType::Html, ByteSize::new(60));
+/// assert_eq!(outcome.evicted, vec![DocId::new(1)]); // LRU made room
+/// assert!(cache.access(DocId::new(2)));
+/// ```
+#[derive(Debug)]
+pub struct Cache {
+    capacity: ByteSize,
+    used: ByteSize,
+    entries: HashMap<DocId, Entry>,
+    occupancy: TypeMap<Occupancy>,
+    policy: Box<dyn ReplacementPolicy>,
+    admission: AdmissionController,
+    rejected_by_admission: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: ByteSize, policy: Box<dyn ReplacementPolicy>) -> Self {
+        Cache::with_admission(capacity, policy, AdmissionRule::All)
+    }
+
+    /// Creates an empty cache with an admission rule in front of the
+    /// store (see [`crate::admission`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_admission(
+        capacity: ByteSize,
+        policy: Box<dyn ReplacementPolicy>,
+        rule: AdmissionRule,
+    ) -> Self {
+        assert!(!capacity.is_zero(), "cache capacity must be positive");
+        Cache {
+            capacity,
+            used: ByteSize::ZERO,
+            entries: HashMap::new(),
+            occupancy: TypeMap::default(),
+            policy,
+            admission: AdmissionController::new(rule),
+            rejected_by_admission: 0,
+        }
+    }
+
+    /// Number of insert attempts the admission rule turned away.
+    pub fn admission_rejections(&self) -> u64 {
+        self.rejected_by_admission
+    }
+
+    /// The configured byte capacity.
+    pub fn capacity(&self) -> ByteSize {
+        self.capacity
+    }
+
+    /// Bytes currently occupied.
+    pub fn used_bytes(&self) -> ByteSize {
+        self.used
+    }
+
+    /// Number of resident documents.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The replacement policy's display label (e.g. `"GD*(P)"`).
+    pub fn policy_label(&self) -> String {
+        self.policy.label()
+    }
+
+    /// Whether `doc` is resident, *without* touching policy state.
+    pub fn contains(&self, doc: DocId) -> bool {
+        self.entries.contains_key(&doc)
+    }
+
+    /// The resident size of `doc`, if cached.
+    pub fn size_of(&self, doc: DocId) -> Option<ByteSize> {
+        self.entries.get(&doc).map(|e| e.size)
+    }
+
+    /// Per-type occupancy counters (documents and bytes).
+    pub fn occupancy(&self) -> &TypeMap<Occupancy> {
+        &self.occupancy
+    }
+
+    /// Looks up `doc`, updating replacement state on a hit.
+    ///
+    /// Returns `true` on a hit. This is the read path a proxy executes per
+    /// request; on a miss the caller fetches the document and calls
+    /// [`Cache::insert`].
+    pub fn access(&mut self, doc: DocId) -> bool {
+        match self.entries.get(&doc) {
+            Some(entry) => {
+                let (size, ty) = (entry.size, entry.doc_type);
+                self.policy.on_hit_typed(doc, size, ty);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Admits `doc`, evicting victims until it fits.
+    ///
+    /// A document larger than the entire cache is not admitted (and evicts
+    /// nothing). If `doc` is already resident it is first removed, then
+    /// re-admitted with the new size and type — callers that only want to
+    /// refresh recency should use [`Cache::access`] instead.
+    pub fn insert(
+        &mut self,
+        doc: DocId,
+        doc_type: DocumentType,
+        size: ByteSize,
+    ) -> EvictionOutcome {
+        if self.contains(doc) {
+            self.invalidate(doc);
+        }
+        if !self.admission.admit(doc, size) {
+            self.rejected_by_admission += 1;
+            return EvictionOutcome {
+                inserted: false,
+                evicted: Vec::new(),
+            };
+        }
+        if size > self.capacity {
+            return EvictionOutcome {
+                inserted: false,
+                evicted: Vec::new(),
+            };
+        }
+
+        let mut evicted = Vec::new();
+        while self.used + size > self.capacity {
+            let victim = self
+                .policy
+                .evict()
+                .expect("cache is over budget but policy tracks no documents");
+            self.detach(victim);
+            evicted.push(victim);
+        }
+
+        self.entries.insert(doc, Entry { size, doc_type });
+        self.used += size;
+        let slot = &mut self.occupancy[doc_type];
+        slot.documents += 1;
+        slot.bytes += size;
+        self.policy.on_insert_typed(doc, size, doc_type);
+        EvictionOutcome {
+            inserted: true,
+            evicted,
+        }
+    }
+
+    /// Removes `doc` (e.g. because it was modified at the origin server).
+    ///
+    /// Returns `true` if the document was resident. Unlike eviction this
+    /// has no aging side effects on the policy.
+    pub fn invalidate(&mut self, doc: DocId) -> bool {
+        if self.entries.contains_key(&doc) {
+            self.policy.remove(doc);
+            self.detach(doc);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes bookkeeping for a document already untracked by the policy.
+    fn detach(&mut self, doc: DocId) {
+        let entry = self
+            .entries
+            .remove(&doc)
+            .expect("detach of non-resident document");
+        self.used -= entry.size;
+        let slot = &mut self.occupancy[entry.doc_type];
+        slot.documents -= 1;
+        slot.bytes -= entry.size;
+    }
+
+    /// Checks internal consistency; used by tests.
+    #[doc(hidden)]
+    pub fn debug_validate(&self) {
+        assert!(self.used <= self.capacity, "capacity exceeded");
+        let total: u64 = self.entries.values().map(|e| e.size.as_u64()).sum();
+        assert_eq!(self.used.as_u64(), total, "used-bytes counter drifted");
+        assert_eq!(self.policy.len(), self.entries.len(), "policy desync");
+        let mut per_type: TypeMap<Occupancy> = TypeMap::default();
+        for e in self.entries.values() {
+            per_type[e.doc_type].documents += 1;
+            per_type[e.doc_type].bytes += e.size;
+        }
+        assert_eq!(&per_type, &self.occupancy, "occupancy counters drifted");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyKind;
+
+    fn doc(i: u64) -> DocId {
+        DocId::new(i)
+    }
+
+    fn lru_cache(capacity: u64) -> Cache {
+        Cache::new(ByteSize::new(capacity), PolicyKind::Lru.instantiate())
+    }
+
+    #[test]
+    fn hit_and_miss() {
+        let mut c = lru_cache(100);
+        assert!(!c.access(doc(1)));
+        c.insert(doc(1), DocumentType::Html, ByteSize::new(10));
+        assert!(c.access(doc(1)));
+        assert!(c.contains(doc(1)));
+        assert_eq!(c.size_of(doc(1)), Some(ByteSize::new(10)));
+        c.debug_validate();
+    }
+
+    #[test]
+    fn eviction_makes_room() {
+        let mut c = lru_cache(100);
+        c.insert(doc(1), DocumentType::Image, ByteSize::new(50));
+        c.insert(doc(2), DocumentType::Image, ByteSize::new(50));
+        let outcome = c.insert(doc(3), DocumentType::Image, ByteSize::new(80));
+        assert!(outcome.inserted);
+        assert_eq!(outcome.evicted, vec![doc(1), doc(2)]);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.used_bytes().as_u64(), 80);
+        c.debug_validate();
+    }
+
+    #[test]
+    fn oversized_document_is_rejected_without_evictions() {
+        let mut c = lru_cache(100);
+        c.insert(doc(1), DocumentType::Html, ByteSize::new(60));
+        let outcome = c.insert(doc(2), DocumentType::MultiMedia, ByteSize::new(101));
+        assert!(!outcome.inserted);
+        assert!(outcome.evicted.is_empty());
+        assert!(c.contains(doc(1)), "rejection must not disturb residents");
+        c.debug_validate();
+    }
+
+    #[test]
+    fn document_exactly_capacity_fits() {
+        let mut c = lru_cache(100);
+        let outcome = c.insert(doc(1), DocumentType::MultiMedia, ByteSize::new(100));
+        assert!(outcome.inserted);
+        assert_eq!(c.used_bytes().as_u64(), 100);
+    }
+
+    #[test]
+    fn reinsert_replaces_size_and_type() {
+        let mut c = lru_cache(100);
+        c.insert(doc(1), DocumentType::Html, ByteSize::new(10));
+        c.insert(doc(1), DocumentType::Image, ByteSize::new(30));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.size_of(doc(1)), Some(ByteSize::new(30)));
+        assert_eq!(c.occupancy()[DocumentType::Html].documents, 0);
+        assert_eq!(c.occupancy()[DocumentType::Image].documents, 1);
+        c.debug_validate();
+    }
+
+    #[test]
+    fn invalidate_removes_without_aging() {
+        let mut c = lru_cache(100);
+        c.insert(doc(1), DocumentType::Html, ByteSize::new(10));
+        assert!(c.invalidate(doc(1)));
+        assert!(!c.invalidate(doc(1)));
+        assert!(c.is_empty());
+        assert_eq!(c.used_bytes(), ByteSize::ZERO);
+        c.debug_validate();
+    }
+
+    #[test]
+    fn occupancy_tracks_types() {
+        let mut c = lru_cache(1000);
+        c.insert(doc(1), DocumentType::Image, ByteSize::new(100));
+        c.insert(doc(2), DocumentType::Image, ByteSize::new(200));
+        c.insert(doc(3), DocumentType::MultiMedia, ByteSize::new(300));
+        let occ = c.occupancy();
+        assert_eq!(occ[DocumentType::Image].documents, 2);
+        assert_eq!(occ[DocumentType::Image].bytes.as_u64(), 300);
+        assert_eq!(occ[DocumentType::MultiMedia].bytes.as_u64(), 300);
+        assert_eq!(occ[DocumentType::Html], Occupancy::default());
+    }
+
+    #[test]
+    fn admission_max_size_rejects_large_documents() {
+        use crate::admission::AdmissionRule;
+        let mut c = Cache::with_admission(
+            ByteSize::new(10_000),
+            PolicyKind::Lru.instantiate(),
+            AdmissionRule::MaxSize(ByteSize::new(100)),
+        );
+        assert!(c.insert(doc(1), DocumentType::Image, ByteSize::new(100)).inserted);
+        let outcome = c.insert(doc(2), DocumentType::MultiMedia, ByteSize::new(101));
+        assert!(!outcome.inserted);
+        assert!(outcome.evicted.is_empty(), "rejection must not evict");
+        assert_eq!(c.admission_rejections(), 1);
+        assert!(c.contains(doc(1)));
+        c.debug_validate();
+    }
+
+    #[test]
+    fn admission_second_hit_filters_one_timers() {
+        use crate::admission::AdmissionRule;
+        let mut c = Cache::with_admission(
+            ByteSize::new(10_000),
+            PolicyKind::Lru.instantiate(),
+            AdmissionRule::SecondHit(64),
+        );
+        assert!(!c.insert(doc(1), DocumentType::Html, ByteSize::new(10)).inserted);
+        assert!(!c.contains(doc(1)));
+        // Second fetch of the same document is admitted.
+        assert!(c.insert(doc(1), DocumentType::Html, ByteSize::new(10)).inserted);
+        assert!(c.contains(doc(1)));
+        assert_eq!(c.admission_rejections(), 1);
+        c.debug_validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = lru_cache(0);
+    }
+
+    #[test]
+    fn capacity_invariant_under_random_workload_all_policies() {
+        // Deterministic pseudo-random workload over every policy kind.
+        for kind in PolicyKind::ALL {
+            let mut c = Cache::new(ByteSize::new(10_000), kind.instantiate());
+            let mut state = 987654321u64;
+            let mut next = || {
+                state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                (state >> 33) as u64
+            };
+            for step in 0..3000 {
+                let d = doc(next() % 200);
+                let ty = DocumentType::ALL[(next() % 5) as usize];
+                match next() % 10 {
+                    0 => {
+                        c.invalidate(d);
+                    }
+                    _ => {
+                        if !c.access(d) {
+                            let size = ByteSize::new(next() % 3000 + 1);
+                            c.insert(d, ty, size);
+                        }
+                    }
+                }
+                if step % 256 == 0 {
+                    c.debug_validate();
+                }
+            }
+            c.debug_validate();
+        }
+    }
+}

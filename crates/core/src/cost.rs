@@ -1,0 +1,110 @@
+//! Retrieval cost models for cost-aware replacement schemes.
+//!
+//! Two cost models are studied in the paper (after Jin & Bestavros):
+//!
+//! * the **constant cost model** — every retrieval costs 1; the model of
+//!   choice for institutional proxies that optimize *hit rate*;
+//! * the **packet cost model** — the cost is the number of TCP packets
+//!   needed to transmit the document, `c(p) = 2 + ⌈s(p)/536⌉` with a
+//!   536-byte TCP payload; appropriate for backbone proxies that optimize
+//!   *byte hit rate*.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use webcache_trace::ByteSize;
+
+/// Default TCP payload bytes per packet used by the packet cost model.
+pub const TCP_PAYLOAD_BYTES: u64 = 536;
+
+/// The cost `c(p)` of bringing a document into the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum CostModel {
+    /// `c(p) = 1` — optimizes hit rate. Schemes using it are written
+    /// GDS(1) / GD\*(1).
+    #[default]
+    Constant,
+    /// `c(p) = 2 + ⌈s(p)/536⌉` — the number of TCP packets (two for
+    /// connection establishment plus the payload packets). Optimizes byte
+    /// hit rate. Schemes using it are written GDS(P) / GD\*(P).
+    Packet,
+}
+
+impl CostModel {
+    /// The retrieval cost of a document of the given transfer size.
+    ///
+    /// ```
+    /// use webcache_core::CostModel;
+    /// use webcache_trace::ByteSize;
+    ///
+    /// assert_eq!(CostModel::Constant.cost(ByteSize::from_mib(1)), 1.0);
+    /// assert_eq!(CostModel::Packet.cost(ByteSize::new(536)), 3.0);
+    /// assert_eq!(CostModel::Packet.cost(ByteSize::new(537)), 4.0);
+    /// ```
+    pub fn cost(self, size: ByteSize) -> f64 {
+        match self {
+            CostModel::Constant => 1.0,
+            CostModel::Packet => {
+                let payload_packets = size.as_u64().div_ceil(TCP_PAYLOAD_BYTES);
+                (2 + payload_packets) as f64
+            }
+        }
+    }
+
+    /// Single-character tag used in policy labels: `1` or `P`.
+    pub const fn tag(self) -> char {
+        match self {
+            CostModel::Constant => '1',
+            CostModel::Packet => 'P',
+        }
+    }
+}
+
+impl fmt::Display for CostModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CostModel::Constant => f.write_str("constant"),
+            CostModel::Packet => f.write_str("packet"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_ignores_size() {
+        for bytes in [0u64, 1, 536, 1 << 30] {
+            assert_eq!(CostModel::Constant.cost(ByteSize::new(bytes)), 1.0);
+        }
+    }
+
+    #[test]
+    fn packet_cost_boundaries() {
+        // Zero-byte response still costs the two control packets.
+        assert_eq!(CostModel::Packet.cost(ByteSize::ZERO), 2.0);
+        assert_eq!(CostModel::Packet.cost(ByteSize::new(1)), 3.0);
+        assert_eq!(CostModel::Packet.cost(ByteSize::new(536)), 3.0);
+        assert_eq!(CostModel::Packet.cost(ByteSize::new(537)), 4.0);
+        assert_eq!(CostModel::Packet.cost(ByteSize::new(1072)), 4.0);
+    }
+
+    #[test]
+    fn packet_cost_is_monotone_in_size() {
+        let mut last = 0.0;
+        for bytes in (0..10_000u64).step_by(100) {
+            let c = CostModel::Packet.cost(ByteSize::new(bytes));
+            assert!(c >= last);
+            last = c;
+        }
+    }
+
+    #[test]
+    fn tags_and_display() {
+        assert_eq!(CostModel::Constant.tag(), '1');
+        assert_eq!(CostModel::Packet.tag(), 'P');
+        assert_eq!(CostModel::Packet.to_string(), "packet");
+    }
+}

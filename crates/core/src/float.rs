@@ -1,0 +1,101 @@
+//! A totally ordered, non-NaN `f64` for priority keys.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// An `f64` that is guaranteed finite-or-infinite (never NaN) and therefore
+/// implements [`Ord`].
+///
+/// Replacement-policy priorities are floating point (GreedyDual `H` values
+/// are ratios of costs and sizes); this newtype makes them usable as heap
+/// and map keys without the usual `PartialOrd` contortions.
+///
+/// ```
+/// use webcache_core::OrderedF64;
+/// let a = OrderedF64::new(1.5);
+/// let b = OrderedF64::new(2.5);
+/// assert!(a < b);
+/// assert_eq!(a.get() + 1.0, b.get());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OrderedF64(f64);
+
+impl OrderedF64 {
+    /// Zero.
+    pub const ZERO: OrderedF64 = OrderedF64(0.0);
+
+    /// Wraps a float.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN. Infinities are allowed (useful as
+    /// sentinels).
+    #[inline]
+    pub fn new(value: f64) -> Self {
+        assert!(!value.is_nan(), "priority value must not be NaN");
+        OrderedF64(value)
+    }
+
+    /// The wrapped float.
+    #[inline]
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl fmt::Display for OrderedF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<OrderedF64> for f64 {
+    fn from(v: OrderedF64) -> f64 {
+        v.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(OrderedF64::new(-1.0) < OrderedF64::ZERO);
+        assert!(OrderedF64::new(1.0) < OrderedF64::new(2.0));
+        assert!(OrderedF64::new(f64::INFINITY) > OrderedF64::new(1e300));
+        assert!(OrderedF64::new(f64::NEG_INFINITY) < OrderedF64::new(-1e300));
+    }
+
+    #[test]
+    fn eq_and_accessors() {
+        assert_eq!(OrderedF64::new(3.5).get(), 3.5);
+        assert_eq!(f64::from(OrderedF64::new(2.0)), 2.0);
+        assert_eq!(OrderedF64::new(1.0), OrderedF64::new(1.0));
+        assert_eq!(OrderedF64::new(4.0).to_string(), "4");
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_is_rejected() {
+        let _ = OrderedF64::new(f64::NAN);
+    }
+}

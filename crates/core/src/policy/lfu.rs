@@ -1,0 +1,148 @@
+//! Least Frequently Used (without aging).
+//!
+//! Evicts the document with the smallest in-cache reference count, breaking
+//! ties towards the least recently used. Plain LFU suffers from *cache
+//! pollution*: documents that were popular once keep large counts and are
+//! never evicted — the defect that LFU-DA's dynamic aging repairs. Included
+//! as a baseline for the aging ablation.
+
+use std::collections::HashMap;
+
+use webcache_trace::{ByteSize, DocId};
+
+use super::{PriorityKey, ReplacementPolicy};
+use crate::pqueue::IndexedHeap;
+
+/// LFU replacement state. See the module-level documentation above.
+#[derive(Debug, Default)]
+pub struct Lfu {
+    heap: IndexedHeap<DocId, PriorityKey>,
+    counts: HashMap<DocId, u64>,
+    seq: u64,
+}
+
+impl Lfu {
+    /// Creates an empty LFU tracker.
+    pub fn new() -> Self {
+        Lfu::default()
+    }
+
+    /// The in-cache reference count of `doc`, if tracked.
+    pub fn reference_count(&self, doc: DocId) -> Option<u64> {
+        self.counts.get(&doc).copied()
+    }
+
+    fn touch(&mut self, doc: DocId) {
+        let count = self.counts.get(&doc).copied().unwrap_or(0) + 1;
+        self.counts.insert(doc, count);
+        self.seq += 1;
+        self.heap.upsert(doc, PriorityKey::new(count as f64, self.seq));
+    }
+}
+
+impl ReplacementPolicy for Lfu {
+    fn label(&self) -> String {
+        "LFU".to_owned()
+    }
+
+    fn on_insert(&mut self, doc: DocId, _size: ByteSize) {
+        debug_assert!(!self.counts.contains_key(&doc), "double insert of {doc}");
+        self.touch(doc);
+    }
+
+    fn on_hit(&mut self, doc: DocId, _size: ByteSize) {
+        if self.counts.contains_key(&doc) {
+            self.touch(doc);
+        }
+    }
+
+    fn evict(&mut self) -> Option<DocId> {
+        let (doc, _) = self.heap.pop_min()?;
+        self.counts.remove(&doc);
+        Some(doc)
+    }
+
+    fn remove(&mut self, doc: DocId) {
+        if self.counts.remove(&doc).is_some() {
+            self.heap.remove(doc);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(i: u64) -> DocId {
+        DocId::new(i)
+    }
+
+    fn sz() -> ByteSize {
+        ByteSize::new(1)
+    }
+
+    #[test]
+    fn evicts_smallest_count() {
+        let mut p = Lfu::new();
+        p.on_insert(doc(1), sz());
+        p.on_insert(doc(2), sz());
+        p.on_hit(doc(1), sz());
+        p.on_hit(doc(1), sz());
+        p.on_hit(doc(2), sz());
+        assert_eq!(p.reference_count(doc(1)), Some(3));
+        assert_eq!(p.reference_count(doc(2)), Some(2));
+        assert_eq!(p.evict(), Some(doc(2)));
+    }
+
+    #[test]
+    fn ties_break_towards_older_access() {
+        let mut p = Lfu::new();
+        p.on_insert(doc(1), sz());
+        p.on_insert(doc(2), sz());
+        // Both have count 1; doc 1 was touched earlier, so it goes first.
+        assert_eq!(p.evict(), Some(doc(1)));
+
+        let mut p = Lfu::new();
+        p.on_insert(doc(1), sz());
+        p.on_insert(doc(2), sz());
+        p.on_hit(doc(1), sz());
+        p.on_hit(doc(2), sz());
+        // Counts equal (2); doc 1's last access is older.
+        assert_eq!(p.evict(), Some(doc(1)));
+    }
+
+    #[test]
+    fn pollution_demonstration() {
+        // A document with a huge historical count survives even though it
+        // is never referenced again — the defect LFU-DA fixes.
+        let mut p = Lfu::new();
+        p.on_insert(doc(1), sz());
+        for _ in 0..100 {
+            p.on_hit(doc(1), sz());
+        }
+        for i in 2..10 {
+            p.on_insert(doc(i), sz());
+            p.on_hit(doc(i), sz());
+        }
+        for _ in 0..8 {
+            let v = p.evict().unwrap();
+            assert_ne!(v, doc(1), "stale popular doc pollutes the cache");
+        }
+    }
+
+    #[test]
+    fn remove_clears_count() {
+        let mut p = Lfu::new();
+        p.on_insert(doc(1), sz());
+        p.remove(doc(1));
+        assert_eq!(p.reference_count(doc(1)), None);
+        assert_eq!(p.len(), 0);
+        // Re-insert starts the count over.
+        p.on_insert(doc(1), sz());
+        assert_eq!(p.reference_count(doc(1)), Some(1));
+    }
+}

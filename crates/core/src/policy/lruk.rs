@@ -1,0 +1,221 @@
+//! LRU-K (O'Neil, O'Neil & Weikum).
+//!
+//! LRU-K evicts the document whose K-th most recent reference lies
+//! furthest in the past (its *backward K-distance*); documents with
+//! fewer than K references have infinite distance and evict first,
+//! ordered by their oldest reference. K = 1 degenerates to LRU; K = 2 —
+//! the variant implemented by [`LruK::two`] and used in the comparative
+//! cache literature — discriminates one-timers sharply, the same goal
+//! SLRU and the second-hit admission filter pursue by other means.
+
+use std::collections::{HashMap, VecDeque};
+
+use webcache_trace::{ByteSize, DocId};
+
+use super::{PriorityKey, ReplacementPolicy};
+use crate::pqueue::IndexedHeap;
+
+/// LRU-K replacement state. See the module-level documentation above.
+#[derive(Debug)]
+pub struct LruK {
+    k: usize,
+    /// Last K reference times per document, most recent at the back.
+    history: HashMap<DocId, VecDeque<u64>>,
+    /// Min-heap on the backward K-distance key.
+    heap: IndexedHeap<DocId, PriorityKey>,
+    clock: u64,
+}
+
+impl LruK {
+    /// Creates an LRU-K tracker.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k` is zero.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "LRU-K needs K ≥ 1");
+        LruK {
+            k,
+            history: HashMap::new(),
+            heap: IndexedHeap::new(),
+            clock: 0,
+        }
+    }
+
+    /// The classic K = 2 variant.
+    pub fn two() -> Self {
+        LruK::new(2)
+    }
+
+    /// The configured K.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    fn touch(&mut self, doc: DocId) {
+        self.clock += 1;
+        let history = self.history.entry(doc).or_default();
+        history.push_back(self.clock);
+        while history.len() > self.k {
+            history.pop_front();
+        }
+        // Priority: the K-th most recent reference time when available —
+        // the min-heap then pops the *oldest* K-th reference, i.e. the
+        // largest backward K-distance. Documents with fewer than K
+        // references have infinite distance: keyed below every full
+        // history (-1e18 + first reference), so they evict first, oldest
+        // first.
+        let key = if history.len() == self.k {
+            PriorityKey::new(history[0] as f64, doc.as_u64())
+        } else {
+            PriorityKey::new(-1e18 + history[0] as f64, doc.as_u64())
+        };
+        self.heap.upsert(doc, key);
+    }
+}
+
+impl ReplacementPolicy for LruK {
+    fn label(&self) -> String {
+        format!("LRU-{}", self.k)
+    }
+
+    fn on_insert(&mut self, doc: DocId, _size: ByteSize) {
+        debug_assert!(!self.history.contains_key(&doc), "double insert of {doc}");
+        self.touch(doc);
+    }
+
+    fn on_hit(&mut self, doc: DocId, _size: ByteSize) {
+        if self.history.contains_key(&doc) {
+            self.touch(doc);
+        }
+    }
+
+    fn evict(&mut self) -> Option<DocId> {
+        let (doc, _) = self.heap.pop_min()?;
+        self.history.remove(&doc);
+        Some(doc)
+    }
+
+    fn remove(&mut self, doc: DocId) {
+        if self.history.remove(&doc).is_some() {
+            self.heap.remove(doc);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(i: u64) -> DocId {
+        DocId::new(i)
+    }
+
+    fn sz() -> ByteSize {
+        ByteSize::new(1)
+    }
+
+    #[test]
+    fn one_timers_evict_before_twice_referenced() {
+        let mut p = LruK::two();
+        p.on_insert(doc(1), sz());
+        p.on_hit(doc(1), sz()); // doc 1 has 2 references
+        p.on_insert(doc(2), sz()); // doc 2 has 1 (more recent than doc 1!)
+        assert_eq!(p.evict(), Some(doc(2)), "infinite K-distance evicts first");
+        assert_eq!(p.evict(), Some(doc(1)));
+    }
+
+    #[test]
+    fn among_full_histories_oldest_kth_reference_loses() {
+        let mut p = LruK::two();
+        p.on_insert(doc(1), sz()); // t1
+        p.on_insert(doc(2), sz()); // t2
+        p.on_hit(doc(1), sz()); // t3: doc1 history [t1, t3]
+        p.on_hit(doc(2), sz()); // t4: doc2 history [t2, t4]
+        p.on_hit(doc(1), sz()); // t5: doc1 history [t3, t5]
+        // K-th most recent: doc1 -> t3, doc2 -> t2; doc2 is older.
+        assert_eq!(p.evict(), Some(doc(2)));
+    }
+
+    #[test]
+    fn among_partial_histories_oldest_first_reference_loses() {
+        let mut p = LruK::new(3);
+        p.on_insert(doc(1), sz());
+        p.on_insert(doc(2), sz());
+        p.on_hit(doc(1), sz()); // still only 2 < K references
+        assert_eq!(p.evict(), Some(doc(1)), "doc 1's first reference is older");
+    }
+
+    #[test]
+    fn k_equal_one_behaves_like_lru() {
+        use crate::policy::Lru;
+        let mut lruk = LruK::new(1);
+        let mut lru = Lru::new();
+        let ops: [(u64, bool); 12] = [
+            (1, true),
+            (2, true),
+            (3, true),
+            (1, false),
+            (4, true),
+            (2, false),
+            (5, true),
+            (3, false),
+            (1, false),
+            (6, true),
+            (4, false),
+            (2, false),
+        ];
+        for (d, is_insert) in ops {
+            if is_insert {
+                lruk.on_insert(doc(d), sz());
+                lru.on_insert(doc(d), sz());
+            } else {
+                lruk.on_hit(doc(d), sz());
+                lru.on_hit(doc(d), sz());
+            }
+        }
+        loop {
+            let a = lruk.evict();
+            let b = lru.evict();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn history_is_bounded_to_k() {
+        let mut p = LruK::two();
+        p.on_insert(doc(1), sz());
+        for _ in 0..10 {
+            p.on_hit(doc(1), sz());
+        }
+        assert_eq!(p.history[&doc(1)].len(), 2);
+        assert_eq!(p.k(), 2);
+        assert_eq!(p.label(), "LRU-2");
+    }
+
+    #[test]
+    fn remove_and_reinsert_forget_history() {
+        let mut p = LruK::two();
+        p.on_insert(doc(1), sz());
+        p.on_hit(doc(1), sz());
+        p.remove(doc(1));
+        p.on_insert(doc(1), sz());
+        p.on_insert(doc(2), sz());
+        p.on_hit(doc(2), sz());
+        // doc 1 is back to a partial history; it evicts before doc 2.
+        assert_eq!(p.evict(), Some(doc(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "K ≥ 1")]
+    fn zero_k_rejected() {
+        let _ = LruK::new(0);
+    }
+}

@@ -1,0 +1,342 @@
+//! Replacement policies.
+//!
+//! A [`ReplacementPolicy`] tracks per-document bookkeeping (recency,
+//! frequency, GreedyDual `H` values) and answers eviction queries; the
+//! [`Cache`](crate::cache::Cache) owns the actual store and byte
+//! accounting and drives the policy through the trait's lifecycle hooks.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use webcache_trace::{ByteSize, DocId, DocumentType};
+
+use crate::cost::CostModel;
+use crate::float::OrderedF64;
+
+mod fifo;
+mod gds;
+mod gdsf;
+mod gdstar;
+mod lfu;
+mod lfuda;
+mod lru;
+mod lruk;
+mod size;
+mod slru;
+
+pub use fifo::Fifo;
+pub use gds::Gds;
+pub use gdsf::Gdsf;
+pub use gdstar::{BetaEstimator, BetaMode, GdStar};
+pub use lfu::Lfu;
+pub use lfuda::LfuDa;
+pub use lru::Lru;
+pub use lruk::LruK;
+pub use size::SizeBased;
+pub use slru::Slru;
+
+/// Bookkeeping interface implemented by every replacement scheme.
+///
+/// The contract, enforced by the cache and checked by the policy
+/// conformance tests:
+///
+/// * `on_insert` is called exactly once for a document entering the cache;
+///   the document is not already tracked.
+/// * `on_hit` is called for accesses to tracked documents.
+/// * `evict` removes and returns the policy's victim; it must return a
+///   currently tracked document, and applies any aging side effects
+///   (GreedyDual / LFU-DA cache-age updates).
+/// * `remove` untracks a document without aging side effects (used for
+///   invalidation after a document modification).
+pub trait ReplacementPolicy: fmt::Debug + Send {
+    /// Human-readable label, e.g. `"GD*(P)"`.
+    fn label(&self) -> String;
+
+    /// A document of the given size was inserted into the cache.
+    fn on_insert(&mut self, doc: DocId, size: ByteSize);
+
+    /// A tracked document was requested and served from the cache.
+    fn on_hit(&mut self, doc: DocId, size: ByteSize);
+
+    /// Type-aware insert hook. The cache calls this variant (it knows
+    /// every document's [`DocumentType`]); the default forwards to
+    /// [`ReplacementPolicy::on_insert`]. Only type-aware schemes (GD\*
+    /// with per-type β) override it.
+    fn on_insert_typed(&mut self, doc: DocId, size: ByteSize, doc_type: DocumentType) {
+        let _ = doc_type;
+        self.on_insert(doc, size);
+    }
+
+    /// Type-aware hit hook; the default forwards to
+    /// [`ReplacementPolicy::on_hit`].
+    fn on_hit_typed(&mut self, doc: DocId, size: ByteSize, doc_type: DocumentType) {
+        let _ = doc_type;
+        self.on_hit(doc, size);
+    }
+
+    /// Chooses, untracks and returns the eviction victim.
+    ///
+    /// Returns `None` when no documents are tracked.
+    fn evict(&mut self) -> Option<DocId>;
+
+    /// Untracks `doc` without any aging side effects.
+    ///
+    /// Called when a document is invalidated (e.g. modified at the origin
+    /// server). Unknown documents are ignored.
+    fn remove(&mut self, doc: DocId);
+
+    /// Number of tracked documents.
+    fn len(&self) -> usize;
+
+    /// Whether no documents are tracked.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A heap key combining a priority value with a deterministic tie-breaker.
+///
+/// Smaller values evict first; among equal values, the smaller `tie` (the
+/// older event) evicts first, making every policy fully deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct PriorityKey {
+    pub value: OrderedF64,
+    pub tie: u64,
+}
+
+impl PriorityKey {
+    pub(crate) fn new(value: f64, tie: u64) -> Self {
+        PriorityKey {
+            value: OrderedF64::new(value),
+            tie,
+        }
+    }
+}
+
+/// Identifies a replacement scheme; used to configure sweeps and to
+/// construct policies.
+///
+/// ```
+/// use webcache_core::{CostModel, PolicyKind};
+///
+/// let policy = PolicyKind::GdStar(CostModel::Packet).instantiate();
+/// assert_eq!(policy.label(), "GD*(P)");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// Least Recently Used.
+    Lru,
+    /// First In First Out.
+    Fifo,
+    /// Least Frequently Used (no aging; prone to cache pollution).
+    Lfu,
+    /// Evict the largest document first (SIZE, Williams et al.).
+    SizeBased,
+    /// Least Frequently Used with Dynamic Aging.
+    LfuDa,
+    /// Segmented LRU (two recency segments; promotion on re-reference).
+    Slru,
+    /// LRU-2: evict by backward-2 reference distance (O'Neil et al.).
+    LruTwo,
+    /// GreedyDual-Size under the given cost model.
+    Gds(CostModel),
+    /// GreedyDual-Size-Frequency under the given cost model (the β = 1
+    /// special case of GreedyDual\*, as deployed in Squid).
+    Gdsf(CostModel),
+    /// GreedyDual\* under the given cost model, with online-adaptive β.
+    GdStar(CostModel),
+}
+
+impl PolicyKind {
+    /// The four schemes of the paper's constant-cost experiments
+    /// (Figure 2): LRU, LFU-DA, GDS(1), GD\*(1).
+    pub const PAPER_CONSTANT: [PolicyKind; 4] = [
+        PolicyKind::Lru,
+        PolicyKind::LfuDa,
+        PolicyKind::Gds(CostModel::Constant),
+        PolicyKind::GdStar(CostModel::Constant),
+    ];
+
+    /// The four schemes of the paper's packet-cost experiments
+    /// (Figure 3): LRU, LFU-DA, GDS(P), GD\*(P).
+    pub const PAPER_PACKET: [PolicyKind; 4] = [
+        PolicyKind::Lru,
+        PolicyKind::LfuDa,
+        PolicyKind::Gds(CostModel::Packet),
+        PolicyKind::GdStar(CostModel::Packet),
+    ];
+
+    /// Every kind, for exhaustive tests.
+    pub const ALL: [PolicyKind; 13] = [
+        PolicyKind::Lru,
+        PolicyKind::Fifo,
+        PolicyKind::Lfu,
+        PolicyKind::SizeBased,
+        PolicyKind::LfuDa,
+        PolicyKind::Slru,
+        PolicyKind::LruTwo,
+        PolicyKind::Gds(CostModel::Constant),
+        PolicyKind::Gds(CostModel::Packet),
+        PolicyKind::Gdsf(CostModel::Constant),
+        PolicyKind::Gdsf(CostModel::Packet),
+        PolicyKind::GdStar(CostModel::Constant),
+        PolicyKind::GdStar(CostModel::Packet),
+    ];
+
+    /// Constructs a fresh policy instance of this kind.
+    pub fn instantiate(self) -> Box<dyn ReplacementPolicy> {
+        match self {
+            PolicyKind::Lru => Box::new(Lru::new()),
+            PolicyKind::Fifo => Box::new(Fifo::new()),
+            PolicyKind::Lfu => Box::new(Lfu::new()),
+            PolicyKind::SizeBased => Box::new(SizeBased::new()),
+            PolicyKind::LfuDa => Box::new(LfuDa::new()),
+            PolicyKind::Slru => Box::new(Slru::new()),
+            PolicyKind::LruTwo => Box::new(LruK::two()),
+            PolicyKind::Gds(cost) => Box::new(Gds::new(cost)),
+            PolicyKind::Gdsf(cost) => Box::new(Gdsf::new(cost)),
+            PolicyKind::GdStar(cost) => Box::new(GdStar::new(cost, BetaMode::default())),
+        }
+    }
+
+    /// Parses a policy name as used on command lines and in config
+    /// files. Accepts the paper's labels (case-insensitive, `*` or
+    /// `star`): `lru`, `fifo`, `lfu`, `size`, `lfu-da`, `slru`,
+    /// `gds(1)`, `gds(p)`, `gdsf(1)`, `gdsf(p)`, `gd*(1)`, `gd*(p)`
+    /// (parentheses optional).
+    ///
+    /// ```
+    /// use webcache_core::{CostModel, PolicyKind};
+    /// assert_eq!(PolicyKind::parse("gd*(p)"), Some(PolicyKind::GdStar(CostModel::Packet)));
+    /// assert_eq!(PolicyKind::parse("LFU-DA"), Some(PolicyKind::LfuDa));
+    /// assert_eq!(PolicyKind::parse("nonsense"), None);
+    /// ```
+    pub fn parse(name: &str) -> Option<PolicyKind> {
+        let normalized: String = name
+            .to_ascii_lowercase()
+            .chars()
+            .filter(|c| !matches!(c, '(' | ')' | '-' | '_' | ' '))
+            .collect();
+        let normalized = normalized.replace("star", "*");
+        Some(match normalized.as_str() {
+            "lru" => PolicyKind::Lru,
+            "fifo" => PolicyKind::Fifo,
+            "lfu" => PolicyKind::Lfu,
+            "size" => PolicyKind::SizeBased,
+            "lfuda" => PolicyKind::LfuDa,
+            "slru" => PolicyKind::Slru,
+            "lru2" | "lruk" => PolicyKind::LruTwo,
+            "gds" | "gds1" => PolicyKind::Gds(CostModel::Constant),
+            "gdsp" => PolicyKind::Gds(CostModel::Packet),
+            "gdsf" | "gdsf1" => PolicyKind::Gdsf(CostModel::Constant),
+            "gdsfp" => PolicyKind::Gdsf(CostModel::Packet),
+            "gd*" | "gd*1" => PolicyKind::GdStar(CostModel::Constant),
+            "gd*p" => PolicyKind::GdStar(CostModel::Packet),
+            _ => return None,
+        })
+    }
+
+    /// The label the paper uses for this scheme.
+    pub fn label(self) -> String {
+        match self {
+            PolicyKind::Lru => "LRU".to_owned(),
+            PolicyKind::Fifo => "FIFO".to_owned(),
+            PolicyKind::Lfu => "LFU".to_owned(),
+            PolicyKind::SizeBased => "SIZE".to_owned(),
+            PolicyKind::LfuDa => "LFU-DA".to_owned(),
+            PolicyKind::Slru => "SLRU".to_owned(),
+            PolicyKind::LruTwo => "LRU-2".to_owned(),
+            PolicyKind::Gds(cost) => format!("GDS({})", cost.tag()),
+            PolicyKind::Gdsf(cost) => format!("GDSF({})", cost.tag()),
+            PolicyKind::GdStar(cost) => format!("GD*({})", cost.tag()),
+        }
+    }
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(i: u64) -> DocId {
+        DocId::new(i)
+    }
+
+    #[test]
+    fn labels_match_paper_notation() {
+        assert_eq!(PolicyKind::Lru.label(), "LRU");
+        assert_eq!(PolicyKind::LfuDa.label(), "LFU-DA");
+        assert_eq!(PolicyKind::Gds(CostModel::Constant).label(), "GDS(1)");
+        assert_eq!(PolicyKind::Gds(CostModel::Packet).label(), "GDS(P)");
+        assert_eq!(PolicyKind::GdStar(CostModel::Constant).label(), "GD*(1)");
+        assert_eq!(PolicyKind::GdStar(CostModel::Packet).to_string(), "GD*(P)");
+    }
+
+    #[test]
+    fn instantiate_labels_agree_with_kind() {
+        for kind in PolicyKind::ALL {
+            assert_eq!(kind.instantiate().label(), kind.label());
+        }
+    }
+
+    /// Trait-contract conformance for every policy: insert/hit/evict/remove
+    /// keep `len` consistent, eviction drains exactly the tracked set, and
+    /// removed documents are never chosen as victims.
+    #[test]
+    fn conformance_lifecycle() {
+        for kind in PolicyKind::ALL {
+            let mut p = kind.instantiate();
+            assert!(p.is_empty(), "{kind}");
+            assert_eq!(p.evict(), None, "{kind}");
+
+            for i in 0..10 {
+                p.on_insert(doc(i), ByteSize::new(100 * (i + 1)));
+            }
+            assert_eq!(p.len(), 10, "{kind}");
+            p.on_hit(doc(3), ByteSize::new(400));
+            p.on_hit(doc(3), ByteSize::new(400));
+            p.remove(doc(5));
+            p.remove(doc(5)); // idempotent
+            assert_eq!(p.len(), 9, "{kind}");
+
+            let mut victims = Vec::new();
+            while let Some(v) = p.evict() {
+                victims.push(v.as_u64());
+            }
+            victims.sort_unstable();
+            assert_eq!(
+                victims,
+                vec![0, 1, 2, 3, 4, 6, 7, 8, 9],
+                "{kind}: eviction must drain exactly the tracked set"
+            );
+            assert!(p.is_empty(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn parse_roundtrips_every_label() {
+        for kind in PolicyKind::ALL {
+            assert_eq!(PolicyKind::parse(&kind.label()), Some(kind), "{kind}");
+        }
+        // Forgiving spellings.
+        assert_eq!(PolicyKind::parse("GDStar(P)"), Some(PolicyKind::GdStar(CostModel::Packet)));
+        assert_eq!(PolicyKind::parse("gds_1"), Some(PolicyKind::Gds(CostModel::Constant)));
+        assert_eq!(PolicyKind::parse("lfu da"), Some(PolicyKind::LfuDa));
+        assert_eq!(PolicyKind::parse(""), None);
+        assert_eq!(PolicyKind::parse("gdq"), None);
+    }
+
+    #[test]
+    fn priority_key_orders_by_value_then_tie() {
+        let a = PriorityKey::new(1.0, 5);
+        let b = PriorityKey::new(1.0, 6);
+        let c = PriorityKey::new(2.0, 0);
+        assert!(a < b && b < c);
+    }
+}

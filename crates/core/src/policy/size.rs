@@ -1,0 +1,97 @@
+//! SIZE: evict the largest document first.
+//!
+//! The size-greedy baseline of Williams et al. — maximizes the *number* of
+//! documents held and therefore the hit rate, at the expense of byte hit
+//! rate. Ties between equally sized documents break towards the least
+//! recently used.
+
+use webcache_trace::{ByteSize, DocId};
+
+use super::{PriorityKey, ReplacementPolicy};
+use crate::pqueue::IndexedHeap;
+
+/// SIZE replacement state. See the module-level documentation above.
+#[derive(Debug, Default)]
+pub struct SizeBased {
+    heap: IndexedHeap<DocId, PriorityKey>,
+    seq: u64,
+}
+
+impl SizeBased {
+    /// Creates an empty SIZE tracker.
+    pub fn new() -> Self {
+        SizeBased::default()
+    }
+}
+
+impl ReplacementPolicy for SizeBased {
+    fn label(&self) -> String {
+        "SIZE".to_owned()
+    }
+
+    fn on_insert(&mut self, doc: DocId, size: ByteSize) {
+        self.seq += 1;
+        // The heap pops the minimum key; negate the size so the largest
+        // document has the smallest key.
+        self.heap
+            .insert(doc, PriorityKey::new(-size.as_f64(), self.seq));
+    }
+
+    fn on_hit(&mut self, doc: DocId, _size: ByteSize) {
+        if self.heap.contains(doc) {
+            // Refresh the tie-breaker so equal-size ties follow recency.
+            let key = self.heap.key_of(doc).expect("contains checked");
+            self.seq += 1;
+            self.heap.update(doc, PriorityKey { tie: self.seq, ..key });
+        }
+    }
+
+    fn evict(&mut self) -> Option<DocId> {
+        self.heap.pop_min().map(|(doc, _)| doc)
+    }
+
+    fn remove(&mut self, doc: DocId) {
+        self.heap.remove(doc);
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(i: u64) -> DocId {
+        DocId::new(i)
+    }
+
+    #[test]
+    fn evicts_largest_first() {
+        let mut p = SizeBased::new();
+        p.on_insert(doc(1), ByteSize::new(100));
+        p.on_insert(doc(2), ByteSize::new(10_000));
+        p.on_insert(doc(3), ByteSize::new(500));
+        let order: Vec<u64> = std::iter::from_fn(|| p.evict().map(DocId::as_u64)).collect();
+        assert_eq!(order, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn equal_sizes_tie_break_by_recency() {
+        let mut p = SizeBased::new();
+        p.on_insert(doc(1), ByteSize::new(100));
+        p.on_insert(doc(2), ByteSize::new(100));
+        p.on_hit(doc(1), ByteSize::new(100));
+        // doc 2 is now the least recently touched among equals.
+        assert_eq!(p.evict(), Some(doc(2)));
+        assert_eq!(p.evict(), Some(doc(1)));
+    }
+
+    #[test]
+    fn hit_on_unknown_doc_is_ignored() {
+        let mut p = SizeBased::new();
+        p.on_hit(doc(9), ByteSize::new(1));
+        assert_eq!(p.len(), 0);
+    }
+}

@@ -1,0 +1,352 @@
+//! An indexed binary min-heap with `O(log n)` key updates.
+//!
+//! The GreedyDual family and LFU-DA need a priority queue supporting
+//! *extract-min* and *arbitrary key change on hit*. [`IndexedHeap`] keeps a
+//! position map from item to heap slot, so updating or removing any item is
+//! `O(log n)` without lazy-deletion garbage.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A binary min-heap over `(key, item)` pairs with by-item addressing.
+///
+/// `I` is the item (e.g. a document id), `K` the priority key. The heap
+/// orders by `K`; ties should be broken inside `K` itself (e.g. with a
+/// sequence number) if deterministic extraction order matters.
+///
+/// ```
+/// use webcache_core::pqueue::IndexedHeap;
+///
+/// let mut heap: IndexedHeap<&str, u64> = IndexedHeap::new();
+/// heap.insert("a", 5);
+/// heap.insert("b", 2);
+/// heap.update("a", 1);
+/// assert_eq!(heap.pop_min(), Some(("a", 1)));
+/// assert_eq!(heap.pop_min(), Some(("b", 2)));
+/// assert!(heap.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct IndexedHeap<I, K> {
+    /// Heap-ordered `(key, item)` pairs.
+    slots: Vec<(K, I)>,
+    /// Item -> index into `slots`.
+    positions: HashMap<I, usize>,
+}
+
+impl<I, K> Default for IndexedHeap<I, K>
+where
+    I: Copy + Eq + Hash,
+    K: Ord + Copy,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<I, K> IndexedHeap<I, K>
+where
+    I: Copy + Eq + Hash,
+    K: Ord + Copy,
+{
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        IndexedHeap {
+            slots: Vec::new(),
+            positions: HashMap::new(),
+        }
+    }
+
+    /// Number of items in the heap.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the heap is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Whether `item` is present.
+    pub fn contains(&self, item: I) -> bool {
+        self.positions.contains_key(&item)
+    }
+
+    /// The key currently associated with `item`, if present.
+    pub fn key_of(&self, item: I) -> Option<K> {
+        self.positions.get(&item).map(|&i| self.slots[i].0)
+    }
+
+    /// Inserts a new item.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `item` is already present — use [`IndexedHeap::update`] to
+    /// change an existing key, or [`IndexedHeap::upsert`] when presence is
+    /// unknown.
+    pub fn insert(&mut self, item: I, key: K) {
+        assert!(
+            !self.positions.contains_key(&item),
+            "item already present; use update/upsert"
+        );
+        let idx = self.slots.len();
+        self.slots.push((key, item));
+        self.positions.insert(item, idx);
+        self.sift_up(idx);
+    }
+
+    /// Changes the key of an existing item.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `item` is not present.
+    pub fn update(&mut self, item: I, key: K) {
+        let &idx = self
+            .positions
+            .get(&item)
+            .expect("update of item not in heap");
+        let old = self.slots[idx].0;
+        self.slots[idx].0 = key;
+        if key < old {
+            self.sift_up(idx);
+        } else if key > old {
+            self.sift_down(idx);
+        }
+    }
+
+    /// Inserts `item` or updates its key if already present.
+    pub fn upsert(&mut self, item: I, key: K) {
+        if self.contains(item) {
+            self.update(item, key);
+        } else {
+            self.insert(item, key);
+        }
+    }
+
+    /// The minimum `(item, key)` without removing it.
+    pub fn peek_min(&self) -> Option<(I, K)> {
+        self.slots.first().map(|&(k, i)| (i, k))
+    }
+
+    /// Removes and returns the minimum `(item, key)`.
+    pub fn pop_min(&mut self) -> Option<(I, K)> {
+        let (key, item) = *self.slots.first()?;
+        self.remove_at(0);
+        Some((item, key))
+    }
+
+    /// Removes `item`, returning its key if it was present.
+    pub fn remove(&mut self, item: I) -> Option<K> {
+        let &idx = self.positions.get(&item)?;
+        let key = self.slots[idx].0;
+        self.remove_at(idx);
+        Some(key)
+    }
+
+    /// Removes every item, keeping allocations.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.positions.clear();
+    }
+
+    fn remove_at(&mut self, idx: usize) {
+        let last = self.slots.len() - 1;
+        self.slots.swap(idx, last);
+        let (_, removed) = self.slots.pop().expect("slot exists");
+        self.positions.remove(&removed);
+        if idx < self.slots.len() {
+            self.positions.insert(self.slots[idx].1, idx);
+            // The swapped-in element may need to move either way.
+            self.sift_up(idx);
+            self.sift_down(idx);
+        }
+    }
+
+    fn sift_up(&mut self, mut idx: usize) {
+        while idx > 0 {
+            let parent = (idx - 1) / 2;
+            if self.slots[idx].0 >= self.slots[parent].0 {
+                break;
+            }
+            self.swap(idx, parent);
+            idx = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut idx: usize) {
+        loop {
+            let left = 2 * idx + 1;
+            let right = left + 1;
+            let mut smallest = idx;
+            if left < self.slots.len() && self.slots[left].0 < self.slots[smallest].0 {
+                smallest = left;
+            }
+            if right < self.slots.len() && self.slots[right].0 < self.slots[smallest].0 {
+                smallest = right;
+            }
+            if smallest == idx {
+                break;
+            }
+            self.swap(idx, smallest);
+            idx = smallest;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.slots.swap(a, b);
+        self.positions.insert(self.slots[a].1, a);
+        self.positions.insert(self.slots[b].1, b);
+    }
+
+    /// Checks the heap invariant and position map; used by tests.
+    #[cfg(test)]
+    fn check_invariants(&self) {
+        for idx in 1..self.slots.len() {
+            let parent = (idx - 1) / 2;
+            assert!(
+                self.slots[parent].0 <= self.slots[idx].0,
+                "heap order violated at {idx}"
+            );
+        }
+        assert_eq!(self.positions.len(), self.slots.len());
+        for (i, &(_, item)) in self.slots.iter().enumerate() {
+            assert_eq!(self.positions[&item], i, "position map stale");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ordering() {
+        let mut h = IndexedHeap::new();
+        for (i, k) in [(1u64, 50u64), (2, 10), (3, 30), (4, 20), (5, 40)] {
+            h.insert(i, k);
+            h.check_invariants();
+        }
+        assert_eq!(h.len(), 5);
+        assert_eq!(h.peek_min(), Some((2, 10)));
+        let order: Vec<u64> = std::iter::from_fn(|| h.pop_min().map(|(i, _)| i)).collect();
+        assert_eq!(order, vec![2, 4, 3, 5, 1]);
+    }
+
+    #[test]
+    fn update_moves_items_both_ways() {
+        let mut h = IndexedHeap::new();
+        h.insert("a", 10);
+        h.insert("b", 20);
+        h.insert("c", 30);
+        h.update("c", 5); // decrease-key
+        h.check_invariants();
+        assert_eq!(h.peek_min(), Some(("c", 5)));
+        h.update("c", 25); // increase-key
+        h.check_invariants();
+        assert_eq!(h.peek_min(), Some(("a", 10)));
+        assert_eq!(h.key_of("c"), Some(25));
+    }
+
+    #[test]
+    fn upsert_inserts_then_updates() {
+        let mut h = IndexedHeap::new();
+        h.upsert(7u32, 1u32);
+        h.upsert(7, 9);
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.key_of(7), Some(9));
+    }
+
+    #[test]
+    fn remove_arbitrary_items() {
+        let mut h = IndexedHeap::new();
+        for i in 0u64..20 {
+            h.insert(i, (i * 7) % 13);
+        }
+        assert_eq!(h.remove(10), Some((10 * 7) % 13));
+        assert_eq!(h.remove(10), None, "double remove yields None");
+        h.check_invariants();
+        assert_eq!(h.len(), 19);
+        assert!(!h.contains(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "already present")]
+    fn double_insert_panics() {
+        let mut h = IndexedHeap::new();
+        h.insert(1u8, 1u8);
+        h.insert(1, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in heap")]
+    fn update_missing_panics() {
+        let mut h: IndexedHeap<u8, u8> = IndexedHeap::new();
+        h.update(1, 2);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut h = IndexedHeap::new();
+        h.insert(1u8, 1u8);
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.pop_min(), None);
+    }
+
+    /// Randomized differential test against a sorted-map reference model.
+    #[test]
+    fn differential_against_btreemap() {
+        use std::collections::BTreeMap;
+
+        // Simple deterministic LCG so the test needs no external RNG.
+        let mut state = 0x2545F491_4F6CDD1Du64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+
+        let mut heap: IndexedHeap<u32, (u32, u32)> = IndexedHeap::new();
+        let mut model: BTreeMap<(u32, u32), u32> = BTreeMap::new(); // key -> item
+        let mut keys: HashMap<u32, (u32, u32)> = HashMap::new();
+        let mut tie = 0u32;
+
+        for step in 0..5000 {
+            match next() % 4 {
+                0 | 1 => {
+                    // insert or update a random item with a fresh unique key
+                    let item = next() % 64;
+                    let key = (next() % 1000, tie);
+                    tie += 1;
+                    if let Some(old) = keys.insert(item, key) {
+                        model.remove(&old);
+                        heap.update(item, key);
+                    } else {
+                        heap.insert(item, key);
+                    }
+                    model.insert(key, item);
+                }
+                2 => {
+                    // pop-min must match the model's first entry
+                    let expected = model.iter().next().map(|(&k, &i)| (i, k));
+                    let got = heap.pop_min();
+                    assert_eq!(got, expected, "step {step}");
+                    if let Some((item, key)) = got {
+                        model.remove(&key);
+                        keys.remove(&item);
+                    }
+                }
+                _ => {
+                    // remove a random item
+                    let item = next() % 64;
+                    let got = heap.remove(item);
+                    let expected = keys.remove(&item);
+                    assert_eq!(got, expected, "step {step}");
+                    if let Some(key) = expected {
+                        model.remove(&key);
+                    }
+                }
+            }
+            assert_eq!(heap.len(), model.len(), "step {step}");
+        }
+        heap.check_invariants();
+    }
+}

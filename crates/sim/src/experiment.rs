@@ -1,0 +1,302 @@
+//! Policy × cache-size sweeps (the engine behind Figures 2 and 3).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use webcache_core::PolicyKind;
+use webcache_trace::{ByteSize, DocumentType, Trace};
+
+use crate::simulator::{SimulationConfig, SimulationReport, Simulator};
+
+/// The relative cache sizes of the paper's figures: roughly 0.5% to 40%
+/// of the overall trace size.
+pub const PAPER_SIZE_FRACTIONS: [f64; 7] = [0.005, 0.01, 0.025, 0.05, 0.10, 0.20, 0.40];
+
+/// One (policy, capacity) grid cell and its simulation outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The replacement scheme simulated.
+    pub policy: PolicyKind,
+    /// Cache capacity of the run.
+    pub capacity: ByteSize,
+    /// Full per-type report.
+    pub report: SimulationReport,
+}
+
+/// All grid cells of a sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SweepReport {
+    points: Vec<SweepPoint>,
+}
+
+impl SweepReport {
+    /// All points, ordered by policy then capacity.
+    pub fn points(&self) -> &[SweepPoint] {
+        &self.points
+    }
+
+    /// The point for an exact (policy, capacity) pair.
+    pub fn get(&self, policy: PolicyKind, capacity: ByteSize) -> Option<&SweepPoint> {
+        self.points
+            .iter()
+            .find(|p| p.policy == policy && p.capacity == capacity)
+    }
+
+    /// The distinct capacities in ascending order.
+    pub fn capacities(&self) -> Vec<ByteSize> {
+        let mut caps: Vec<ByteSize> = self.points.iter().map(|p| p.capacity).collect();
+        caps.sort_unstable();
+        caps.dedup();
+        caps
+    }
+
+    /// The distinct policies, in first-appearance order.
+    pub fn policies(&self) -> Vec<PolicyKind> {
+        let mut seen = Vec::new();
+        for p in &self.points {
+            if !seen.contains(&p.policy) {
+                seen.push(p.policy);
+            }
+        }
+        seen
+    }
+
+    /// `(capacity, hit rate)` series for one policy, optionally for one
+    /// document type (the curves of Figures 2/3, left columns).
+    pub fn hit_rate_series(
+        &self,
+        policy: PolicyKind,
+        ty: Option<DocumentType>,
+    ) -> Vec<(ByteSize, f64)> {
+        self.series(policy, |report| match ty {
+            Some(ty) => report.by_type()[ty].hit_rate(),
+            None => report.overall().hit_rate(),
+        })
+    }
+
+    /// `(capacity, byte hit rate)` series (the right columns).
+    pub fn byte_hit_rate_series(
+        &self,
+        policy: PolicyKind,
+        ty: Option<DocumentType>,
+    ) -> Vec<(ByteSize, f64)> {
+        self.series(policy, |report| match ty {
+            Some(ty) => report.by_type()[ty].byte_hit_rate(),
+            None => report.overall().byte_hit_rate(),
+        })
+    }
+
+    fn series(
+        &self,
+        policy: PolicyKind,
+        metric: impl Fn(&SimulationReport) -> f64,
+    ) -> Vec<(ByteSize, f64)> {
+        let mut out: Vec<(ByteSize, f64)> = self
+            .points
+            .iter()
+            .filter(|p| p.policy == policy)
+            .map(|p| (p.capacity, metric(&p.report)))
+            .collect();
+        out.sort_unstable_by_key(|&(c, _)| c);
+        out
+    }
+}
+
+/// A grid of simulations: every configured policy at every capacity.
+#[derive(Debug, Clone)]
+pub struct CacheSizeSweep {
+    policies: Vec<PolicyKind>,
+    capacities: Vec<ByteSize>,
+    template: SimulationConfig,
+}
+
+impl CacheSizeSweep {
+    /// Creates a sweep over the given policies and capacities with the
+    /// paper's default simulation settings.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either list is empty or any capacity is zero.
+    pub fn new(policies: Vec<PolicyKind>, capacities: Vec<ByteSize>) -> Self {
+        assert!(!policies.is_empty(), "sweep needs at least one policy");
+        assert!(!capacities.is_empty(), "sweep needs at least one capacity");
+        assert!(
+            capacities.iter().all(|c| !c.is_zero()),
+            "capacities must be positive"
+        );
+        CacheSizeSweep {
+            policies,
+            capacities,
+            template: SimulationConfig::new(ByteSize::new(1)),
+        }
+    }
+
+    /// Overrides the simulation config template (its capacity field is
+    /// replaced per grid cell).
+    #[must_use]
+    pub fn with_config(mut self, template: SimulationConfig) -> Self {
+        self.template = template;
+        self
+    }
+
+    /// Capacities at the paper's relative cache sizes
+    /// ([`PAPER_SIZE_FRACTIONS`]) of `trace`'s overall size.
+    pub fn paper_capacities(trace: &Trace) -> Vec<ByteSize> {
+        let overall = trace.overall_size();
+        PAPER_SIZE_FRACTIONS
+            .iter()
+            .map(|&f| ByteSize::new((overall.as_f64() * f).round().max(1.0) as u64))
+            .collect()
+    }
+
+    /// Runs the grid, using up to `threads` worker threads.
+    ///
+    /// Each grid cell is independent, so runs are embarrassingly
+    /// parallel; the trace is shared read-only.
+    pub fn run_with_threads(&self, trace: &Trace, threads: usize) -> SweepReport {
+        let mut tasks: Vec<(PolicyKind, ByteSize)> = Vec::new();
+        for &policy in &self.policies {
+            for &capacity in &self.capacities {
+                tasks.push((policy, capacity));
+            }
+        }
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<SweepPoint>> = Mutex::new(Vec::with_capacity(tasks.len()));
+        let workers = threads.clamp(1, tasks.len());
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(policy, capacity)) = tasks.get(i) else {
+                        break;
+                    };
+                    let config = SimulationConfig {
+                        capacity,
+                        ..self.template
+                    };
+                    let report = Simulator::new(policy.instantiate(), config).run(trace);
+                    results.lock().expect("no panics hold the lock").push(SweepPoint {
+                        policy,
+                        capacity,
+                        report,
+                    });
+                });
+            }
+        });
+
+        let mut points = results.into_inner().expect("workers finished");
+        points.sort_unstable_by_key(|p| {
+            (
+                self.policies.iter().position(|&k| k == p.policy),
+                p.capacity,
+            )
+        });
+        SweepReport { points }
+    }
+
+    /// Runs the grid with one worker per available CPU core.
+    pub fn run(&self, trace: &Trace) -> SweepReport {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.run_with_threads(trace, threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webcache_trace::{DocId, Request, Timestamp};
+
+    fn tiny_trace() -> Trace {
+        (0..600u64)
+            .map(|i| {
+                Request::new(
+                    Timestamp::from_millis(i),
+                    DocId::new(i % 37),
+                    if i % 5 == 0 {
+                        DocumentType::Image
+                    } else {
+                        DocumentType::Html
+                    },
+                    ByteSize::new(500 + (i % 7) * 100),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn grid_is_complete_and_ordered() {
+        let trace = tiny_trace();
+        let sweep = CacheSizeSweep::new(
+            vec![PolicyKind::Lru, PolicyKind::LfuDa],
+            vec![ByteSize::new(2_000), ByteSize::new(8_000)],
+        );
+        let report = sweep.run_with_threads(&trace, 4);
+        assert_eq!(report.points().len(), 4);
+        assert_eq!(report.policies(), vec![PolicyKind::Lru, PolicyKind::LfuDa]);
+        assert_eq!(
+            report.capacities(),
+            vec![ByteSize::new(2_000), ByteSize::new(8_000)]
+        );
+        assert!(report.get(PolicyKind::Lru, ByteSize::new(2_000)).is_some());
+        assert!(report.get(PolicyKind::Fifo, ByteSize::new(2_000)).is_none());
+    }
+
+    #[test]
+    fn hit_rate_grows_with_capacity() {
+        let trace = tiny_trace();
+        let sweep = CacheSizeSweep::new(
+            vec![PolicyKind::Lru],
+            vec![ByteSize::new(1_000), ByteSize::new(4_000), ByteSize::new(64_000)],
+        );
+        let series = sweep.run_with_threads(&trace, 2).hit_rate_series(PolicyKind::Lru, None);
+        assert_eq!(series.len(), 3);
+        assert!(series[0].1 <= series[2].1, "{series:?}");
+        assert!(series[2].1 > 0.5, "everything fits at 64 kB: {series:?}");
+    }
+
+    #[test]
+    fn parallel_and_serial_runs_agree() {
+        let trace = tiny_trace();
+        let sweep = CacheSizeSweep::new(
+            PolicyKind::PAPER_CONSTANT.to_vec(),
+            vec![ByteSize::new(3_000), ByteSize::new(9_000)],
+        );
+        let serial = sweep.run_with_threads(&trace, 1);
+        let parallel = sweep.run_with_threads(&trace, 8);
+        assert_eq!(serial, parallel, "simulation must be deterministic");
+    }
+
+    #[test]
+    fn paper_capacities_scale_with_trace() {
+        let trace = tiny_trace();
+        let caps = CacheSizeSweep::paper_capacities(&trace);
+        assert_eq!(caps.len(), PAPER_SIZE_FRACTIONS.len());
+        let overall = trace.overall_size().as_f64();
+        assert_eq!(caps[0].as_u64(), (overall * 0.005).round() as u64);
+        assert!(caps.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn per_type_series_are_separable() {
+        let trace = tiny_trace();
+        let sweep = CacheSizeSweep::new(vec![PolicyKind::Lru], vec![ByteSize::new(64_000)]);
+        let report = sweep.run_with_threads(&trace, 1);
+        let img = report.hit_rate_series(PolicyKind::Lru, Some(DocumentType::Image));
+        let html = report.hit_rate_series(PolicyKind::Lru, Some(DocumentType::Html));
+        assert_eq!(img.len(), 1);
+        assert_eq!(html.len(), 1);
+        let bhr = report.byte_hit_rate_series(PolicyKind::Lru, None);
+        assert!(bhr[0].1 > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one policy")]
+    fn empty_policy_list_rejected() {
+        let _ = CacheSizeSweep::new(vec![], vec![ByteSize::new(1)]);
+    }
+}

@@ -1,0 +1,376 @@
+//! The trace-driven simulator.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use webcache_core::{AdmissionRule, Cache, ReplacementPolicy};
+use webcache_trace::{ByteSize, Trace, TypeMap};
+
+use crate::metrics::HitStats;
+use crate::occupancy::{OccupancySample, OccupancySeries};
+
+/// How the simulator interprets a size change between two successive
+/// requests to the same document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ModificationRule {
+    /// The paper's rule (Section 4.1): a change **< 5%** is a document
+    /// modification (miss, cached copy invalidated); a larger change is an
+    /// interrupted transfer (cached copy stays valid).
+    #[default]
+    SizeDelta,
+    /// The rule of Jin & Bestavros [7, 8]: **every** size change is a
+    /// modification. Inflates modification rates for large multi-media
+    /// and application documents (kept for the ablation experiment).
+    AnyChange,
+}
+
+impl ModificationRule {
+    /// Whether a transfer-size change from `prev` to `cur` bytes counts
+    /// as a document modification.
+    pub fn is_modification(self, prev: u64, cur: u64) -> bool {
+        if prev == cur {
+            return false;
+        }
+        match self {
+            ModificationRule::AnyChange => true,
+            ModificationRule::SizeDelta => {
+                let rel = (cur as f64 - prev as f64).abs() / prev.max(1) as f64;
+                rel < 0.05
+            }
+        }
+    }
+}
+
+/// Configuration of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimulationConfig {
+    /// Cache capacity in bytes.
+    pub capacity: ByteSize,
+    /// Fraction of the trace used to warm the cache (not counted).
+    /// The paper uses 10%.
+    pub warmup_fraction: f64,
+    /// Modification-detection rule.
+    pub modification_rule: ModificationRule,
+    /// Admission rule applied in front of the store (default: admit
+    /// everything, as in the paper).
+    pub admission_rule: AdmissionRule,
+    /// Number of occupancy snapshots to take over the measured part of
+    /// the trace (0 disables the Figure 1 series).
+    pub occupancy_samples: usize,
+}
+
+impl SimulationConfig {
+    /// The paper's defaults: 10% warm-up, 5%-delta modification rule, no
+    /// occupancy sampling.
+    pub fn new(capacity: ByteSize) -> Self {
+        SimulationConfig {
+            capacity,
+            warmup_fraction: 0.10,
+            modification_rule: ModificationRule::default(),
+            admission_rule: AdmissionRule::default(),
+            occupancy_samples: 0,
+        }
+    }
+
+    /// Overrides the admission rule.
+    #[must_use]
+    pub fn with_admission_rule(mut self, rule: AdmissionRule) -> Self {
+        self.admission_rule = rule;
+        self
+    }
+
+    /// Enables occupancy sampling with the given number of snapshots.
+    #[must_use]
+    pub fn with_occupancy_samples(mut self, samples: usize) -> Self {
+        self.occupancy_samples = samples;
+        self
+    }
+
+    /// Overrides the modification rule.
+    #[must_use]
+    pub fn with_modification_rule(mut self, rule: ModificationRule) -> Self {
+        self.modification_rule = rule;
+        self
+    }
+
+    /// Overrides the warm-up fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ fraction < 1`.
+    #[must_use]
+    pub fn with_warmup_fraction(mut self, fraction: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&fraction),
+            "warm-up fraction must be in [0, 1)"
+        );
+        self.warmup_fraction = fraction;
+        self
+    }
+}
+
+/// The outcome of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationReport {
+    /// Label of the replacement policy (e.g. `"GD*(P)"`).
+    pub policy: String,
+    /// Configuration the run used.
+    pub config: SimulationConfig,
+    /// Counters per document type.
+    by_type: TypeMap<HitStats>,
+    /// Occupancy trajectory (empty unless sampling was enabled).
+    pub occupancy: OccupancySeries,
+}
+
+impl SimulationReport {
+    /// Aggregated counters over all document types.
+    pub fn overall(&self) -> HitStats {
+        let mut total = HitStats::default();
+        for (_, s) in self.by_type.iter() {
+            total += *s;
+        }
+        total
+    }
+
+    /// Per-type counters.
+    pub fn by_type(&self) -> &TypeMap<HitStats> {
+        &self.by_type
+    }
+}
+
+/// Drives a [`Cache`] over a [`Trace`] and accounts per-type hit rates.
+///
+/// See the [crate docs](crate) for the methodology.
+#[derive(Debug)]
+pub struct Simulator {
+    cache: Cache,
+    config: SimulationConfig,
+    last_transfer: HashMap<u64, u64>,
+}
+
+impl Simulator {
+    /// Creates a simulator over a fresh cache.
+    pub fn new(policy: Box<dyn ReplacementPolicy>, config: SimulationConfig) -> Self {
+        Simulator {
+            cache: Cache::with_admission(config.capacity, policy, config.admission_rule),
+            config,
+            last_transfer: HashMap::new(),
+        }
+    }
+
+    /// Runs the full trace and produces the report.
+    pub fn run(mut self, trace: &Trace) -> SimulationReport {
+        let warmup_end = trace.warmup_boundary(self.config.warmup_fraction);
+        let measured = trace.len().saturating_sub(warmup_end);
+        let sample_every = if self.config.occupancy_samples > 0 && measured > 0 {
+            (measured / self.config.occupancy_samples).max(1)
+        } else {
+            usize::MAX
+        };
+
+        let mut by_type: TypeMap<HitStats> = TypeMap::default();
+        let mut occupancy = OccupancySeries::new();
+
+        for (index, request) in trace.iter().enumerate() {
+            let doc = request.doc;
+            let transfer = request.size.as_u64();
+            let prev = self.last_transfer.insert(doc.as_u64(), transfer);
+
+            let modified = prev
+                .is_some_and(|p| self.config.modification_rule.is_modification(p, transfer));
+
+            let hit = if modified {
+                // The origin changed the document: any cached copy is
+                // stale. Count a miss and fetch the new version.
+                self.cache.invalidate(doc);
+                false
+            } else {
+                self.cache.access(doc)
+            };
+            if !hit {
+                self.cache.insert(doc, request.doc_type, request.size);
+            }
+
+            if index >= warmup_end {
+                let stats = &mut by_type[request.doc_type];
+                stats.record(request.size, hit);
+                if modified {
+                    stats.modification_misses += 1;
+                }
+                let measured_index = index - warmup_end;
+                if measured_index % sample_every == sample_every - 1 {
+                    occupancy.push(OccupancySample::capture(index as u64, &self.cache));
+                }
+            }
+        }
+
+        SimulationReport {
+            policy: self.cache.policy_label(),
+            config: self.config,
+            by_type,
+            occupancy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webcache_core::PolicyKind;
+    use webcache_trace::{DocId, DocumentType, Request, Timestamp};
+
+    fn req(doc: u64, size: u64) -> Request {
+        Request::new(
+            Timestamp::ZERO,
+            DocId::new(doc),
+            DocumentType::Html,
+            ByteSize::new(size),
+        )
+    }
+
+    fn run(trace: Vec<Request>, config: SimulationConfig) -> SimulationReport {
+        Simulator::new(PolicyKind::Lru.instantiate(), config).run(&trace.into())
+    }
+
+    #[test]
+    fn repeated_requests_hit() {
+        let trace = vec![req(1, 100), req(1, 100), req(1, 100), req(1, 100)];
+        let config = SimulationConfig::new(ByteSize::new(1000)).with_warmup_fraction(0.0);
+        let report = run(trace, config);
+        let overall = report.overall();
+        assert_eq!(overall.requests, 4);
+        assert_eq!(overall.hits, 3, "first request is a cold miss");
+        assert_eq!(overall.byte_hit_rate(), 0.75);
+    }
+
+    #[test]
+    fn warmup_requests_are_not_counted() {
+        let trace = vec![req(1, 100), req(1, 100), req(1, 100), req(1, 100)];
+        let config = SimulationConfig::new(ByteSize::new(1000)).with_warmup_fraction(0.5);
+        let report = run(trace, config);
+        let overall = report.overall();
+        assert_eq!(overall.requests, 2);
+        assert_eq!(overall.hits, 2, "cache was warmed by the first half");
+    }
+
+    #[test]
+    fn small_size_change_is_a_modification_miss() {
+        // 100 -> 102 bytes: 2% change, under the 5% threshold.
+        let trace = vec![req(1, 100), req(1, 102), req(1, 102)];
+        let config = SimulationConfig::new(ByteSize::new(1000)).with_warmup_fraction(0.0);
+        let report = run(trace, config);
+        let overall = report.overall();
+        assert_eq!(overall.hits, 1, "only the third request hits");
+        assert_eq!(overall.modification_misses, 1);
+    }
+
+    #[test]
+    fn large_size_change_is_an_interrupted_transfer_hit() {
+        // 100 -> 30 bytes: 70% change, an interrupt; cached copy valid.
+        let trace = vec![req(1, 100), req(1, 30), req(1, 100)];
+        let config = SimulationConfig::new(ByteSize::new(1000)).with_warmup_fraction(0.0);
+        let report = run(trace, config);
+        let overall = report.overall();
+        assert_eq!(overall.hits, 2);
+        assert_eq!(overall.modification_misses, 0);
+    }
+
+    #[test]
+    fn any_change_rule_counts_every_change_as_modification() {
+        let trace = vec![req(1, 100), req(1, 30), req(1, 100)];
+        let config = SimulationConfig::new(ByteSize::new(1000))
+            .with_warmup_fraction(0.0)
+            .with_modification_rule(ModificationRule::AnyChange);
+        let report = run(trace, config);
+        let overall = report.overall();
+        assert_eq!(overall.hits, 0);
+        assert_eq!(overall.modification_misses, 2);
+    }
+
+    #[test]
+    fn per_type_accounting_is_separate() {
+        let mut trace = vec![req(1, 100), req(1, 100)];
+        trace.push(Request::new(
+            Timestamp::ZERO,
+            DocId::new(2),
+            DocumentType::Image,
+            ByteSize::new(50),
+        ));
+        let config = SimulationConfig::new(ByteSize::new(1000)).with_warmup_fraction(0.0);
+        let report = run(trace, config);
+        assert_eq!(report.by_type()[DocumentType::Html].requests, 2);
+        assert_eq!(report.by_type()[DocumentType::Image].requests, 1);
+        assert_eq!(report.by_type()[DocumentType::Image].hits, 0);
+        assert_eq!(report.overall().requests, 3);
+    }
+
+    #[test]
+    fn eviction_under_pressure_reduces_hits() {
+        // Capacity for one document only; alternating docs never hit.
+        let trace = vec![req(1, 80), req(2, 80), req(1, 80), req(2, 80)];
+        let config = SimulationConfig::new(ByteSize::new(100)).with_warmup_fraction(0.0);
+        let report = run(trace, config);
+        assert_eq!(report.overall().hits, 0);
+    }
+
+    #[test]
+    fn occupancy_sampling_produces_series() {
+        let trace: Vec<Request> = (0..100).map(|i| req(i % 10, 100)).collect();
+        let config = SimulationConfig::new(ByteSize::new(10_000))
+            .with_warmup_fraction(0.0)
+            .with_occupancy_samples(10);
+        let report = run(trace, config);
+        assert_eq!(report.occupancy.len(), 10);
+        let last = report.occupancy.samples().last().unwrap();
+        assert!((last.document_fraction[DocumentType::Html] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn modification_rule_boundaries() {
+        let rule = ModificationRule::SizeDelta;
+        assert!(!rule.is_modification(100, 100), "no change is not a modification");
+        assert!(rule.is_modification(100, 104), "4% change is a modification");
+        assert!(!rule.is_modification(100, 105), "exactly 5% is an interrupt");
+        assert!(!rule.is_modification(100, 30), "large change is an interrupt");
+        assert!(ModificationRule::AnyChange.is_modification(100, 101));
+        assert!(!ModificationRule::AnyChange.is_modification(100, 100));
+    }
+
+    #[test]
+    fn oversized_documents_never_hit_but_do_not_crash() {
+        let trace = vec![req(1, 5_000), req(1, 5_000)];
+        let config = SimulationConfig::new(ByteSize::new(1000)).with_warmup_fraction(0.0);
+        let report = run(trace, config);
+        assert_eq!(report.overall().hits, 0);
+    }
+
+    #[test]
+    fn admission_rule_reduces_first_insertions() {
+        use webcache_core::AdmissionRule;
+        // doc 1 appears three times; with the second-hit filter the first
+        // request cannot populate the cache, so only the third hits.
+        let trace = vec![req(1, 100), req(1, 100), req(1, 100)];
+        let config = SimulationConfig::new(ByteSize::new(1000))
+            .with_warmup_fraction(0.0)
+            .with_admission_rule(AdmissionRule::SecondHit(16));
+        let report = run(trace, config);
+        assert_eq!(report.overall().hits, 1);
+
+        // The same trace without admission control hits twice.
+        let trace = vec![req(1, 100), req(1, 100), req(1, 100)];
+        let config = SimulationConfig::new(ByteSize::new(1000)).with_warmup_fraction(0.0);
+        assert_eq!(run(trace, config).overall().hits, 2);
+    }
+
+    #[test]
+    fn policy_label_is_propagated() {
+        let trace = vec![req(1, 10)];
+        let report = Simulator::new(
+            PolicyKind::GdStar(webcache_core::CostModel::Packet).instantiate(),
+            SimulationConfig::new(ByteSize::new(100)),
+        )
+        .run(&trace.into());
+        assert_eq!(report.policy, "GD*(P)");
+    }
+}

@@ -1,0 +1,273 @@
+//! Property tests for the simulator: accounting laws that must hold for
+//! any trace, policy and configuration.
+
+use proptest::prelude::*;
+
+use webcache_core::PolicyKind;
+use webcache_sim::{ModificationRule, SimulationConfig, Simulator};
+use webcache_trace::{ByteSize, DocId, DocumentType, Request, Timestamp, Trace};
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    prop::collection::vec(
+        (0u64..40, 0u8..5, 1u64..100_000),
+        1..300,
+    )
+    .prop_map(|reqs| {
+        reqs.into_iter()
+            .enumerate()
+            .map(|(i, (doc, ty, size))| {
+                Request::new(
+                    Timestamp::from_millis(i as u64),
+                    DocId::new(doc),
+                    DocumentType::ALL[ty as usize],
+                    ByteSize::new(size),
+                )
+            })
+            .collect()
+    })
+}
+
+fn arb_policy() -> impl Strategy<Value = PolicyKind> {
+    prop::sample::select(PolicyKind::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Requests, hits and bytes are consistently accounted: hits ≤
+    /// requests, bytes_hit ≤ bytes_requested, rates in [0, 1], per-type
+    /// totals equal the measured region of the trace.
+    #[test]
+    fn accounting_invariants(
+        trace in arb_trace(),
+        kind in arb_policy(),
+        capacity in 1_000u64..200_000,
+        warmup in 0.0f64..0.5,
+    ) {
+        let config = SimulationConfig::new(ByteSize::new(capacity))
+            .with_warmup_fraction(warmup);
+        let report = Simulator::new(kind.instantiate(), config).run(&trace);
+        let overall = report.overall();
+        let measured = trace.len() - trace.warmup_boundary(warmup);
+        prop_assert_eq!(overall.requests, measured as u64);
+        prop_assert!(overall.hits <= overall.requests);
+        prop_assert!(overall.bytes_hit <= overall.bytes_requested);
+        prop_assert!((0.0..=1.0).contains(&overall.hit_rate()));
+        prop_assert!((0.0..=1.0).contains(&overall.byte_hit_rate()));
+        prop_assert!(overall.modification_misses <= overall.requests);
+        for (_, stats) in report.by_type().iter() {
+            prop_assert!(stats.hits <= stats.requests);
+            prop_assert!(stats.bytes_hit <= stats.bytes_requested);
+        }
+    }
+
+    /// A cache as large as the whole workload turns every non-first,
+    /// non-modified request into a hit (with the 0-warmup config), for
+    /// every policy.
+    #[test]
+    fn infinite_cache_upper_bound(trace in arb_trace(), kind in arb_policy()) {
+        let config = SimulationConfig::new(ByteSize::from_gib(8))
+            .with_warmup_fraction(0.0);
+        let report = Simulator::new(kind.instantiate(), config).run(&trace);
+        let overall = report.overall();
+        // Compulsory misses: first touch of each doc; plus modification
+        // misses (counted separately).
+        let cold = trace.distinct_documents() as u64;
+        prop_assert_eq!(
+            overall.requests - overall.hits,
+            cold + overall.modification_misses
+        );
+    }
+
+    /// The AnyChange rule never yields more hits than the 5%-delta rule
+    /// (it strictly widens the set of modification misses) on the same
+    /// trace with an infinite cache.
+    #[test]
+    fn any_change_rule_is_stricter(trace in arb_trace()) {
+        let run = |rule| {
+            let config = SimulationConfig::new(ByteSize::from_gib(8))
+                .with_warmup_fraction(0.0)
+                .with_modification_rule(rule);
+            Simulator::new(PolicyKind::Lru.instantiate(), config)
+                .run(&trace)
+                .overall()
+        };
+        let delta = run(ModificationRule::SizeDelta);
+        let any = run(ModificationRule::AnyChange);
+        prop_assert!(any.hits <= delta.hits);
+        prop_assert!(any.modification_misses >= delta.modification_misses);
+    }
+
+    /// For *uniform* document sizes LRU has the stack-inclusion property:
+    /// a larger cache never yields fewer hits. (With variable sizes the
+    /// property is famously false for byte-capacity caches — one large
+    /// admission can evict many soon-reused small documents — which is
+    /// exactly why the size-aware schemes of the paper exist.)
+    #[test]
+    fn lru_inclusion_property_uniform_sizes(
+        docs in prop::collection::vec(0u64..40, 1..300),
+        size in 1u64..5_000,
+        cap_blocks in 1u64..32,
+        extra_blocks in 1u64..32,
+    ) {
+        let trace: Trace = docs
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| Request::new(
+                Timestamp::from_millis(i as u64),
+                DocId::new(d),
+                DocumentType::Html,
+                ByteSize::new(size),
+            ))
+            .collect();
+        let run = |blocks: u64| {
+            let config = SimulationConfig::new(ByteSize::new(blocks * size))
+                .with_warmup_fraction(0.0);
+            Simulator::new(PolicyKind::Lru.instantiate(), config)
+                .run(&trace)
+                .overall()
+                .hits
+        };
+        prop_assert!(run(cap_blocks + extra_blocks) >= run(cap_blocks));
+    }
+
+    /// Occupancy sampling takes exactly the requested number of samples
+    /// (when the measured region is long enough) and every sample's
+    /// fractions sum to ~1 for a non-empty cache.
+    #[test]
+    fn occupancy_sampling_shape(trace in arb_trace(), samples in 1usize..10) {
+        prop_assume!(trace.len() >= samples * 2);
+        let config = SimulationConfig::new(ByteSize::from_gib(1))
+            .with_warmup_fraction(0.0)
+            .with_occupancy_samples(samples);
+        let report = Simulator::new(PolicyKind::Lru.instantiate(), config).run(&trace);
+        prop_assert!(report.occupancy.len() >= samples.min(trace.len()));
+        for s in report.occupancy.samples() {
+            let doc_sum: f64 = DocumentType::ALL
+                .iter()
+                .map(|&ty| s.document_fraction[ty])
+                .sum();
+            prop_assert!((doc_sum - 1.0).abs() < 1e-9 || doc_sum == 0.0);
+        }
+    }
+}
+
+mod hierarchy_props {
+    use proptest::prelude::*;
+    use webcache_core::PolicyKind;
+    use webcache_sim::{simulate_hierarchy, HierarchyConfig};
+    use webcache_trace::{ByteSize, DocId, DocumentType, Request, Timestamp, Trace};
+
+    fn trace_of(reqs: &[(u64, u32)]) -> Trace {
+        reqs.iter()
+            .enumerate()
+            .map(|(i, &(doc, size))| {
+                Request::new(
+                    Timestamp::from_millis(i as u64),
+                    DocId::new(doc),
+                    DocumentType::Html,
+                    ByteSize::new(size as u64 + 1),
+                )
+            })
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Hierarchy accounting is conservative: parent requests equal
+        /// leaf misses, and combined rates stay within [0, 1].
+        #[test]
+        fn hierarchy_accounting(
+            reqs in prop::collection::vec((0u64..30, 0u32..10_000), 1..300),
+            leaves in 1usize..5,
+            leaf_cap in 1_000u64..100_000,
+            parent_cap in 1_000u64..1_000_000,
+        ) {
+            let config = HierarchyConfig::new(
+                leaves,
+                ByteSize::new(leaf_cap),
+                ByteSize::new(parent_cap),
+            )
+            .with_leaf_policy(PolicyKind::Lru)
+            .with_parent_policy(PolicyKind::LfuDa)
+            .with_warmup_fraction(0.0);
+            let r = simulate_hierarchy(&trace_of(&reqs), config);
+            prop_assert_eq!(r.leaf.requests, reqs.len() as u64);
+            prop_assert_eq!(r.parent.requests, r.leaf.requests - r.leaf.hits);
+            prop_assert!(r.parent.hits <= r.parent.requests);
+            let chr = r.combined_hit_rate();
+            prop_assert!((0.0..=1.0).contains(&chr));
+            let cbhr = r.combined_byte_hit_rate();
+            prop_assert!((0.0..=1.0).contains(&cbhr));
+            // Combined rate is at least the leaf rate.
+            prop_assert!(chr >= r.leaf.hit_rate() - 1e-12);
+        }
+
+        /// With one leaf, a hierarchy's combined hit count is at least a
+        /// single cache's of the same leaf size (the parent only adds).
+        #[test]
+        fn parent_never_hurts(
+            reqs in prop::collection::vec((0u64..20, 0u32..5_000), 1..200),
+            cap in 1_000u64..50_000,
+        ) {
+            use webcache_sim::{SimulationConfig, Simulator};
+            let trace = trace_of(&reqs);
+            let hierarchy = simulate_hierarchy(
+                &trace,
+                HierarchyConfig::new(1, ByteSize::new(cap), ByteSize::new(cap * 4))
+                    .with_leaf_policy(PolicyKind::Lru)
+                    .with_parent_policy(PolicyKind::Lru)
+                    .with_warmup_fraction(0.0),
+            );
+            let single = Simulator::new(
+                PolicyKind::Lru.instantiate(),
+                SimulationConfig::new(ByteSize::new(cap)).with_warmup_fraction(0.0),
+            )
+            .run(&trace);
+            let combined_hits = hierarchy.leaf.hits + hierarchy.parent.hits;
+            prop_assert!(combined_hits >= single.overall().hits);
+        }
+    }
+}
+
+mod oracle_props {
+    use proptest::prelude::*;
+    use webcache_core::PolicyKind;
+    use webcache_sim::{clairvoyant_overall, SimulationConfig, Simulator};
+    use webcache_trace::{ByteSize, DocId, DocumentType, Request, Timestamp, Trace};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// With uniform sizes the clairvoyant policy is Belady's MIN:
+        /// no online policy may beat it, at any capacity.
+        #[test]
+        fn oracle_dominates_online_policies(
+            docs in prop::collection::vec(0u64..30, 1..300),
+            blocks in 1u64..24,
+            kind in prop::sample::select(PolicyKind::ALL.to_vec()),
+        ) {
+            let size = 100u64;
+            let trace: Trace = docs
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| Request::new(
+                    Timestamp::from_millis(i as u64),
+                    DocId::new(d),
+                    DocumentType::Html,
+                    ByteSize::new(size),
+                ))
+                .collect();
+            let config = SimulationConfig::new(ByteSize::new(blocks * size))
+                .with_warmup_fraction(0.0);
+            let oracle = clairvoyant_overall(&trace, &config);
+            let online = Simulator::new(kind.instantiate(), config).run(&trace).overall();
+            prop_assert!(
+                oracle.hits >= online.hits,
+                "{kind} beat MIN: {} vs {}", online.hits, oracle.hits
+            );
+            prop_assert_eq!(oracle.requests, online.requests);
+        }
+    }
+}

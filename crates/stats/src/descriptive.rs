@@ -1,0 +1,166 @@
+//! Descriptive statistics: mean, median, quantiles, coefficient of
+//! variation.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample, as reported in Tables 4 and 5 of the
+/// paper (mean, median and coefficient of variation of document and
+/// transfer sizes).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// 50th percentile.
+    pub median: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics of `samples`.
+    ///
+    /// Returns the all-zero summary for an empty sample. Non-finite
+    /// samples are rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample is NaN or infinite.
+    ///
+    /// ```
+    /// use webcache_stats::Summary;
+    /// let s = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+    /// assert_eq!(s.mean, 2.5);
+    /// assert_eq!(s.median, 2.5);
+    /// assert_eq!(s.min, 1.0);
+    /// assert_eq!(s.max, 4.0);
+    /// ```
+    pub fn from_samples(samples: &[f64]) -> Summary {
+        assert!(
+            samples.iter().all(|x| x.is_finite()),
+            "samples must be finite"
+        );
+        if samples.is_empty() {
+            return Summary::default();
+        }
+        let count = samples.len();
+        let n = count as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        Summary {
+            count,
+            mean,
+            median: quantile_sorted(&sorted, 0.5),
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[count - 1],
+        }
+    }
+
+    /// Coefficient of variation: `std_dev / mean` (0 when the mean is 0).
+    ///
+    /// High CoV is the hallmark of web workloads; the paper reports CoV of
+    /// document and transfer sizes per document type.
+    pub fn cov(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std_dev / self.mean
+        }
+    }
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) of an ascending-sorted slice, with linear
+/// interpolation between order statistics.
+///
+/// # Panics
+///
+/// Panics if `data` is empty or `q` is outside `[0, 1]`.
+pub fn quantile_sorted(data: &[f64], q: f64) -> f64 {
+    assert!(!data.is_empty(), "quantile of empty data");
+    assert!((0.0..=1.0).contains(&q), "quantile fraction out of range");
+    if data.len() == 1 {
+        return data[0];
+    }
+    let pos = q * (data.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    data[lo] * (1.0 - frac) + data[hi] * frac
+}
+
+/// Median of an unsorted slice (convenience wrapper).
+///
+/// # Panics
+///
+/// Panics if `data` is empty.
+pub fn median(data: &[f64]) -> f64 {
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    quantile_sorted(&sorted, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constant_sample() {
+        let s = Summary::from_samples(&[5.0; 10]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.median, 5.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.cov(), 0.0);
+    }
+
+    #[test]
+    fn summary_of_empty_sample_is_zero() {
+        let s = Summary::from_samples(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.cov(), 0.0);
+    }
+
+    #[test]
+    fn median_even_and_odd() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let data = [0.0, 10.0, 20.0, 30.0, 40.0];
+        assert_eq!(quantile_sorted(&data, 0.0), 0.0);
+        assert_eq!(quantile_sorted(&data, 1.0), 40.0);
+        assert_eq!(quantile_sorted(&data, 0.25), 10.0);
+        assert_eq!(quantile_sorted(&data, 0.125), 5.0);
+    }
+
+    #[test]
+    fn cov_detects_high_variability() {
+        // Heavy-tailed-ish sample: CoV > 1.
+        let s = Summary::from_samples(&[1.0, 1.0, 1.0, 1.0, 100.0]);
+        assert!(s.cov() > 1.0, "CoV = {}", s.cov());
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.min, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        let _ = Summary::from_samples(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_rejects_empty() {
+        let _ = quantile_sorted(&[], 0.5);
+    }
+}

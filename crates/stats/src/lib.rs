@@ -1,0 +1,55 @@
+//! # webcache-stats
+//!
+//! Workload characterization for web proxy traces, computing every
+//! quantity reported in Section 2 of Lindemann & Waldhorst (DSN 2002):
+//!
+//! * trace-level properties — distinct documents, overall size, total
+//!   requests, requested data (**Table 1**);
+//! * the per-document-type breakdown of documents, sizes, requests and
+//!   bytes (**Tables 2 and 3**);
+//! * per-type document/transfer size statistics (mean, median, coefficient
+//!   of variation), the popularity slope **α** and the temporal-correlation
+//!   slope **β** (**Tables 4 and 5**).
+//!
+//! The crate also provides the generic machinery these measurements rest
+//! on: descriptive statistics ([`descriptive`]), (weighted) log-log least
+//! squares ([`regression`]), Zipf-slope estimation ([`popularity`]),
+//! inter-reference gap analysis ([`correlation`]) and plain-text table
+//! rendering ([`table`]).
+//!
+//! ```
+//! use webcache_stats::TraceCharacterization;
+//! use webcache_trace::{Trace, Request, Timestamp, DocId, DocumentType, ByteSize};
+//!
+//! let trace: Trace = (0..100u64)
+//!     .map(|i| Request::new(
+//!         Timestamp::from_millis(i),
+//!         DocId::new(i % 10),
+//!         DocumentType::Html,
+//!         ByteSize::new(1000),
+//!     ))
+//!     .collect();
+//! let ch = TraceCharacterization::measure(&trace);
+//! assert_eq!(ch.properties.total_requests, 100);
+//! assert_eq!(ch.properties.distinct_documents, 10);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod characterize;
+pub mod concentration;
+pub mod correlation;
+pub mod descriptive;
+pub mod popularity;
+pub mod regression;
+pub mod stack;
+pub mod table;
+
+pub use characterize::{TraceCharacterization, TraceProperties, TypeBreakdown, TypeStatistics};
+pub use concentration::Concentration;
+pub use correlation::GapHistogram;
+pub use descriptive::Summary;
+pub use regression::LineFit;
+pub use stack::StackDistances;
+pub use table::Table;

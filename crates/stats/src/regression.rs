@@ -1,0 +1,152 @@
+//! Least-squares line fitting, the workhorse behind the α and β slope
+//! measurements (both are straight-line fits on log/log scales).
+
+use serde::{Deserialize, Serialize};
+
+/// The result of a least-squares line fit `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LineFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination R², in `[0, 1]`.
+    pub r_squared: f64,
+}
+
+/// Ordinary least squares over `(x, y)` pairs.
+///
+/// Returns `None` with fewer than two points or when all `x` coincide.
+///
+/// ```
+/// use webcache_stats::regression::fit_line;
+/// let fit = fit_line(&[(0.0, 1.0), (1.0, 3.0), (2.0, 5.0)]).unwrap();
+/// assert!((fit.slope - 2.0).abs() < 1e-12);
+/// assert!((fit.intercept - 1.0).abs() < 1e-12);
+/// assert!((fit.r_squared - 1.0).abs() < 1e-12);
+/// ```
+pub fn fit_line(points: &[(f64, f64)]) -> Option<LineFit> {
+    let weighted: Vec<(f64, f64, f64)> = points.iter().map(|&(x, y)| (x, y, 1.0)).collect();
+    fit_line_weighted(&weighted)
+}
+
+/// Weighted least squares over `(x, y, w)` triples with weights `w ≥ 0`.
+///
+/// Returns `None` with fewer than two positively weighted points or when
+/// all weighted `x` coincide.
+pub fn fit_line_weighted(points: &[(f64, f64, f64)]) -> Option<LineFit> {
+    let points: Vec<_> = points.iter().copied().filter(|&(_, _, w)| w > 0.0).collect();
+    if points.len() < 2 {
+        return None;
+    }
+    let wsum: f64 = points.iter().map(|&(_, _, w)| w).sum();
+    let mx = points.iter().map(|&(x, _, w)| w * x).sum::<f64>() / wsum;
+    let my = points.iter().map(|&(_, y, w)| w * y).sum::<f64>() / wsum;
+    let sxy: f64 = points
+        .iter()
+        .map(|&(x, y, w)| w * (x - mx) * (y - my))
+        .sum();
+    let sxx: f64 = points.iter().map(|&(x, _, w)| w * (x - mx).powi(2)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let ss_res: f64 = points
+        .iter()
+        .map(|&(x, y, w)| w * (y - (slope * x + intercept)).powi(2))
+        .sum();
+    let ss_tot: f64 = points.iter().map(|&(_, y, w)| w * (y - my).powi(2)).sum();
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        (1.0 - ss_res / ss_tot).clamp(0.0, 1.0)
+    };
+    Some(LineFit {
+        slope,
+        intercept,
+        r_squared,
+    })
+}
+
+/// Fits a power law `y ≈ C·x^slope` by regressing on log-log scale.
+///
+/// Pairs with non-positive `x` or `y` are skipped (they have no
+/// logarithm). Returns `None` when fewer than two usable points remain.
+pub fn fit_power_law(points: &[(f64, f64)]) -> Option<LineFit> {
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|&&(x, y)| x > 0.0 && y > 0.0)
+        .map(|&(x, y)| (x.ln(), y.ln()))
+        .collect();
+    fit_line(&logs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_line() {
+        let fit = fit_line(&[(1.0, 2.0), (2.0, 4.0), (3.0, 6.0)]).unwrap();
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!(fit.intercept.abs() < 1e-12);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn noisy_line_has_lower_r2() {
+        let fit = fit_line(&[(0.0, 0.0), (1.0, 2.0), (2.0, 1.0), (3.0, 3.0)]).unwrap();
+        assert!(fit.r_squared < 1.0);
+        assert!(fit.slope > 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_none() {
+        assert!(fit_line(&[]).is_none());
+        assert!(fit_line(&[(1.0, 1.0)]).is_none());
+        assert!(fit_line(&[(1.0, 1.0), (1.0, 2.0)]).is_none(), "vertical line");
+    }
+
+    #[test]
+    fn weights_shift_the_fit() {
+        // Two clusters; weighting the second cluster heavily pulls the
+        // slope towards its trend.
+        let flat = [(0.0, 0.0, 1.0), (1.0, 0.0, 1.0)];
+        let steep = [(0.0, 0.0, 1.0), (1.0, 10.0, 100.0)];
+        let combined: Vec<_> = flat.iter().chain(steep.iter()).copied().collect();
+        let fit = fit_line_weighted(&combined).unwrap();
+        assert!(fit.slope > 5.0, "slope = {}", fit.slope);
+    }
+
+    #[test]
+    fn zero_weight_points_are_ignored() {
+        let fit = fit_line_weighted(&[
+            (0.0, 0.0, 1.0),
+            (1.0, 1.0, 1.0),
+            (2.0, -50.0, 0.0), // outlier with zero weight
+        ])
+        .unwrap();
+        assert!((fit.slope - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_law_recovery() {
+        // y = 3 x^-1.7
+        let points: Vec<(f64, f64)> = (1..100)
+            .map(|i| {
+                let x = i as f64;
+                (x, 3.0 * x.powf(-1.7))
+            })
+            .collect();
+        let fit = fit_power_law(&points).unwrap();
+        assert!((fit.slope + 1.7).abs() < 1e-9);
+        assert!((fit.intercept - 3.0f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_law_skips_nonpositive() {
+        let fit = fit_power_law(&[(0.0, 1.0), (1.0, 1.0), (2.0, 0.5), (4.0, 0.25)]).unwrap();
+        assert!(fit.slope < 0.0);
+    }
+}

@@ -1,0 +1,241 @@
+//! Plain-text and CSV table rendering for reports.
+
+use std::fmt;
+
+/// A simple column-aligned table.
+///
+/// ```
+/// use webcache_stats::Table;
+///
+/// let mut t = Table::new(vec!["Policy".into(), "Hit rate".into()]);
+/// t.push_row(vec!["LRU".into(), "0.31".into()]);
+/// t.push_row(vec!["GD*(1)".into(), "0.42".into()]);
+/// let text = t.render();
+/// assert!(text.contains("LRU"));
+/// assert!(text.lines().count() >= 4); // header + separator + 2 rows
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    title: Option<String>,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<String>) -> Self {
+        Table {
+            title: None,
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets a title line printed above the table.
+    pub fn with_title(mut self, title: impl Into<String>) -> Self {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the row's width differs from the header's.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned plain text (first column
+    /// left-aligned, the rest right-aligned).
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if let Some(title) = &self.title {
+            out.push_str(title);
+            out.push('\n');
+        }
+        let format_row = |cells: &[String]| {
+            let mut line = String::new();
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                if i == 0 {
+                    line.push_str(&format!("{cell:<w$}"));
+                } else {
+                    line.push_str(&format!("{cell:>w$}"));
+                }
+            }
+            // Trailing spaces from the padding of the last column are noise.
+            line.truncate(line.trim_end().len());
+            line
+        };
+        out.push_str(&format_row(&self.headers));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&format_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as a GitHub-flavoured Markdown table (title as
+    /// a bold paragraph above).
+    pub fn to_markdown(&self) -> String {
+        let escape = |cell: &str| cell.replace('|', "\\|");
+        let mut out = String::new();
+        if let Some(title) = &self.title {
+            out.push_str(&format!("**{}**\n\n", escape(title)));
+        }
+        let row_line = |cells: &[String]| {
+            let inner: Vec<String> = cells.iter().map(|c| escape(c)).collect();
+            format!("| {} |\n", inner.join(" | "))
+        };
+        out.push_str(&row_line(&self.headers));
+        let seps: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, _)| if i == 0 { ":--".to_owned() } else { "--:".to_owned() })
+            .collect();
+        out.push_str(&format!("| {} |\n", seps.join(" | ")));
+        for row in &self.rows {
+            out.push_str(&row_line(row));
+        }
+        out
+    }
+
+    /// Renders the table as CSV (RFC-4180-style quoting for cells
+    /// containing commas or quotes).
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        };
+        let mut out = String::new();
+        let write_row = |cells: &[String], out: &mut String| {
+            let line: Vec<String> = cells.iter().map(|c| escape(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        };
+        write_row(&self.headers, &mut out);
+        for row in &self.rows {
+            write_row(row, &mut out);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats a float with three decimal places, the precision used
+/// throughout the paper's tables.
+pub fn fmt_f64(value: f64) -> String {
+    format!("{value:.3}")
+}
+
+/// Formats an optional float, rendering `None` as `-`.
+pub fn fmt_opt(value: Option<f64>) -> String {
+    value.map(fmt_f64).unwrap_or_else(|| "-".to_owned())
+}
+
+/// Formats a fraction as a percentage with two decimals.
+pub fn fmt_pct(fraction: f64) -> String {
+    format!("{:.2}", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(vec!["name".into(), "value".into()]).with_title("Demo");
+        t.push_row(vec!["alpha".into(), "1".into()]);
+        t.push_row(vec!["b".into(), "20".into()]);
+        t
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let text = sample().render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "Demo");
+        assert!(lines[1].starts_with("name"));
+        assert!(lines[2].chars().all(|c| c == '-'));
+        // Right-aligned second column: "1" and "20" end at the same offset.
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(vec!["a".into()]);
+        t.push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new(vec!["a".into(), "b".into()]);
+        t.push_row(vec!["x,y".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().nth(1).unwrap(), "\"x,y\",\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let mut t = Table::new(vec!["name".into(), "v|x".into()]).with_title("T");
+        t.push_row(vec!["a".into(), "1".into()]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("**T**\n\n"));
+        assert!(md.contains("| name | v\\|x |"), "{md}");
+        assert!(md.contains("| :-- | --: |"));
+        assert!(md.contains("| a | 1 |"));
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let t = sample();
+        assert_eq!(t.to_string(), t.render());
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_f64(1.23456), "1.235");
+        assert_eq!(fmt_opt(None), "-");
+        assert_eq!(fmt_opt(Some(0.5)), "0.500");
+        assert_eq!(fmt_pct(0.1234), "12.34");
+    }
+}

@@ -1,0 +1,89 @@
+//! URL cacheability heuristics.
+//!
+//! Preprocessing excludes uncacheable documents "by commonly known
+//! heuristics, e.g. by looking for string `cgi` or `?` in the requested
+//! URL" (paper, Section 2). These heuristics mark dynamically generated
+//! content whose responses must not be served from a shared proxy cache.
+
+/// Returns `true` when `url` looks dynamically generated and therefore
+/// uncacheable.
+///
+/// The heuristics are those used by the paper and the surrounding
+/// literature:
+///
+/// * a query string (`?` anywhere in the URL),
+/// * the string `cgi` in the path (covers `cgi-bin`, `*.cgi`, ...),
+/// * common server-side program extensions observed in 2001-era traces.
+///
+/// ```
+/// use webcache_trace::cacheability::is_dynamic_url;
+///
+/// assert!(is_dynamic_url("http://e.com/cgi-bin/search"));
+/// assert!(is_dynamic_url("http://e.com/find?q=x"));
+/// assert!(!is_dynamic_url("http://e.com/logo.gif"));
+/// ```
+pub fn is_dynamic_url(url: &str) -> bool {
+    if url.contains('?') {
+        return true;
+    }
+    let lower = url.to_ascii_lowercase();
+    if lower.contains("cgi") {
+        return true;
+    }
+    // Path-only view for the extension checks (no query string possible at
+    // this point, but strip fragments for robustness).
+    let path = lower.split('#').next().unwrap_or(&lower);
+    const DYNAMIC_SUFFIXES: [&str; 4] = [".cgi", ".pl", ".cfm", ".dll"];
+    DYNAMIC_SUFFIXES.iter().any(|s| path.ends_with(s))
+}
+
+/// Returns `true` when a request for `url` may be stored by a shared cache.
+///
+/// This is the complement of [`is_dynamic_url`]; it exists so call sites
+/// read positively in filter chains.
+pub fn is_cacheable_url(url: &str) -> bool {
+    !is_dynamic_url(url)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_strings_are_dynamic() {
+        assert!(is_dynamic_url("http://a.de/x.html?id=1"));
+        assert!(is_dynamic_url("http://a.de/?"));
+    }
+
+    #[test]
+    fn cgi_anywhere_is_dynamic() {
+        assert!(is_dynamic_url("http://a.de/cgi-bin/prog"));
+        assert!(is_dynamic_url("http://a.de/myCGI/prog"));
+        assert!(is_dynamic_url("http://a.de/prog.cgi"));
+    }
+
+    #[test]
+    fn dynamic_extensions() {
+        assert!(is_dynamic_url("http://a.de/script.pl"));
+        assert!(is_dynamic_url("http://a.de/page.cfm"));
+        assert!(is_dynamic_url("http://a.de/isapi.dll"));
+    }
+
+    #[test]
+    fn static_documents_are_cacheable() {
+        for url in [
+            "http://a.de/index.html",
+            "http://a.de/img/logo.gif",
+            "http://a.de/pub/paper.pdf",
+            "http://a.de/video.mpg",
+            "http://a.de/dir/",
+        ] {
+            assert!(is_cacheable_url(url), "{url} should be cacheable");
+        }
+    }
+
+    #[test]
+    fn case_insensitive_cgi() {
+        assert!(is_dynamic_url("http://a.de/CGI-BIN/x"));
+    }
+}

@@ -1,0 +1,142 @@
+//! URL canonicalization.
+//!
+//! Proxy logs reach the preprocessor with URL variants that denote the
+//! same document — different host casing, explicit default ports,
+//! fragments, trailing `index.html` — which would otherwise split one
+//! document's request chain into several [`DocId`](crate::DocId)s and
+//! understate every hit rate. `canonicalize` normalizes the variants
+//! the 2001-era trace literature normalized.
+
+/// Canonicalizes a URL for document identity:
+///
+/// * scheme and host are lowercased (paths stay case-sensitive),
+/// * explicit default ports (`:80` for http, `:443` for https) drop,
+/// * fragments (`#...`) drop — they never reach the server,
+/// * a trailing `index.html`/`index.htm` collapses to the directory,
+/// * an empty path becomes `/`.
+///
+/// Query strings are preserved (preprocessing filters them out as
+/// uncacheable anyway). Inputs without `://` are returned with only
+/// fragment removal — relative log entries are kept intact.
+///
+/// ```
+/// use webcache_trace::canonical::canonicalize;
+///
+/// assert_eq!(
+///     canonicalize("HTTP://Example.DE:80/pics/Logo.gif#top"),
+///     "http://example.de/pics/Logo.gif"
+/// );
+/// assert_eq!(
+///     canonicalize("http://example.de/dir/index.html"),
+///     "http://example.de/dir/"
+/// );
+/// ```
+pub fn canonicalize(url: &str) -> String {
+    // Drop the fragment first; it applies to every form.
+    let url = url.split('#').next().unwrap_or(url);
+
+    let Some((scheme, rest)) = url.split_once("://") else {
+        return url.to_owned();
+    };
+    let scheme = scheme.to_ascii_lowercase();
+
+    let (authority, path) = match rest.find('/') {
+        Some(i) => (&rest[..i], &rest[i..]),
+        None => (rest, ""),
+    };
+    let authority = authority.to_ascii_lowercase();
+    let authority = match (scheme.as_str(), authority.rsplit_once(':')) {
+        ("http", Some((host, "80"))) | ("https", Some((host, "443"))) => host.to_owned(),
+        _ => authority,
+    };
+
+    let path = if path.is_empty() { "/" } else { path };
+    // Only the *path* portion may end in index.html; don't touch queries.
+    let (path_only, query) = match path.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (path, None),
+    };
+    let path_only = path_only
+        .strip_suffix("index.html")
+        .or_else(|| path_only.strip_suffix("index.htm"))
+        .filter(|p| p.ends_with('/'))
+        .unwrap_or(path_only);
+
+    match query {
+        Some(q) => format!("{scheme}://{authority}{path_only}?{q}"),
+        None => format!("{scheme}://{authority}{path_only}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_and_scheme_lowercase_path_preserved() {
+        assert_eq!(
+            canonicalize("HTTP://WWW.Example.DE/Pics/Logo.GIF"),
+            "http://www.example.de/Pics/Logo.GIF"
+        );
+    }
+
+    #[test]
+    fn default_ports_drop_nondefault_stay() {
+        assert_eq!(canonicalize("http://e.de:80/x"), "http://e.de/x");
+        assert_eq!(canonicalize("https://e.de:443/x"), "https://e.de/x");
+        assert_eq!(canonicalize("http://e.de:8080/x"), "http://e.de:8080/x");
+        assert_eq!(canonicalize("https://e.de:80/x"), "https://e.de:80/x");
+    }
+
+    #[test]
+    fn fragments_drop() {
+        assert_eq!(canonicalize("http://e.de/a.html#sec2"), "http://e.de/a.html");
+        assert_eq!(canonicalize("relative/path#x"), "relative/path");
+    }
+
+    #[test]
+    fn index_html_collapses_to_directory() {
+        assert_eq!(canonicalize("http://e.de/index.html"), "http://e.de/");
+        assert_eq!(canonicalize("http://e.de/d/index.htm"), "http://e.de/d/");
+        // Not a directory index: a file merely *named* like one.
+        assert_eq!(
+            canonicalize("http://e.de/nonindex.html"),
+            "http://e.de/nonindex.html"
+        );
+    }
+
+    #[test]
+    fn empty_path_becomes_root() {
+        assert_eq!(canonicalize("http://e.de"), "http://e.de/");
+        assert_eq!(canonicalize("http://E.DE:80"), "http://e.de/");
+    }
+
+    #[test]
+    fn queries_survive() {
+        assert_eq!(
+            canonicalize("http://E.de/search?Q=Mixed"),
+            "http://e.de/search?Q=Mixed"
+        );
+        assert_eq!(
+            canonicalize("http://e.de/dir/index.html?x=1"),
+            "http://e.de/dir/?x=1"
+        );
+    }
+
+    #[test]
+    fn variants_unify() {
+        let forms = [
+            "http://Example.de/dir/index.html",
+            "HTTP://example.DE:80/dir/index.html#top",
+            "http://example.de/dir/",
+        ];
+        let canon: Vec<String> = forms.iter().map(|u| canonicalize(u)).collect();
+        assert!(canon.iter().all(|c| c == &canon[0]), "{canon:?}");
+    }
+
+    #[test]
+    fn schemeless_inputs_pass_through() {
+        assert_eq!(canonicalize("/local/path"), "/local/path");
+        assert_eq!(canonicalize("CACHE.MGR:stats"), "CACHE.MGR:stats");
+    }
+}

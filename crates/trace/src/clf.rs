@@ -1,0 +1,290 @@
+//! Parser for NCSA Common/Combined Log Format lines.
+//!
+//! Web *servers* (as opposed to the Squid proxies of the paper) log in
+//! CLF; the workload-characterization literature the paper builds on
+//! (Arlitt & Williamson's server study, reference \[2\]) works from such
+//! logs. One line per request:
+//!
+//! ```text
+//! host ident authuser [day/mon/year:hh:mm:ss zone] "METHOD url HTTP/v" status bytes
+//! ```
+//!
+//! Combined format appends `"referer" "user-agent"`, which this parser
+//! tolerates and ignores.
+
+use crate::error::TraceError;
+use crate::status::HttpStatus;
+use crate::types::{ByteSize, Timestamp};
+
+/// One parsed CLF entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClfEntry {
+    /// Client host, verbatim.
+    pub host: String,
+    /// Request completion time (epoch milliseconds, UTC).
+    pub timestamp: Timestamp,
+    /// HTTP request method.
+    pub method: String,
+    /// Requested URL.
+    pub url: String,
+    /// Response status.
+    pub status: HttpStatus,
+    /// Response body bytes (`-` in the log becomes 0).
+    pub size: ByteSize,
+}
+
+/// Parses one CLF line. `line_no` is used for error reporting only.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Parse`] on structural or numeric errors.
+///
+/// ```
+/// use webcache_trace::clf::parse_line;
+///
+/// let e = parse_line(
+///     r#"wpbfl2-45.gate.net - - [29/Aug/1995:00:00:00 -0400] "GET /icons/circle.gif HTTP/1.0" 200 2624"#,
+///     1,
+/// ).unwrap();
+/// assert_eq!(e.status.code(), 200);
+/// assert_eq!(e.size.as_u64(), 2624);
+/// assert_eq!(e.url, "/icons/circle.gif");
+/// ```
+pub fn parse_line(line: &str, line_no: usize) -> Result<ClfEntry, TraceError> {
+    let err = |msg: String| TraceError::parse(line_no, msg);
+
+    // host ident user [
+    let (head, rest) = line
+        .split_once('[')
+        .ok_or_else(|| err("missing `[timestamp`".into()))?;
+    let mut head_fields = head.split_ascii_whitespace();
+    let host = head_fields
+        .next()
+        .ok_or_else(|| err("missing host".into()))?
+        .to_owned();
+
+    // date] "request" status bytes
+    let (date, rest) = rest
+        .split_once(']')
+        .ok_or_else(|| err("missing `]` after timestamp".into()))?;
+    let timestamp = parse_clf_timestamp(date)
+        .ok_or_else(|| err(format!("bad timestamp `{date}`")))?;
+
+    let (_, rest) = rest
+        .split_once('"')
+        .ok_or_else(|| err("missing request line".into()))?;
+    let (request, rest) = rest
+        .split_once('"')
+        .ok_or_else(|| err("unterminated request line".into()))?;
+    let mut req_fields = request.split_ascii_whitespace();
+    let method = req_fields
+        .next()
+        .ok_or_else(|| err("empty request line".into()))?
+        .to_owned();
+    let url = req_fields
+        .next()
+        .ok_or_else(|| err("request line without URL".into()))?
+        .to_owned();
+
+    let mut tail = rest.split_ascii_whitespace();
+    let status_raw = tail.next().ok_or_else(|| err("missing status".into()))?;
+    let status = status_raw
+        .parse::<u16>()
+        .map(HttpStatus::new)
+        .map_err(|_| err(format!("bad status `{status_raw}`")))?;
+    let size_raw = tail.next().ok_or_else(|| err("missing size".into()))?;
+    let size = if size_raw == "-" {
+        ByteSize::ZERO
+    } else {
+        size_raw
+            .parse::<u64>()
+            .map(ByteSize::new)
+            .map_err(|_| err(format!("bad size `{size_raw}`")))?
+    };
+
+    Ok(ClfEntry {
+        host,
+        timestamp,
+        method,
+        url,
+        status,
+        size,
+    })
+}
+
+/// Parses every non-empty line of a CLF log.
+///
+/// # Errors
+///
+/// Fails on the first malformed line.
+pub fn parse_log(text: &str) -> Result<Vec<ClfEntry>, TraceError> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| parse_line(l, i + 1))
+        .collect()
+}
+
+/// Parses a `dd/Mon/yyyy:hh:mm:ss ±zzzz` CLF timestamp into UTC epoch
+/// milliseconds.
+fn parse_clf_timestamp(raw: &str) -> Option<Timestamp> {
+    let raw = raw.trim();
+    let (datetime, zone) = match raw.rsplit_once(' ') {
+        Some((dt, z)) => (dt, Some(z)),
+        None => (raw, None),
+    };
+    let mut parts = datetime.split(':');
+    let date = parts.next()?;
+    let hour: i64 = parts.next()?.parse().ok()?;
+    let minute: i64 = parts.next()?.parse().ok()?;
+    let second: i64 = parts.next()?.parse().ok()?;
+    if parts.next().is_some() || !(0..24).contains(&hour) || !(0..60).contains(&minute) {
+        return None;
+    }
+
+    let mut date_parts = date.split('/');
+    let day: i64 = date_parts.next()?.parse().ok()?;
+    let month = month_number(date_parts.next()?)?;
+    let year: i64 = date_parts.next()?.parse().ok()?;
+    if date_parts.next().is_some() || !(1..=31).contains(&day) {
+        return None;
+    }
+
+    let days = days_from_civil(year, month, day);
+    let mut epoch_secs = days * 86_400 + hour * 3_600 + minute * 60 + second;
+
+    if let Some(zone) = zone {
+        // ±hhmm offset; subtract it to normalize to UTC.
+        let (sign, digits) = zone.split_at(1);
+        let sign = match sign {
+            "+" => 1,
+            "-" => -1,
+            _ => return None,
+        };
+        if digits.len() != 4 {
+            return None;
+        }
+        let zh: i64 = digits[..2].parse().ok()?;
+        let zm: i64 = digits[2..].parse().ok()?;
+        epoch_secs -= sign * (zh * 3_600 + zm * 60);
+    }
+    u64::try_from(epoch_secs)
+        .ok()
+        .map(|s| Timestamp::from_millis(s * 1000))
+}
+
+fn month_number(name: &str) -> Option<i64> {
+    const MONTHS: [&str; 12] = [
+        "jan", "feb", "mar", "apr", "may", "jun", "jul", "aug", "sep", "oct", "nov", "dec",
+    ];
+    let lower = name.to_ascii_lowercase();
+    MONTHS.iter().position(|&m| m == lower).map(|i| i as i64 + 1)
+}
+
+/// Days since 1970-01-01 for a proleptic Gregorian civil date
+/// (Howard Hinnant's `days_from_civil` algorithm).
+fn days_from_civil(year: i64, month: i64, day: i64) -> i64 {
+    let y = if month <= 2 { year - 1 } else { year };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let mp = (month + 9) % 12;
+    let doy = (153 * mp + 2) / 5 + day - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe - 719_468
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LINE: &str = r#"wpbfl2-45.gate.net - - [29/Aug/1995:00:00:00 -0400] "GET /icons/circle.gif HTTP/1.0" 200 2624"#;
+
+    #[test]
+    fn parses_nasa_style_line() {
+        let e = parse_line(LINE, 1).unwrap();
+        assert_eq!(e.host, "wpbfl2-45.gate.net");
+        assert_eq!(e.method, "GET");
+        assert_eq!(e.url, "/icons/circle.gif");
+        assert_eq!(e.status, HttpStatus::OK);
+        assert_eq!(e.size.as_u64(), 2624);
+    }
+
+    #[test]
+    fn timezone_is_normalized_to_utc() {
+        // -0400 means local = UTC-4, so UTC is 4 hours later.
+        let east = parse_line(LINE, 1).unwrap().timestamp;
+        let utc_line = LINE.replace("-0400", "+0000");
+        let utc = parse_line(&utc_line, 1).unwrap().timestamp;
+        assert_eq!(east.as_millis(), utc.as_millis() + 4 * 3600 * 1000);
+    }
+
+    #[test]
+    fn epoch_reference_date() {
+        // 1970-01-01 00:00:00 +0000 is epoch zero.
+        let line = r#"h - - [01/Jan/1970:00:00:00 +0000] "GET / HTTP/1.0" 200 1"#;
+        assert_eq!(parse_line(line, 1).unwrap().timestamp, Timestamp::ZERO);
+        // Known constant: 2000-01-01 00:00:00 UTC = 946684800 s.
+        let line = r#"h - - [01/Jan/2000:00:00:00 +0000] "GET / HTTP/1.0" 200 1"#;
+        assert_eq!(
+            parse_line(line, 1).unwrap().timestamp.as_millis(),
+            946_684_800_000
+        );
+    }
+
+    #[test]
+    fn dash_size_is_zero() {
+        let line = r#"h - - [01/Jan/2000:00:00:00 +0000] "GET /x HTTP/1.0" 304 -"#;
+        let e = parse_line(line, 1).unwrap();
+        assert_eq!(e.size, ByteSize::ZERO);
+        assert_eq!(e.status, HttpStatus::NOT_MODIFIED);
+    }
+
+    #[test]
+    fn combined_format_extras_are_ignored() {
+        let line = r#"h - - [01/Jan/2000:00:00:00 +0000] "GET /x HTTP/1.1" 200 17 "http://ref" "Mozilla/4.0""#;
+        let e = parse_line(line, 1).unwrap();
+        assert_eq!(e.size.as_u64(), 17);
+    }
+
+    #[test]
+    fn malformed_lines_error() {
+        for (bad, needle) in [
+            ("no brackets here", "[timestamp"),
+            (r#"h - - [bad date] "GET /x HTTP/1.0" 200 1"#, "bad timestamp"),
+            (r#"h - - [01/Jan/2000:00:00:00 +0000] GET /x 200 1"#, "request line"),
+            (r#"h - - [01/Jan/2000:00:00:00 +0000] "GET /x HTTP/1.0" abc 1"#, "bad status"),
+            (r#"h - - [01/Jan/2000:00:00:00 +0000] "GET /x HTTP/1.0" 200 xyz"#, "bad size"),
+        ] {
+            let err = parse_line(bad, 3).unwrap_err().to_string();
+            assert!(err.contains(needle), "`{bad}` -> `{err}`");
+            assert!(err.contains("line 3"));
+        }
+    }
+
+    #[test]
+    fn month_names_roundtrip() {
+        for (i, m) in ["Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"]
+            .iter()
+            .enumerate()
+        {
+            assert_eq!(month_number(m), Some(i as i64 + 1));
+        }
+        assert_eq!(month_number("Foo"), None);
+    }
+
+    #[test]
+    fn leap_year_handling() {
+        // 2000-02-29 exists; 2000-03-01 is the next day.
+        let feb29 = days_from_civil(2000, 2, 29);
+        let mar01 = days_from_civil(2000, 3, 1);
+        assert_eq!(mar01, feb29 + 1);
+        // Cross-check against a known constant: 2000-03-01 = 11017 days.
+        assert_eq!(mar01, 11_017);
+    }
+
+    #[test]
+    fn parse_log_batches() {
+        let text = format!("{LINE}\n\n{LINE}\n");
+        assert_eq!(parse_log(&text).unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,396 @@
+//! Document-type classification.
+//!
+//! The DSN 2002 study breaks the request stream into four main classes of
+//! web documents — images, HTML/text, multi media and application — plus a
+//! catch-all *other* class. Classification uses the `Content-Type` entry of
+//! the HTTP response header when present and falls back to guessing from the
+//! file extension of the requested URL (paper, Section 2).
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use serde::{Deserialize, Serialize};
+
+/// The document classes distinguished by the study.
+///
+/// * [`Image`](DocumentType::Image) — e.g. `.gif`, `.jpeg`
+/// * [`Html`](DocumentType::Html) — HTML plus plain-text documents
+///   (`.html`, `.htm`; text files such as `.tex`, `.java` are folded into
+///   this class, following the paper)
+/// * [`MultiMedia`](DocumentType::MultiMedia) — e.g. `.mp3`, `.ram`,
+///   `.mpeg`, `.mov`
+/// * [`Application`](DocumentType::Application) — e.g. `.ps`, `.pdf`, `.zip`
+/// * [`Other`](DocumentType::Other) — everything else
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum DocumentType {
+    /// Image documents (`image/*`).
+    Image,
+    /// HTML and plain-text documents (`text/*`).
+    Html,
+    /// Audio and video documents (`audio/*`, `video/*`).
+    MultiMedia,
+    /// Application documents (`application/*`).
+    Application,
+    /// Documents that fit none of the four main classes.
+    #[default]
+    Other,
+}
+
+impl DocumentType {
+    /// All document types, in table order (matching the paper's columns).
+    pub const ALL: [DocumentType; 5] = [
+        DocumentType::Image,
+        DocumentType::Html,
+        DocumentType::MultiMedia,
+        DocumentType::Application,
+        DocumentType::Other,
+    ];
+
+    /// The four main classes, excluding [`DocumentType::Other`].
+    pub const MAIN: [DocumentType; 4] = [
+        DocumentType::Image,
+        DocumentType::Html,
+        DocumentType::MultiMedia,
+        DocumentType::Application,
+    ];
+
+    /// Dense index of this type in [`DocumentType::ALL`], usable with
+    /// [`TypeMap`].
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Classifies a document from its MIME type, falling back to the URL's
+    /// file extension when the MIME type is absent or unknown.
+    ///
+    /// ```
+    /// use webcache_trace::DocumentType;
+    ///
+    /// assert_eq!(
+    ///     DocumentType::classify(Some("image/gif"), "http://e.com/a.gif"),
+    ///     DocumentType::Image,
+    /// );
+    /// // No content type recorded: guess from the extension.
+    /// assert_eq!(
+    ///     DocumentType::classify(None, "http://e.com/paper.pdf"),
+    ///     DocumentType::Application,
+    /// );
+    /// ```
+    pub fn classify(mime: Option<&str>, url: &str) -> DocumentType {
+        if let Some(mime) = mime {
+            if let Some(ty) = Self::from_mime(mime) {
+                return ty;
+            }
+        }
+        Self::from_url(url)
+    }
+
+    /// Classifies a document from a MIME type string such as `text/html`.
+    ///
+    /// Returns `None` when the MIME type is missing, malformed or carries no
+    /// class information (e.g. `-` as logged by Squid for absent headers),
+    /// in which case the caller should fall back to
+    /// [`DocumentType::from_url`].
+    pub fn from_mime(mime: &str) -> Option<DocumentType> {
+        let mime = mime.trim();
+        if mime.is_empty() || mime == "-" {
+            return None;
+        }
+        // Strip any parameters: "text/html; charset=utf-8" -> "text/html".
+        let essence = mime.split(';').next().unwrap_or(mime).trim();
+        let (top, sub) = essence.split_once('/')?;
+        let top = top.to_ascii_lowercase();
+        let sub = sub.to_ascii_lowercase();
+        match top.as_str() {
+            "image" => Some(DocumentType::Image),
+            "text" => Some(DocumentType::Html),
+            "audio" | "video" => Some(DocumentType::MultiMedia),
+            "application" => Some(match sub.as_str() {
+                // A handful of application/* subtypes are really markup or
+                // media; keep the class assignment faithful to content.
+                "xhtml+xml" | "xml" => DocumentType::Html,
+                "x-shockwave-flash" | "mp4" | "ogg" | "vnd.rn-realmedia" => {
+                    DocumentType::MultiMedia
+                }
+                _ => DocumentType::Application,
+            }),
+            _ => Some(DocumentType::Other),
+        }
+    }
+
+    /// Guesses the document type from the file extension of a URL.
+    ///
+    /// Query strings and fragments are ignored. URLs without a recognized
+    /// extension classify as [`DocumentType::Other`], except that a URL
+    /// ending in `/` is assumed to serve an HTML index page.
+    pub fn from_url(url: &str) -> DocumentType {
+        let path = url
+            .split(['?', '#'])
+            .next()
+            .unwrap_or(url);
+        if path.ends_with('/') {
+            return DocumentType::Html;
+        }
+        let file = path.rsplit('/').next().unwrap_or(path);
+        match file.rsplit_once('.') {
+            Some((_, ext)) => Self::from_extension(ext),
+            None => DocumentType::Other,
+        }
+    }
+
+    /// Classifies a bare file extension (without the leading dot).
+    ///
+    /// The extension tables follow Section 2 of the paper: text files such
+    /// as `.tex` and `.java` are added to the HTML class.
+    pub fn from_extension(ext: &str) -> DocumentType {
+        match ext.to_ascii_lowercase().as_str() {
+            "gif" | "jpg" | "jpeg" | "jpe" | "png" | "bmp" | "ico" | "tif" | "tiff" | "xbm"
+            | "xpm" | "pbm" | "pgm" | "ppm" | "svg" | "webp" => DocumentType::Image,
+            "html" | "htm" | "shtml" | "phtml" | "asp" | "aspx" | "php" | "php3" | "jsp"
+            | "txt" | "text" | "tex" | "java" | "c" | "h" | "cc" | "cpp" | "css" | "js"
+            | "xml" | "rss" | "md" => DocumentType::Html,
+            "mp3" | "mp2" | "mpga" | "wav" | "au" | "aif" | "aiff" | "ra" | "ram" | "rm"
+            | "mid" | "midi" | "mpg" | "mpeg" | "mpe" | "mp4" | "mov" | "qt" | "avi" | "asf"
+            | "asx" | "wmv" | "wma" | "ogg" | "flv" | "swf" => DocumentType::MultiMedia,
+            "ps" | "eps" | "pdf" | "zip" | "gz" | "tgz" | "tar" | "z" | "bz2" | "rar" | "exe"
+            | "bin" | "dll" | "doc" | "dot" | "xls" | "ppt" | "rtf" | "dvi" | "jar" | "class"
+            | "rpm" | "deb" | "iso" | "msi" | "cab" | "hqx" | "sit" | "dmg" => {
+                DocumentType::Application
+            }
+            _ => DocumentType::Other,
+        }
+    }
+
+    /// Short label used in tables and report headers.
+    pub const fn label(self) -> &'static str {
+        match self {
+            DocumentType::Image => "Images",
+            DocumentType::Html => "HTML",
+            DocumentType::MultiMedia => "Multi Media",
+            DocumentType::Application => "Application",
+            DocumentType::Other => "Other",
+        }
+    }
+}
+
+impl fmt::Display for DocumentType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A fixed map from [`DocumentType`] to `T` — one slot per document class.
+///
+/// Used for per-type counters, per-type generator parameters and per-type
+/// report rows. Indexing is by `DocumentType` value:
+///
+/// ```
+/// use webcache_trace::{DocumentType, TypeMap};
+///
+/// let mut requests: TypeMap<u64> = TypeMap::default();
+/// requests[DocumentType::Image] += 1;
+/// assert_eq!(requests[DocumentType::Image], 1);
+/// assert_eq!(requests[DocumentType::Html], 0);
+/// assert_eq!(requests.iter().count(), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TypeMap<T> {
+    slots: [T; 5],
+}
+
+impl<T> TypeMap<T> {
+    /// Creates a map by evaluating `f` for every document type.
+    pub fn from_fn(mut f: impl FnMut(DocumentType) -> T) -> Self {
+        TypeMap {
+            slots: DocumentType::ALL.map(&mut f),
+        }
+    }
+
+    /// Creates a map with every slot set to a clone of `value`.
+    pub fn splat(value: T) -> Self
+    where
+        T: Clone,
+    {
+        TypeMap {
+            slots: [
+                value.clone(),
+                value.clone(),
+                value.clone(),
+                value.clone(),
+                value,
+            ],
+        }
+    }
+
+    /// Iterates over `(DocumentType, &T)` pairs in table order.
+    pub fn iter(&self) -> impl Iterator<Item = (DocumentType, &T)> {
+        DocumentType::ALL.iter().copied().zip(self.slots.iter())
+    }
+
+    /// Iterates over `(DocumentType, &mut T)` pairs in table order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (DocumentType, &mut T)> {
+        DocumentType::ALL.iter().copied().zip(self.slots.iter_mut())
+    }
+
+    /// Returns a map holding `f` applied to each slot.
+    pub fn map<U>(&self, mut f: impl FnMut(&T) -> U) -> TypeMap<U> {
+        TypeMap::from_fn(|ty| f(&self[ty]))
+    }
+
+    /// Borrows the underlying slots in [`DocumentType::ALL`] order.
+    pub fn as_slice(&self) -> &[T; 5] {
+        &self.slots
+    }
+}
+
+impl<T: Default> Default for TypeMap<T> {
+    fn default() -> Self {
+        TypeMap {
+            slots: Default::default(),
+        }
+    }
+}
+
+impl<T> Index<DocumentType> for TypeMap<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, ty: DocumentType) -> &T {
+        &self.slots[ty.index()]
+    }
+}
+
+impl<T> IndexMut<DocumentType> for TypeMap<T> {
+    #[inline]
+    fn index_mut(&mut self, ty: DocumentType) -> &mut T {
+        &mut self.slots[ty.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_ordered() {
+        for (i, ty) in DocumentType::ALL.iter().enumerate() {
+            assert_eq!(ty.index(), i);
+        }
+    }
+
+    #[test]
+    fn mime_top_level_classes() {
+        assert_eq!(DocumentType::from_mime("image/gif"), Some(DocumentType::Image));
+        assert_eq!(DocumentType::from_mime("text/html"), Some(DocumentType::Html));
+        assert_eq!(DocumentType::from_mime("text/plain"), Some(DocumentType::Html));
+        assert_eq!(DocumentType::from_mime("audio/mpeg"), Some(DocumentType::MultiMedia));
+        assert_eq!(DocumentType::from_mime("video/quicktime"), Some(DocumentType::MultiMedia));
+        assert_eq!(
+            DocumentType::from_mime("application/pdf"),
+            Some(DocumentType::Application)
+        );
+        assert_eq!(DocumentType::from_mime("model/vrml"), Some(DocumentType::Other));
+    }
+
+    #[test]
+    fn mime_parameters_are_stripped() {
+        assert_eq!(
+            DocumentType::from_mime("text/html; charset=iso-8859-1"),
+            Some(DocumentType::Html)
+        );
+        assert_eq!(
+            DocumentType::from_mime("  IMAGE/JPEG "),
+            Some(DocumentType::Image),
+            "case and whitespace are normalized"
+        );
+    }
+
+    #[test]
+    fn mime_application_special_cases() {
+        assert_eq!(
+            DocumentType::from_mime("application/xhtml+xml"),
+            Some(DocumentType::Html)
+        );
+        assert_eq!(
+            DocumentType::from_mime("application/x-shockwave-flash"),
+            Some(DocumentType::MultiMedia)
+        );
+        assert_eq!(
+            DocumentType::from_mime("application/zip"),
+            Some(DocumentType::Application)
+        );
+    }
+
+    #[test]
+    fn missing_mime_yields_none() {
+        assert_eq!(DocumentType::from_mime("-"), None);
+        assert_eq!(DocumentType::from_mime(""), None);
+        assert_eq!(DocumentType::from_mime("nonsense"), None);
+    }
+
+    #[test]
+    fn url_extension_fallback() {
+        assert_eq!(
+            DocumentType::from_url("http://a.de/pics/logo.GIF"),
+            DocumentType::Image
+        );
+        assert_eq!(
+            DocumentType::from_url("http://a.de/paper.ps"),
+            DocumentType::Application
+        );
+        assert_eq!(
+            DocumentType::from_url("http://a.de/song.mp3?session=1"),
+            DocumentType::MultiMedia,
+            "query strings are ignored"
+        );
+        assert_eq!(DocumentType::from_url("http://a.de/dir/"), DocumentType::Html);
+        assert_eq!(DocumentType::from_url("http://a.de/noext"), DocumentType::Other);
+        assert_eq!(DocumentType::from_url("http://a.de/x.unknownext"), DocumentType::Other);
+    }
+
+    #[test]
+    fn text_files_fold_into_html_class() {
+        assert_eq!(DocumentType::from_extension("tex"), DocumentType::Html);
+        assert_eq!(DocumentType::from_extension("java"), DocumentType::Html);
+    }
+
+    #[test]
+    fn classify_prefers_mime_over_extension() {
+        // Content type says image even though the URL looks like HTML.
+        assert_eq!(
+            DocumentType::classify(Some("image/png"), "http://a.de/page.html"),
+            DocumentType::Image
+        );
+        // Unusable content type: fall back to the extension.
+        assert_eq!(
+            DocumentType::classify(Some("-"), "http://a.de/page.html"),
+            DocumentType::Html
+        );
+    }
+
+    #[test]
+    fn type_map_from_fn_and_map() {
+        let lengths = TypeMap::from_fn(|ty| ty.label().len());
+        assert_eq!(lengths[DocumentType::Image], "Images".len());
+        let doubled = lengths.map(|n| n * 2);
+        assert_eq!(doubled[DocumentType::Html], "HTML".len() * 2);
+    }
+
+    #[test]
+    fn type_map_splat_and_iter_mut() {
+        let mut m = TypeMap::splat(1u32);
+        for (_, v) in m.iter_mut() {
+            *v += 1;
+        }
+        assert!(m.iter().all(|(_, v)| *v == 2));
+        assert_eq!(m.as_slice(), &[2, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(DocumentType::MultiMedia.to_string(), "Multi Media");
+        assert_eq!(DocumentType::Other.to_string(), "Other");
+    }
+}

@@ -1,0 +1,75 @@
+//! Error types for trace parsing and I/O.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced while reading, parsing or writing traces.
+#[derive(Debug)]
+pub enum TraceError {
+    /// A log or trace line could not be parsed.
+    Parse {
+        /// 1-based line number within the input.
+        line: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+    /// An underlying I/O operation failed.
+    Io(io::Error),
+}
+
+impl TraceError {
+    /// Convenience constructor for parse errors.
+    pub fn parse(line: usize, message: impl Into<String>) -> Self {
+        TraceError::Parse {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            TraceError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            TraceError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = TraceError::parse(3, "bad field");
+        assert_eq!(e.to_string(), "parse error at line 3: bad field");
+        let io = TraceError::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(io.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn source_chain() {
+        use std::error::Error;
+        let io = TraceError::from(io::Error::new(io::ErrorKind::Other, "x"));
+        assert!(io.source().is_some());
+        assert!(TraceError::parse(1, "y").source().is_none());
+    }
+}

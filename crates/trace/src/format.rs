@@ -1,0 +1,200 @@
+//! Compact text format for persisting preprocessed traces.
+//!
+//! One request per line, whitespace-separated:
+//!
+//! ```text
+//! <timestamp-ms> <doc-id> <type-char> <transfer-bytes>
+//! ```
+//!
+//! where `<type-char>` is `I` (image), `H` (HTML), `M` (multi media),
+//! `A` (application) or `O` (other). Lines starting with `#` are comments.
+//! The format is intentionally trivial so traces can be produced or
+//! consumed by awk one-liners during analysis.
+
+use std::io::{self, BufRead, Write};
+
+use crate::doctype::DocumentType;
+use crate::error::TraceError;
+use crate::record::{Request, Trace};
+use crate::types::{ByteSize, DocId, Timestamp};
+
+/// Single-character tag for a document type.
+pub fn type_char(ty: DocumentType) -> char {
+    match ty {
+        DocumentType::Image => 'I',
+        DocumentType::Html => 'H',
+        DocumentType::MultiMedia => 'M',
+        DocumentType::Application => 'A',
+        DocumentType::Other => 'O',
+    }
+}
+
+/// Inverse of [`type_char`].
+pub fn type_from_char(c: char) -> Option<DocumentType> {
+    match c.to_ascii_uppercase() {
+        'I' => Some(DocumentType::Image),
+        'H' => Some(DocumentType::Html),
+        'M' => Some(DocumentType::MultiMedia),
+        'A' => Some(DocumentType::Application),
+        'O' => Some(DocumentType::Other),
+        _ => None,
+    }
+}
+
+/// Writes a trace in the compact text format.
+///
+/// # Errors
+///
+/// Propagates any I/O error from `writer`. A `&mut Vec<u8>` or `&mut` of
+/// any `Write` implementor can be passed.
+pub fn write_trace<W: Write>(mut writer: W, trace: &Trace) -> io::Result<()> {
+    writeln!(writer, "# webcache trace v1: ts_ms doc_id type size_bytes")?;
+    for r in trace {
+        writeln!(
+            writer,
+            "{} {} {} {}",
+            r.timestamp.as_millis(),
+            r.doc.as_u64(),
+            type_char(r.doc_type),
+            r.size.as_u64(),
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads a trace in the compact text format.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Parse`] for malformed lines and [`TraceError::Io`]
+/// for reader failures.
+pub fn read_trace<R: BufRead>(reader: R) -> Result<Trace, TraceError> {
+    let mut trace = Trace::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line_no = i + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        trace.push(parse_request_line(trimmed, line_no)?);
+    }
+    Ok(trace)
+}
+
+fn parse_request_line(line: &str, line_no: usize) -> Result<Request, TraceError> {
+    let mut fields = line.split_ascii_whitespace();
+    let mut next = |name: &str| {
+        fields
+            .next()
+            .ok_or_else(|| TraceError::parse(line_no, format!("missing field `{name}`")))
+    };
+    let ts: u64 = next("timestamp")?
+        .parse()
+        .map_err(|_| TraceError::parse(line_no, "bad timestamp"))?;
+    let doc: u64 = next("doc_id")?
+        .parse()
+        .map_err(|_| TraceError::parse(line_no, "bad doc id"))?;
+    let ty_field = next("type")?;
+    let ty = ty_field
+        .chars()
+        .next()
+        .and_then(type_from_char)
+        .filter(|_| ty_field.len() == 1)
+        .ok_or_else(|| TraceError::parse(line_no, format!("bad type tag `{ty_field}`")))?;
+    let size: u64 = next("size")?
+        .parse()
+        .map_err(|_| TraceError::parse(line_no, "bad size"))?;
+    Ok(Request::new(
+        Timestamp::from_millis(ts),
+        DocId::new(doc),
+        ty,
+        ByteSize::new(size),
+    ))
+}
+
+/// Serializes a trace to an in-memory string (convenience for tests and
+/// small tools).
+pub fn to_string(trace: &Trace) -> String {
+    let mut buf = Vec::new();
+    write_trace(&mut buf, trace).expect("writing to Vec cannot fail");
+    String::from_utf8(buf).expect("format module writes UTF-8 only")
+}
+
+/// Parses a trace from an in-memory string.
+///
+/// # Errors
+///
+/// Same as [`read_trace`].
+pub fn from_str(text: &str) -> Result<Trace, TraceError> {
+    read_trace(text.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        vec![
+            Request::new(
+                Timestamp::from_millis(0),
+                DocId::new(3),
+                DocumentType::Image,
+                ByteSize::new(512),
+            ),
+            Request::new(
+                Timestamp::from_millis(1500),
+                DocId::new(7),
+                DocumentType::MultiMedia,
+                ByteSize::new(1 << 20),
+            ),
+        ]
+        .into()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = sample();
+        let text = to_string(&t);
+        let back = from_str(&text).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "# header\n\n0 1 H 10\n# trailing\n";
+        let t = from_str(text).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.requests()[0].doc_type, DocumentType::Html);
+    }
+
+    #[test]
+    fn type_chars_roundtrip() {
+        for ty in DocumentType::ALL {
+            assert_eq!(type_from_char(type_char(ty)), Some(ty));
+        }
+        assert_eq!(type_from_char('x'), None);
+        assert_eq!(type_from_char('i'), Some(DocumentType::Image), "lower-case accepted");
+    }
+
+    #[test]
+    fn malformed_lines_error_with_position() {
+        for (text, needle) in [
+            ("0 1 H", "size"),
+            ("0 1 Q 10", "type tag"),
+            ("0 1 HH 10", "type tag"),
+            ("x 1 H 10", "timestamp"),
+            ("0 y H 10", "doc id"),
+            ("0 1 H z", "size"),
+        ] {
+            let err = from_str(text).unwrap_err().to_string();
+            assert!(err.contains(needle), "`{text}` -> `{err}`");
+            assert!(err.contains("line 1"), "`{text}` -> `{err}`");
+        }
+    }
+
+    #[test]
+    fn empty_input_is_empty_trace() {
+        assert!(from_str("").unwrap().is_empty());
+    }
+}

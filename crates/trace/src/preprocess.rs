@@ -1,0 +1,224 @@
+//! Preprocessing raw log entries into a clean request stream.
+//!
+//! Following Section 2 of the paper, preprocessing
+//!
+//! 1. drops requests for dynamically generated URLs (`cgi`, `?` heuristics),
+//! 2. keeps only responses whose HTTP status is cacheable
+//!    (200, 203, 206, 300, 301, 302, 304),
+//! 3. keeps only `GET` requests (the only method a shared cache serves),
+//! 4. classifies each document by `Content-Type`, falling back to the URL
+//!    extension,
+//! 5. canonicalizes URLs (host case, default ports, fragments,
+//!    directory indexes) and interns them into dense [`DocId`]s,
+//! 6. normalizes timestamps so the first retained request is at time zero.
+//!
+//! For `304 Not Modified` responses the logged size covers only headers;
+//! the preprocessor substitutes the last known size of the document so that
+//! byte-hit accounting stays meaningful, dropping 304s for never-before-seen
+//! documents.
+
+use std::collections::HashMap;
+
+use crate::cacheability::is_cacheable_url;
+use crate::canonical::canonicalize;
+use crate::doctype::DocumentType;
+use crate::record::{Request, Trace};
+use crate::squid::LogEntry;
+use crate::status::HttpStatus;
+use crate::types::{ByteSize, DocId, Timestamp};
+
+/// Counters describing what preprocessing did, for reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PreprocessStats {
+    /// Entries in the raw input.
+    pub input: usize,
+    /// Dropped: dynamic URL heuristics.
+    pub dropped_dynamic: usize,
+    /// Dropped: uncacheable HTTP status.
+    pub dropped_status: usize,
+    /// Dropped: non-GET method.
+    pub dropped_method: usize,
+    /// Dropped: 304 for a document never seen with a body.
+    pub dropped_unsized: usize,
+    /// Requests in the output trace.
+    pub output: usize,
+}
+
+/// Preprocesses raw Squid log entries into a [`Trace`].
+///
+/// Returns the trace together with [`PreprocessStats`] describing the
+/// filtering. Entries must be in arrival order; the output preserves it.
+///
+/// ```
+/// use webcache_trace::{preprocess::preprocess, squid::parse_log};
+///
+/// let log = "\
+/// 100.000 5 c TCP_MISS/200 900 GET http://e.de/a.gif - DIRECT/- image/gif
+/// 100.500 5 c TCP_MISS/404 300 GET http://e.de/missing - DIRECT/- -
+/// 101.000 5 c TCP_HIT/200 900 GET http://e.de/a.gif - NONE/- image/gif
+/// ";
+/// let entries = parse_log(log).unwrap();
+/// let (trace, stats) = preprocess(&entries);
+/// assert_eq!(trace.len(), 2);
+/// assert_eq!(stats.dropped_status, 1);
+/// assert_eq!(trace.distinct_documents(), 1);
+/// ```
+pub fn preprocess(entries: &[LogEntry]) -> (Trace, PreprocessStats) {
+    let mut stats = PreprocessStats {
+        input: entries.len(),
+        ..PreprocessStats::default()
+    };
+    let mut interner: HashMap<String, DocId> = HashMap::new();
+    let mut last_size: HashMap<DocId, ByteSize> = HashMap::new();
+    let mut trace = Trace::with_capacity(entries.len());
+    let mut origin: Option<Timestamp> = None;
+
+    for entry in entries {
+        if !entry.method.eq_ignore_ascii_case("GET") {
+            stats.dropped_method += 1;
+            continue;
+        }
+        if !is_cacheable_url(&entry.url) {
+            stats.dropped_dynamic += 1;
+            continue;
+        }
+        if !entry.status.is_cacheable() {
+            stats.dropped_status += 1;
+            continue;
+        }
+
+        let next_id = DocId::new(interner.len() as u64);
+        let doc = *interner.entry(canonicalize(&entry.url)).or_insert(next_id);
+
+        let size = if entry.status == HttpStatus::NOT_MODIFIED {
+            // A 304 transfers no body; account the validated document's
+            // last known size, as the study's byte counts are body bytes.
+            match last_size.get(&doc) {
+                Some(&s) => s,
+                None => {
+                    stats.dropped_unsized += 1;
+                    continue;
+                }
+            }
+        } else {
+            last_size.insert(doc, entry.size);
+            entry.size
+        };
+
+        let doc_type = DocumentType::classify(entry.content_type.as_deref(), &entry.url);
+        let origin = *origin.get_or_insert(entry.timestamp);
+        trace.push(Request::new(
+            Timestamp::from_millis(entry.timestamp.millis_since(origin)),
+            doc,
+            doc_type,
+            size,
+        ));
+    }
+
+    stats.output = trace.len();
+    (trace, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::squid::parse_log;
+
+    fn entry(ts: &str, status: u16, size: u64, method: &str, url: &str, ct: &str) -> String {
+        format!("{ts} 5 client TCP_MISS/{status} {size} {method} {url} - DIRECT/- {ct}")
+    }
+
+    #[test]
+    fn filters_dynamic_urls() {
+        let log = [
+            entry("100.0", 200, 10, "GET", "http://e.de/cgi-bin/x", "text/html"),
+            entry("101.0", 200, 10, "GET", "http://e.de/x.html?q=1", "text/html"),
+            entry("102.0", 200, 10, "GET", "http://e.de/x.html", "text/html"),
+        ]
+        .join("\n");
+        let (trace, stats) = preprocess(&parse_log(&log).unwrap());
+        assert_eq!(trace.len(), 1);
+        assert_eq!(stats.dropped_dynamic, 2);
+    }
+
+    #[test]
+    fn filters_methods_and_statuses() {
+        let log = [
+            entry("100.0", 200, 10, "POST", "http://e.de/a.html", "text/html"),
+            entry("101.0", 500, 10, "GET", "http://e.de/a.html", "text/html"),
+            entry("102.0", 203, 10, "GET", "http://e.de/a.html", "text/html"),
+        ]
+        .join("\n");
+        let (trace, stats) = preprocess(&parse_log(&log).unwrap());
+        assert_eq!(trace.len(), 1);
+        assert_eq!(stats.dropped_method, 1);
+        assert_eq!(stats.dropped_status, 1);
+        assert_eq!(stats.output, 1);
+        assert_eq!(stats.input, 3);
+    }
+
+    #[test]
+    fn interns_urls_to_dense_ids() {
+        let log = [
+            entry("100.0", 200, 10, "GET", "http://e.de/a.html", "text/html"),
+            entry("101.0", 200, 20, "GET", "http://e.de/b.gif", "image/gif"),
+            entry("102.0", 200, 10, "GET", "http://e.de/a.html", "text/html"),
+        ]
+        .join("\n");
+        let (trace, _) = preprocess(&parse_log(&log).unwrap());
+        let ids: Vec<u64> = trace.iter().map(|r| r.doc.as_u64()).collect();
+        assert_eq!(ids, vec![0, 1, 0]);
+        assert_eq!(trace.requests()[1].doc_type, DocumentType::Image);
+    }
+
+    #[test]
+    fn timestamps_are_rebased_to_zero() {
+        let log = [
+            entry("994176000.500", 200, 10, "GET", "http://e.de/a.html", "text/html"),
+            entry("994176001.500", 200, 10, "GET", "http://e.de/a.html", "text/html"),
+        ]
+        .join("\n");
+        let (trace, _) = preprocess(&parse_log(&log).unwrap());
+        assert_eq!(trace.requests()[0].timestamp, Timestamp::ZERO);
+        assert_eq!(trace.requests()[1].timestamp.as_millis(), 1000);
+    }
+
+    #[test]
+    fn not_modified_uses_last_known_size() {
+        let log = [
+            entry("100.0", 200, 4000, "GET", "http://e.de/a.html", "text/html"),
+            entry("101.0", 304, 250, "GET", "http://e.de/a.html", "text/html"),
+        ]
+        .join("\n");
+        let (trace, stats) = preprocess(&parse_log(&log).unwrap());
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.requests()[1].size.as_u64(), 4000);
+        assert_eq!(stats.dropped_unsized, 0);
+    }
+
+    #[test]
+    fn not_modified_without_history_is_dropped() {
+        let log = entry("100.0", 304, 250, "GET", "http://e.de/a.html", "text/html");
+        let (trace, stats) = preprocess(&parse_log(&log).unwrap());
+        assert!(trace.is_empty());
+        assert_eq!(stats.dropped_unsized, 1);
+    }
+
+    #[test]
+    fn url_variants_intern_to_one_document() {
+        let log = [
+            entry("100.0", 200, 10, "GET", "http://E.de:80/dir/index.html", "text/html"),
+            entry("101.0", 200, 10, "GET", "http://e.de/dir/", "text/html"),
+        ]
+        .join("\n");
+        let (trace, _) = preprocess(&parse_log(&log).unwrap());
+        assert_eq!(trace.distinct_documents(), 1, "canonical forms must unify");
+    }
+
+    #[test]
+    fn classification_falls_back_to_extension() {
+        let log = entry("100.0", 200, 10, "GET", "http://e.de/paper.pdf", "-");
+        let (trace, _) = preprocess(&parse_log(&log).unwrap());
+        assert_eq!(trace.requests()[0].doc_type, DocumentType::Application);
+    }
+}

@@ -1,0 +1,106 @@
+//! HTTP status codes and response cacheability.
+//!
+//! Following the preprocessing rules of the paper (Section 2), responses
+//! with status codes 200 (OK), 203 (Non-Authoritative Information),
+//! 206 (Partial Content), 300 (Multiple Choices), 301 (Moved Permanently),
+//! 302 (Found) and 304 (Not Modified) are considered cacheable, in line
+//! with Arlitt et al., Cao & Irani, and Jin & Bestavros.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// An HTTP response status code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct HttpStatus(u16);
+
+impl HttpStatus {
+    /// 200 OK.
+    pub const OK: HttpStatus = HttpStatus(200);
+    /// 203 Non-Authoritative Information.
+    pub const NON_AUTHORITATIVE: HttpStatus = HttpStatus(203);
+    /// 206 Partial Content.
+    pub const PARTIAL_CONTENT: HttpStatus = HttpStatus(206);
+    /// 300 Multiple Choices.
+    pub const MULTIPLE_CHOICES: HttpStatus = HttpStatus(300);
+    /// 301 Moved Permanently.
+    pub const MOVED_PERMANENTLY: HttpStatus = HttpStatus(301);
+    /// 302 Found.
+    pub const FOUND: HttpStatus = HttpStatus(302);
+    /// 304 Not Modified.
+    pub const NOT_MODIFIED: HttpStatus = HttpStatus(304);
+
+    /// Creates a status from its numeric code.
+    #[inline]
+    pub const fn new(code: u16) -> Self {
+        HttpStatus(code)
+    }
+
+    /// The numeric code.
+    #[inline]
+    pub const fn code(self) -> u16 {
+        self.0
+    }
+
+    /// Whether a response with this status is considered cacheable by the
+    /// study's preprocessing rules.
+    ///
+    /// ```
+    /// use webcache_trace::HttpStatus;
+    /// assert!(HttpStatus::OK.is_cacheable());
+    /// assert!(HttpStatus::new(304).is_cacheable());
+    /// assert!(!HttpStatus::new(404).is_cacheable());
+    /// assert!(!HttpStatus::new(500).is_cacheable());
+    /// ```
+    pub const fn is_cacheable(self) -> bool {
+        matches!(self.0, 200 | 203 | 206 | 300 | 301 | 302 | 304)
+    }
+
+    /// Whether this code signals a successful full-body response
+    /// (2xx class).
+    pub const fn is_success(self) -> bool {
+        self.0 >= 200 && self.0 < 300
+    }
+}
+
+impl fmt::Display for HttpStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u16> for HttpStatus {
+    fn from(code: u16) -> Self {
+        HttpStatus(code)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cacheable_set_matches_paper() {
+        let cacheable = [200u16, 203, 206, 300, 301, 302, 304];
+        for code in cacheable {
+            assert!(HttpStatus::new(code).is_cacheable(), "{code} must be cacheable");
+        }
+        for code in [100u16, 201, 204, 303, 305, 400, 401, 403, 404, 407, 500, 502, 503] {
+            assert!(!HttpStatus::new(code).is_cacheable(), "{code} must not be cacheable");
+        }
+    }
+
+    #[test]
+    fn success_class() {
+        assert!(HttpStatus::OK.is_success());
+        assert!(HttpStatus::PARTIAL_CONTENT.is_success());
+        assert!(!HttpStatus::NOT_MODIFIED.is_success());
+        assert!(!HttpStatus::new(404).is_success());
+    }
+
+    #[test]
+    fn display_and_conversion() {
+        assert_eq!(HttpStatus::from(204).code(), 204);
+        assert_eq!(HttpStatus::OK.to_string(), "200");
+    }
+}

@@ -1,0 +1,190 @@
+//! Property tests for the trace substrate: format round-trips, parser
+//! totality and classification stability.
+
+use proptest::prelude::*;
+
+use webcache_trace::format;
+use webcache_trace::squid;
+use webcache_trace::{ByteSize, DocId, DocumentType, Request, Timestamp, Trace};
+
+fn arb_doc_type() -> impl Strategy<Value = DocumentType> {
+    prop::sample::select(DocumentType::ALL.to_vec())
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    (
+        0u64..10_000_000,
+        0u64..100_000,
+        arb_doc_type(),
+        0u64..1_000_000_000,
+    )
+        .prop_map(|(ts, doc, ty, size)| {
+            Request::new(
+                Timestamp::from_millis(ts),
+                DocId::new(doc),
+                ty,
+                ByteSize::new(size),
+            )
+        })
+}
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    prop::collection::vec(arb_request(), 0..200).prop_map(Trace::from)
+}
+
+proptest! {
+    /// write ∘ read is the identity on traces.
+    #[test]
+    fn format_roundtrip(trace in arb_trace()) {
+        let text = format::to_string(&trace);
+        let back = format::from_str(&text).unwrap();
+        prop_assert_eq!(trace, back);
+    }
+
+    /// Aggregates are internally consistent for any trace.
+    #[test]
+    fn trace_aggregates_are_consistent(trace in arb_trace()) {
+        let per_type_reqs: u64 = trace.requests_by_type().iter().map(|(_, &c)| c).sum();
+        prop_assert_eq!(per_type_reqs, trace.len() as u64);
+
+        let per_type_bytes: u64 = trace
+            .requested_bytes_by_type()
+            .iter()
+            .map(|(_, b)| b.as_u64())
+            .sum();
+        prop_assert_eq!(per_type_bytes, trace.requested_bytes().as_u64());
+
+        prop_assert_eq!(trace.document_sizes().len(), trace.distinct_documents());
+        // Overall size (max per doc) never exceeds requested bytes summed
+        // over more requests than documents... but always ≤ sum of all
+        // transfer maxima, and 0 iff empty.
+        prop_assert_eq!(trace.overall_size().is_zero(), trace.is_empty() ||
+            trace.iter().all(|r| r.size.is_zero()));
+    }
+
+    /// The Squid parser never panics on arbitrary input lines.
+    #[test]
+    fn squid_parser_is_total(line in "\\PC{0,200}") {
+        let _ = squid::parse_line(&line, 1);
+    }
+
+    /// format_line ∘ parse_line preserves the retained fields.
+    #[test]
+    fn squid_roundtrip(
+        ts in 0u64..2_000_000_000_000,
+        elapsed in 0u64..100_000,
+        status in prop::sample::select(vec![200u16, 203, 206, 300, 301, 302, 304, 404, 500]),
+        size in 0u64..1_000_000_000,
+        url in "http://[a-z]{1,10}\\.de/[a-zA-Z0-9_.-]{0,30}",
+        mime in prop::option::of(prop::sample::select(vec![
+            "text/html", "image/gif", "audio/mpeg", "application/pdf", "model/vrml",
+        ])),
+    ) {
+        let entry = squid::LogEntry {
+            timestamp: Timestamp::from_millis(ts),
+            elapsed_ms: elapsed,
+            client: "10.0.0.1".to_owned(),
+            action: "TCP_MISS".to_owned(),
+            status: status.into(),
+            size: ByteSize::new(size),
+            method: "GET".to_owned(),
+            url,
+            content_type: mime.map(str::to_owned),
+        };
+        let line = squid::format_line(&entry);
+        let parsed = squid::parse_line(&line, 1).unwrap();
+        prop_assert_eq!(entry, parsed);
+    }
+
+    /// Classification is total and stable: any (mime, url) pair maps to
+    /// exactly one type, and MIME information takes precedence.
+    #[test]
+    fn classification_is_total(
+        mime in prop::option::of("[a-z]{1,12}/[a-z0-9.+-]{1,16}"),
+        url in "\\PC{0,100}",
+    ) {
+        let ty = DocumentType::classify(mime.as_deref(), &url);
+        prop_assert!(DocumentType::ALL.contains(&ty));
+        if let Some(m) = &mime {
+            if let Some(from_mime) = DocumentType::from_mime(m) {
+                prop_assert_eq!(ty, from_mime, "mime must win over the URL");
+            }
+        }
+    }
+
+    /// Warm-up boundaries bound the measured region correctly.
+    #[test]
+    fn warmup_boundary_in_range(trace in arb_trace(), frac in 0.0f64..0.999) {
+        let b = trace.warmup_boundary(frac);
+        prop_assert!(b <= trace.len());
+        // The boundary grows monotonically with the fraction.
+        let b2 = trace.warmup_boundary((frac / 2.0).min(0.998));
+        prop_assert!(b2 <= b);
+    }
+}
+
+mod canonical_props {
+    use proptest::prelude::*;
+    use webcache_trace::canonical::canonicalize;
+    use webcache_trace::format_bin;
+    use webcache_trace::Trace;
+
+    proptest! {
+        /// Canonicalization is idempotent and total.
+        #[test]
+        fn canonicalize_is_idempotent(url in "\\PC{0,120}") {
+            let once = canonicalize(&url);
+            let twice = canonicalize(&once);
+            prop_assert_eq!(once, twice);
+        }
+
+        /// Host-case and default-port variants of the same http URL
+        /// always unify.
+        #[test]
+        fn http_variants_unify(
+            host in "[a-zA-Z][a-zA-Z0-9.-]{0,20}",
+            path in "(/[a-zA-Z0-9._-]{0,12}){0,4}",
+        ) {
+            let a = canonicalize(&format!("http://{host}{path}"));
+            let b = canonicalize(&format!("HTTP://{}:80{path}", host.to_ascii_uppercase()));
+            prop_assert_eq!(a, b);
+        }
+
+        /// The binary trace format round-trips arbitrary traces.
+        #[test]
+        fn binary_roundtrip(trace in super::arb_trace()) {
+            let bytes = format_bin::to_bytes(&trace);
+            let back: Trace = format_bin::from_bytes(&bytes).unwrap();
+            prop_assert_eq!(trace, back);
+        }
+
+        /// Corrupting any single header byte of a non-empty encoding is
+        /// either detected as an error or yields a different trace —
+        /// never a silent wrong success that equals the original with a
+        /// different header.
+        #[test]
+        fn binary_header_corruption_is_detected(
+            trace in super::arb_trace(),
+            byte in 0usize..8,
+            flip in 1u8..255,
+        ) {
+            let mut bytes = format_bin::to_bytes(&trace);
+            bytes[byte] ^= flip;
+            match format_bin::from_bytes(&bytes) {
+                Err(_) => {}
+                Ok(back) => {
+                    // Flipping reserved bytes (5..8) is tolerated; the
+                    // payload must still round-trip exactly.
+                    prop_assert!((5..8).contains(&byte));
+                    prop_assert_eq!(back, trace);
+                }
+            }
+        }
+
+        /// The CLF parser never panics on arbitrary input.
+        #[test]
+        fn clf_parser_is_total(line in "\\PC{0,200}") {
+            let _ = webcache_trace::clf::parse_line(&line, 1);
+        }
+    }
+}

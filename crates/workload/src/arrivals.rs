@@ -1,0 +1,265 @@
+//! Request arrival-time models.
+//!
+//! The simulator is order-driven, but exported traces (and any latency
+//! or rate analysis on them) want realistic *timestamps*. This module
+//! provides arrival processes that map request indexes to arrival times:
+//!
+//! * [`ArrivalModel::Uniform`] — fixed spacing (the generator's default);
+//! * [`ArrivalModel::Poisson`] — exponential inter-arrivals at a constant
+//!   rate;
+//! * [`ArrivalModel::Diurnal`] — a Poisson process whose rate follows
+//!   the day/night cycle every proxy trace exhibits (a sinusoid between
+//!   a night-time floor and the daytime peak).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use webcache_trace::{Timestamp, Trace};
+
+/// An arrival process assigning timestamps to a request stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalModel {
+    /// Fixed spacing of the given number of milliseconds.
+    Uniform {
+        /// Milliseconds between consecutive requests.
+        spacing_ms: u64,
+    },
+    /// Poisson arrivals at `rate_per_sec` requests per second.
+    Poisson {
+        /// Mean arrival rate, requests per second.
+        rate_per_sec: f64,
+    },
+    /// Poisson arrivals with a sinusoidal diurnal rate:
+    /// `rate(t) = base + amplitude · (1 + sin(2πt/period)) / 2`.
+    Diurnal {
+        /// Night-time floor rate, requests per second.
+        base_per_sec: f64,
+        /// Peak-to-floor rate difference, requests per second.
+        amplitude_per_sec: f64,
+        /// Cycle length in seconds (86 400 for a day).
+        period_secs: f64,
+    },
+}
+
+impl ArrivalModel {
+    /// A day/night cycle with the given floor and peak rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < floor ≤ peak`.
+    pub fn daily(floor_per_sec: f64, peak_per_sec: f64) -> Self {
+        assert!(
+            floor_per_sec > 0.0 && peak_per_sec >= floor_per_sec,
+            "need 0 < floor ≤ peak"
+        );
+        ArrivalModel::Diurnal {
+            base_per_sec: floor_per_sec,
+            amplitude_per_sec: peak_per_sec - floor_per_sec,
+            period_secs: 86_400.0,
+        }
+    }
+
+    /// Validates parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive spacings, rates or periods.
+    pub fn validate(&self) {
+        match *self {
+            ArrivalModel::Uniform { spacing_ms } => {
+                assert!(spacing_ms > 0, "spacing must be positive");
+            }
+            ArrivalModel::Poisson { rate_per_sec } => {
+                assert!(
+                    rate_per_sec.is_finite() && rate_per_sec > 0.0,
+                    "rate must be positive"
+                );
+            }
+            ArrivalModel::Diurnal {
+                base_per_sec,
+                amplitude_per_sec,
+                period_secs,
+            } => {
+                assert!(
+                    base_per_sec.is_finite() && base_per_sec > 0.0,
+                    "base rate must be positive"
+                );
+                assert!(
+                    amplitude_per_sec.is_finite() && amplitude_per_sec >= 0.0,
+                    "amplitude must be non-negative"
+                );
+                assert!(
+                    period_secs.is_finite() && period_secs > 0.0,
+                    "period must be positive"
+                );
+            }
+        }
+    }
+
+    /// The instantaneous rate at time `t_secs` (requests per second).
+    pub fn rate_at(&self, t_secs: f64) -> f64 {
+        match *self {
+            ArrivalModel::Uniform { spacing_ms } => 1000.0 / spacing_ms as f64,
+            ArrivalModel::Poisson { rate_per_sec } => rate_per_sec,
+            ArrivalModel::Diurnal {
+                base_per_sec,
+                amplitude_per_sec,
+                period_secs,
+            } => {
+                let phase = (t_secs / period_secs) * std::f64::consts::TAU;
+                base_per_sec + amplitude_per_sec * (1.0 + phase.sin()) / 2.0
+            }
+        }
+    }
+
+    /// Draws the next inter-arrival gap (seconds) given the current time.
+    fn next_gap_secs<R: Rng + ?Sized>(&self, rng: &mut R, now_secs: f64) -> f64 {
+        match *self {
+            ArrivalModel::Uniform { spacing_ms } => spacing_ms as f64 / 1000.0,
+            _ => {
+                // Exponential at the current instantaneous rate (a
+                // first-order thinning approximation; exact for Poisson).
+                let rate = self.rate_at(now_secs).max(1e-9);
+                let u: f64 = 1.0 - rng.gen::<f64>();
+                -u.ln() / rate
+            }
+        }
+    }
+
+    /// Returns a copy of `trace` with timestamps re-assigned from this
+    /// model, deterministically from `seed`. Request order is preserved.
+    pub fn retime(&self, trace: &Trace, seed: u64) -> Trace {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        self.validate();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut now_secs = 0.0f64;
+        trace
+            .iter()
+            .map(|r| {
+                let mut r = *r;
+                r.timestamp = Timestamp::from_millis((now_secs * 1000.0).round() as u64);
+                now_secs += self.next_gap_secs(&mut rng, now_secs);
+                r
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use webcache_trace::{ByteSize, DocId, DocumentType, Request};
+
+    fn flat_trace(n: u64) -> Trace {
+        (0..n)
+            .map(|i| {
+                Request::new(
+                    Timestamp::ZERO,
+                    DocId::new(i % 5),
+                    DocumentType::Html,
+                    ByteSize::new(100),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn uniform_spacing_is_exact() {
+        let model = ArrivalModel::Uniform { spacing_ms: 40 };
+        let t = model.retime(&flat_trace(10), 1);
+        for (i, r) in t.iter().enumerate() {
+            assert_eq!(r.timestamp.as_millis(), i as u64 * 40);
+        }
+    }
+
+    #[test]
+    fn poisson_mean_rate_converges() {
+        let model = ArrivalModel::Poisson { rate_per_sec: 50.0 };
+        let n = 20_000;
+        let t = model.retime(&flat_trace(n), 2);
+        let span_secs = t.requests().last().unwrap().timestamp.as_secs_f64();
+        let rate = (n - 1) as f64 / span_secs;
+        assert!((rate / 50.0 - 1.0).abs() < 0.05, "rate = {rate}");
+    }
+
+    #[test]
+    fn diurnal_rate_oscillates_between_floor_and_peak() {
+        let model = ArrivalModel::daily(5.0, 45.0);
+        let mut min = f64::INFINITY;
+        let mut max: f64 = 0.0;
+        for h in 0..24 {
+            let r = model.rate_at(h as f64 * 3600.0);
+            min = min.min(r);
+            max = max.max(r);
+        }
+        assert!(min >= 5.0 - 1e-9 && min < 10.0, "min = {min}");
+        assert!(max <= 45.0 + 1e-9 && max > 40.0, "max = {max}");
+    }
+
+    #[test]
+    fn diurnal_retime_shows_density_variation() {
+        // One simulated day of requests; the busiest hour must be far
+        // denser than the quietest hour.
+        let model = ArrivalModel::Diurnal {
+            base_per_sec: 1.0,
+            amplitude_per_sec: 20.0,
+            period_secs: 3_600.0, // compress a "day" into an hour
+        };
+        let t = model.retime(&flat_trace(80_000), 3);
+        let mut per_bucket = [0u64; 12];
+        for r in &t {
+            let bucket = ((r.timestamp.as_secs_f64() / 300.0) as usize).min(11);
+            per_bucket[bucket] += 1;
+        }
+        // Compare only fully covered buckets: drop the trailing partial
+        // bucket where the stream ran out.
+        let last_full = per_bucket.iter().rposition(|&c| c > 0).unwrap();
+        let full = &per_bucket[..last_full];
+        let busiest = *full.iter().max().unwrap();
+        let quietest = *full.iter().min().unwrap();
+        assert!(
+            busiest as f64 > 2.5 * quietest.max(1) as f64,
+            "{per_bucket:?}"
+        );
+    }
+
+    #[test]
+    fn retime_preserves_order_and_payload() {
+        let model = ArrivalModel::Poisson { rate_per_sec: 10.0 };
+        let original = flat_trace(100);
+        let t = model.retime(&original, 4);
+        assert_eq!(t.len(), original.len());
+        for (a, b) in t.iter().zip(original.iter()) {
+            assert_eq!(a.doc, b.doc);
+            assert_eq!(a.size, b.size);
+        }
+        for w in t.requests().windows(2) {
+            assert!(w[0].timestamp <= w[1].timestamp);
+        }
+    }
+
+    #[test]
+    fn retime_is_deterministic() {
+        let model = ArrivalModel::daily(2.0, 30.0);
+        let t = flat_trace(500);
+        assert_eq!(model.retime(&t, 9), model.retime(&t, 9));
+    }
+
+    #[test]
+    fn gap_sampler_uses_current_rate() {
+        let model = ArrivalModel::Poisson { rate_per_sec: 100.0 };
+        let mut rng = StdRng::seed_from_u64(5);
+        let mean: f64 =
+            (0..10_000).map(|_| model.next_gap_secs(&mut rng, 0.0)).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.01).abs() < 0.001, "mean gap = {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "floor ≤ peak")]
+    fn daily_rejects_inverted_rates() {
+        let _ = ArrivalModel::daily(10.0, 5.0);
+    }
+}

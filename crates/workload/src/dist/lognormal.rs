@@ -1,0 +1,145 @@
+//! Log-normal distribution, used for document sizes.
+
+use rand::Rng;
+
+/// A log-normal distribution: `exp(μ + σZ)` with `Z ~ N(0, 1)`.
+///
+/// Sampling uses the Box–Muller transform over `rand`'s uniform source.
+///
+/// Web document sizes within one content type are well described by a
+/// log-normal body; the paper's Tables 4/5 report exactly the mean,
+/// median and CoV this distribution is parameterized by:
+/// `median = e^μ` and `mean = e^(μ + σ²/2)`, hence
+/// [`LogNormal::from_mean_median`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal with the given location μ and scale σ ≥ 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics when μ is not finite or σ is negative/not finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(mu.is_finite(), "μ must be finite");
+        assert!(sigma.is_finite() && sigma >= 0.0, "σ must be ≥ 0");
+        LogNormal { mu, sigma }
+    }
+
+    /// Calibrates a log-normal from its mean and median:
+    /// `μ = ln median`, `σ = sqrt(2 ln(mean/median))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < median ≤ mean`.
+    ///
+    /// ```
+    /// use webcache_workload::dist::LogNormal;
+    /// let d = LogNormal::from_mean_median(10_000.0, 2_000.0);
+    /// assert!((d.median() - 2_000.0).abs() < 1e-9);
+    /// assert!((d.mean() - 10_000.0).abs() < 1e-6);
+    /// ```
+    pub fn from_mean_median(mean: f64, median: f64) -> Self {
+        assert!(
+            median > 0.0 && mean >= median,
+            "need 0 < median ≤ mean (got mean={mean}, median={median})"
+        );
+        let mu = median.ln();
+        let sigma = (2.0 * (mean / median).ln()).sqrt();
+        LogNormal { mu, sigma }
+    }
+
+    /// The distribution median `e^μ`.
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+
+    /// The distribution mean `e^(μ + σ²/2)`.
+    pub fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+
+    /// The coefficient of variation `sqrt(e^(σ²) − 1)`.
+    pub fn cov(&self) -> f64 {
+        ((self.sigma * self.sigma).exp() - 1.0).sqrt()
+    }
+
+    /// Draws one value.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// One standard-normal variate via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling u1 from the half-open (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments_roundtrip() {
+        let d = LogNormal::from_mean_median(83_000.0, 12_000.0);
+        assert!((d.median() - 12_000.0).abs() < 1e-6);
+        assert!((d.mean() - 83_000.0).abs() < 1e-4);
+        assert!(d.cov() > 2.0, "heavy mean/median ratio implies high CoV");
+    }
+
+    #[test]
+    fn equal_mean_median_is_degenerate() {
+        let d = LogNormal::from_mean_median(5.0, 5.0);
+        assert_eq!(d.cov(), 0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!((d.sample(&mut rng) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_statistics_converge() {
+        let d = LogNormal::from_mean_median(10_000.0, 3_000.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let median = sorted[n / 2];
+        assert!((mean / 10_000.0 - 1.0).abs() < 0.05, "mean = {mean}");
+        assert!((median / 3_000.0 - 1.0).abs() < 0.05, "median = {median}");
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var = {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "median ≤ mean")]
+    fn mean_below_median_rejected() {
+        let _ = LogNormal::from_mean_median(1.0, 2.0);
+    }
+
+    #[test]
+    fn samples_are_positive() {
+        let d = LogNormal::new(0.0, 3.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..1000 {
+            assert!(d.sample(&mut rng) > 0.0);
+        }
+    }
+}

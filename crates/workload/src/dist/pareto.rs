@@ -1,0 +1,131 @@
+//! Bounded (truncated) Pareto distribution — heavy-tailed alternative
+//! size model.
+
+use rand::Rng;
+
+/// A Pareto distribution truncated to `[lo, hi]`:
+/// `P(X > x) ∝ x^−shape` within the bounds.
+///
+/// Crovella's web-performance survey (cited by the paper) attributes the
+/// high variability of web document sizes to Pareto tails; this model is
+/// offered as an alternative to [`LogNormal`](super::LogNormal) for
+/// tail-sensitivity experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundedPareto {
+    shape: f64,
+    lo: f64,
+    hi: f64,
+}
+
+impl BoundedPareto {
+    /// Creates a bounded Pareto with tail index `shape > 0` over
+    /// `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < lo < hi` and `shape > 0` (all finite).
+    pub fn new(shape: f64, lo: f64, hi: f64) -> Self {
+        assert!(shape.is_finite() && shape > 0.0, "shape must be positive");
+        assert!(
+            lo.is_finite() && hi.is_finite() && 0.0 < lo && lo < hi,
+            "need 0 < lo < hi (got lo={lo}, hi={hi})"
+        );
+        BoundedPareto { shape, lo, hi }
+    }
+
+    /// The tail index.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// The support bounds `(lo, hi)`.
+    pub fn bounds(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    /// The distribution mean.
+    pub fn mean(&self) -> f64 {
+        let (a, l, h) = (self.shape, self.lo, self.hi);
+        if (a - 1.0).abs() < 1e-12 {
+            // α = 1 limit: mean = ln(h/l) · l·h / (h − l).
+            l * h / (h - l) * (h / l).ln()
+        } else {
+            let la = l.powf(a);
+            (la / (1.0 - (l / h).powf(a))) * (a / (a - 1.0))
+                * (l.powf(1.0 - a) - h.powf(1.0 - a))
+        }
+    }
+
+    /// Draws one value via inverse-CDF sampling.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen();
+        let (a, l, h) = (self.shape, self.lo, self.hi);
+        let la = l.powf(-a);
+        let ha = h.powf(-a);
+        // Inverse of the truncated CDF.
+        (la - u * (la - ha)).powf(-1.0 / a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_bounds() {
+        let d = BoundedPareto::new(1.2, 100.0, 1_000_000.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((100.0..=1_000_000.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn sample_mean_matches_formula() {
+        let d = BoundedPareto::new(1.5, 1_000.0, 10_000_000.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 400_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        let expected = d.mean();
+        assert!(
+            (mean / expected - 1.0).abs() < 0.05,
+            "sample mean {mean}, formula {expected}"
+        );
+    }
+
+    #[test]
+    fn tail_is_heavier_for_smaller_shape() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let heavy = BoundedPareto::new(0.8, 100.0, 1e9);
+        let light = BoundedPareto::new(2.5, 100.0, 1e9);
+        let n = 50_000;
+        let p99 = |d: &BoundedPareto, rng: &mut StdRng| {
+            let mut xs: Vec<f64> = (0..n).map(|_| d.sample(rng)).collect();
+            xs.sort_by(|a, b| a.total_cmp(b));
+            xs[n * 99 / 100]
+        };
+        assert!(p99(&heavy, &mut rng) > 10.0 * p99(&light, &mut rng));
+    }
+
+    #[test]
+    fn accessors() {
+        let d = BoundedPareto::new(1.1, 2.0, 8.0);
+        assert_eq!(d.shape(), 1.1);
+        assert_eq!(d.bounds(), (2.0, 8.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < lo < hi")]
+    fn inverted_bounds_rejected() {
+        let _ = BoundedPareto::new(1.0, 10.0, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape must be positive")]
+    fn zero_shape_rejected() {
+        let _ = BoundedPareto::new(0.0, 1.0, 2.0);
+    }
+}

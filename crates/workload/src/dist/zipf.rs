@@ -1,0 +1,159 @@
+//! Bounded Zipf-like distribution over ranks `1..=n`.
+
+use rand::Rng;
+
+/// A Zipf-like law: `P(rank = ρ) ∝ ρ^−α` for ρ in `1..=n`.
+///
+/// Sampling uses inverse-CDF lookup with binary search over a precomputed
+/// cumulative table — `O(n)` construction, `O(log n)` per sample,
+/// numerically exact for any α ≥ 0 (α = 0 degenerates to the uniform
+/// distribution).
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use webcache_workload::dist::Zipf;
+///
+/// let zipf = Zipf::new(100, 1.0);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let rank = zipf.sample(&mut rng);
+/// assert!((1..=100).contains(&rank));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative probabilities; `cdf[i]` = P(rank ≤ i+1).
+    cdf: Vec<f64>,
+    alpha: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `1..=n` with exponent `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or `alpha` is negative or not finite.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(
+            alpha.is_finite() && alpha >= 0.0,
+            "Zipf exponent must be finite and non-negative, got {alpha}"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 1..=n {
+            acc += (rank as f64).powf(-alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf, alpha }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution is over an empty support (never true).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// The configured exponent α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Probability of the given rank (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rank` is out of `1..=n`.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        assert!((1..=self.cdf.len()).contains(&rank), "rank out of range");
+        let hi = self.cdf[rank - 1];
+        let lo = if rank >= 2 { self.cdf[rank - 2] } else { 0.0 };
+        hi - lo
+    }
+
+    /// Draws a rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the count of elements < u, i.e. the
+        // 0-based index of the first cdf entry ≥ u.
+        let idx = self.cdf.partition_point(|&c| c < u);
+        idx.min(self.cdf.len() - 1) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(50, 0.8);
+        let total: f64 = (1..=50).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pmf_follows_power_law() {
+        let z = Zipf::new(1000, 1.2);
+        let ratio = z.pmf(1) / z.pmf(10);
+        assert!((ratio - 10f64.powf(1.2)).abs() / ratio < 1e-9);
+    }
+
+    #[test]
+    fn alpha_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for r in 1..=10 {
+            assert!((z.pmf(r) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn samples_match_pmf() {
+        let z = Zipf::new(20, 1.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let mut counts = [0u64; 21];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for r in [1usize, 2, 5, 10, 20] {
+            let observed = counts[r] as f64 / n as f64;
+            let expected = z.pmf(r);
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "rank {r}: observed {observed}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_rank_always_sampled() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(z.sample(&mut rng), 1);
+        }
+        assert_eq!(z.len(), 1);
+        assert!(!z.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_alpha_rejected() {
+        let _ = Zipf::new(10, -0.5);
+    }
+}

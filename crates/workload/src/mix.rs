@@ -1,0 +1,253 @@
+//! Profile mixing and future-workload scenarios.
+//!
+//! The paper's introduction *conjectures that in future workloads the
+//! percentage of requests to [multi-media and application] documents will
+//! be substantially larger than in current request streams*, and argues
+//! that understanding per-type behaviour matters precisely because
+//! workload composition is shifting. This module makes that conjecture
+//! executable:
+//!
+//! * [`shift_mix`] re-weights a profile's per-type request/document
+//!   budgets towards a target mix while keeping the total volume, size
+//!   models and locality parameters fixed;
+//! * [`WorkloadProfile::future`] is a ready-made "rich-media future"
+//!   scenario derived from the DFN profile;
+//! * [`blend`] interpolates between two profiles (e.g. DFN → RTP),
+//!   which is how the sensitivity sweep in the `future_workload` bench
+//!   walks between observed and conjectured workloads.
+
+use webcache_trace::{DocumentType, TypeMap};
+
+use crate::profiles::{TypeProfile, WorkloadProfile};
+
+/// Linearly interpolates two numbers.
+fn lerp(a: f64, b: f64, t: f64) -> f64 {
+    a + (b - a) * t
+}
+
+/// Re-weights `profile` so that each type's share of total *requests*
+/// approaches `target_request_share` (fractions summing to ~1) while the
+/// total request and document budgets stay unchanged.
+///
+/// Per-type request/document ratios (average reference counts), size
+/// models, α, β and the modification/interrupt rates are preserved — the
+/// composition changes, the per-type behaviour does not. `t` in `[0, 1]`
+/// controls how far to move (0 = unchanged, 1 = exactly the target mix).
+///
+/// # Panics
+///
+/// Panics when `t` is outside `[0, 1]` or the target shares do not sum
+/// to approximately 1.
+pub fn shift_mix(
+    profile: &WorkloadProfile,
+    target_request_share: &TypeMap<f64>,
+    t: f64,
+) -> WorkloadProfile {
+    assert!((0.0..=1.0).contains(&t), "blend factor must be in [0, 1]");
+    let sum: f64 = target_request_share.iter().map(|(_, &v)| v).sum();
+    assert!(
+        (sum - 1.0).abs() < 1e-6,
+        "target request shares must sum to 1, got {sum}"
+    );
+
+    let total_requests = profile.total_requests() as f64;
+    let shifted = TypeMap::from_fn(|ty| {
+        let tp = &profile.types[ty];
+        if tp.requests == 0 && target_request_share[ty] == 0.0 {
+            return *tp;
+        }
+        let current_share = tp.requests as f64 / total_requests;
+        let new_share = lerp(current_share, target_request_share[ty], t);
+        let new_requests = (total_requests * new_share).round().max(0.0) as u64;
+        if new_requests == 0 {
+            return TypeProfile {
+                distinct_documents: 0,
+                requests: 0,
+                ..*tp
+            };
+        }
+        // Keep the type's average reference count, hence its locality.
+        let refs_per_doc = if tp.distinct_documents > 0 {
+            tp.requests as f64 / tp.distinct_documents as f64
+        } else {
+            1.5
+        };
+        let new_docs = ((new_requests as f64 / refs_per_doc).round() as u64)
+            .clamp(1, new_requests);
+        TypeProfile {
+            distinct_documents: new_docs,
+            requests: new_requests,
+            ..*tp
+        }
+    });
+
+    WorkloadProfile {
+        name: format!("{}+mix{t:.2}", profile.name),
+        types: shifted,
+        max_gap_fraction: profile.max_gap_fraction,
+    }
+}
+
+/// Interpolates every numeric knob of two profiles (request/document
+/// budgets, α, β, rates, coupling) at blend factor `t ∈ [0, 1]`; size
+/// models are taken from `a` below `t = 0.5` and from `b` above.
+///
+/// # Panics
+///
+/// Panics when `t` is outside `[0, 1]`.
+pub fn blend(a: &WorkloadProfile, b: &WorkloadProfile, t: f64) -> WorkloadProfile {
+    assert!((0.0..=1.0).contains(&t), "blend factor must be in [0, 1]");
+    let types = TypeMap::from_fn(|ty| {
+        let (pa, pb) = (&a.types[ty], &b.types[ty]);
+        let distinct =
+            lerp(pa.distinct_documents as f64, pb.distinct_documents as f64, t).round() as u64;
+        let requests = (lerp(pa.requests as f64, pb.requests as f64, t).round() as u64)
+            .max(distinct);
+        TypeProfile {
+            distinct_documents: distinct,
+            requests,
+            alpha: lerp(pa.alpha, pb.alpha, t),
+            beta: lerp(pa.beta, pb.beta, t),
+            size_model: if t < 0.5 { pa.size_model } else { pb.size_model },
+            modification_rate: lerp(pa.modification_rate, pb.modification_rate, t),
+            interrupt_rate: lerp(pa.interrupt_rate, pb.interrupt_rate, t),
+            size_popularity_correlation: lerp(
+                pa.size_popularity_correlation,
+                pb.size_popularity_correlation,
+                t,
+            ),
+        }
+    });
+    WorkloadProfile {
+        name: format!("{}~{}@{t:.2}", a.name, b.name),
+        types,
+        max_gap_fraction: lerp(a.max_gap_fraction, b.max_gap_fraction, t),
+    }
+}
+
+impl WorkloadProfile {
+    /// The paper's conjectured future workload: a DFN-like stream in
+    /// which multi-media and application requests have grown to 5 % and
+    /// 12 % of all requests (≈35× and ≈2.7× today's shares) at the
+    /// expense of images, reflecting "the rapidly increasing popularity
+    /// of digital audio and video documents and the sustained growth of
+    /// application documents".
+    pub fn future() -> WorkloadProfile {
+        let dfn = WorkloadProfile::dfn();
+        let mut target: TypeMap<f64> = TypeMap::default();
+        target[DocumentType::Image] = 0.58;
+        target[DocumentType::Html] = 0.245;
+        target[DocumentType::MultiMedia] = 0.05;
+        target[DocumentType::Application] = 0.12;
+        target[DocumentType::Other] = 0.005;
+        let mut profile = shift_mix(&dfn, &target, 1.0);
+        profile.name = "FUTURE".to_owned();
+        profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shift_mix_hits_target_shares() {
+        let dfn = WorkloadProfile::dfn().scaled(1.0 / 128.0);
+        let mut target: TypeMap<f64> = TypeMap::default();
+        target[DocumentType::Image] = 0.50;
+        target[DocumentType::Html] = 0.30;
+        target[DocumentType::MultiMedia] = 0.10;
+        target[DocumentType::Application] = 0.08;
+        target[DocumentType::Other] = 0.02;
+        let shifted = shift_mix(&dfn, &target, 1.0);
+        shifted.validate();
+        let total = shifted.total_requests() as f64;
+        for (ty, &want) in target.iter() {
+            let got = shifted.types[ty].requests as f64 / total;
+            assert!((got - want).abs() < 0.01, "{ty}: {got} vs {want}");
+        }
+        // Volume approximately preserved.
+        let ratio = shifted.total_requests() as f64 / dfn.total_requests() as f64;
+        assert!((ratio - 1.0).abs() < 0.01, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn shift_mix_zero_t_is_identity_mix() {
+        let dfn = WorkloadProfile::dfn().scaled(1.0 / 128.0);
+        let target = TypeMap::from_fn(|_| 0.2);
+        let same = shift_mix(&dfn, &target, 0.0);
+        for (ty, tp) in same.types.iter() {
+            assert_eq!(tp.requests, dfn.types[ty].requests, "{ty}");
+        }
+    }
+
+    #[test]
+    fn shift_mix_preserves_reference_density() {
+        let dfn = WorkloadProfile::dfn().scaled(1.0 / 128.0);
+        let mut target: TypeMap<f64> = TypeMap::default();
+        target[DocumentType::MultiMedia] = 0.5;
+        target[DocumentType::Image] = 0.5;
+        let shifted = shift_mix(&dfn, &target, 1.0);
+        let density = |tp: &TypeProfile| tp.requests as f64 / tp.distinct_documents as f64;
+        let before = density(&dfn.types[DocumentType::MultiMedia]);
+        let after = density(&shifted.types[DocumentType::MultiMedia]);
+        assert!((before - after).abs() < 0.05, "{before} vs {after}");
+    }
+
+    #[test]
+    fn future_profile_is_rich_media() {
+        let f = WorkloadProfile::future();
+        f.validate();
+        let total = f.total_requests() as f64;
+        let mm_share = f.types[DocumentType::MultiMedia].requests as f64 / total;
+        let app_share = f.types[DocumentType::Application].requests as f64 / total;
+        assert!((mm_share - 0.05).abs() < 0.005, "mm share = {mm_share}");
+        assert!((app_share - 0.12).abs() < 0.01, "app share = {app_share}");
+        // Size models and locality inherited from DFN.
+        assert_eq!(
+            f.types[DocumentType::MultiMedia].beta,
+            WorkloadProfile::dfn().types[DocumentType::MultiMedia].beta
+        );
+    }
+
+    #[test]
+    fn blend_endpoints_match_inputs() {
+        let dfn = WorkloadProfile::dfn();
+        let rtp = WorkloadProfile::rtp();
+        let at0 = blend(&dfn, &rtp, 0.0);
+        let at1 = blend(&dfn, &rtp, 1.0);
+        for ty in DocumentType::ALL {
+            assert_eq!(at0.types[ty].requests, dfn.types[ty].requests);
+            assert_eq!(at1.types[ty].requests, rtp.types[ty].requests);
+            assert_eq!(at0.types[ty].alpha, dfn.types[ty].alpha);
+            assert_eq!(at1.types[ty].beta, rtp.types[ty].beta);
+        }
+    }
+
+    #[test]
+    fn blend_midpoint_is_between() {
+        let dfn = WorkloadProfile::dfn();
+        let rtp = WorkloadProfile::rtp();
+        let mid = blend(&dfn, &rtp, 0.5);
+        mid.validate();
+        let ty = DocumentType::Html;
+        let (lo, hi) = (
+            dfn.types[ty].requests.min(rtp.types[ty].requests),
+            dfn.types[ty].requests.max(rtp.types[ty].requests),
+        );
+        assert!((lo..=hi).contains(&mid.types[ty].requests));
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn shift_mix_rejects_bad_target() {
+        let target = TypeMap::from_fn(|_| 0.5);
+        let _ = shift_mix(&WorkloadProfile::dfn(), &target, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "blend factor")]
+    fn blend_rejects_out_of_range_t() {
+        let _ = blend(&WorkloadProfile::dfn(), &WorkloadProfile::rtp(), 1.5);
+    }
+}
