@@ -1,0 +1,241 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `Throughput`, `Bencher::iter`, `criterion_group!`,
+//! `criterion_main!` — backed by a simple wall-clock harness: per sample it
+//! runs enough iterations to cross a minimum measurement window, then
+//! reports the median sample.
+//!
+//! Statistical machinery (outlier analysis, HTML reports, comparison to
+//! saved baselines) is out of scope; output is one line per benchmark.
+//!
+//! If the real `criterion` becomes available, delete `vendor/` and the
+//! `[patch.crates-io]` table in the workspace `Cargo.toml`.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so `std::hint::black_box` is reachable as `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_window: Duration::from_millis(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Upstream parses CLI flags here; the stand-in accepts anything.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0);
+        self.sample_size = n;
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let sample_size = self.sample_size;
+        let window = self.measurement_window;
+        run_benchmark(&id.into(), None, sample_size, window, f);
+        self
+    }
+
+    /// Upstream prints the summary here; the stand-in prints per-bench.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0);
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Declares how much work one iteration performs.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Upstream bounds total measurement time; the stand-in ignores it.
+    pub fn measurement_time(&mut self, _duration: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let window = self.criterion.measurement_window;
+        run_benchmark(&full, self.throughput, sample_size, window, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    measurement_window: Duration,
+    /// Median seconds per iteration, filled by `iter`.
+    result: Option<f64>,
+}
+
+impl Bencher {
+    /// Measures `f`, keeping the median of the configured samples.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Calibrate: how many iterations fill the measurement window?
+        let mut reps: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..reps {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.measurement_window || reps >= 1 << 20 {
+                break;
+            }
+            let grow = if elapsed.is_zero() {
+                16
+            } else {
+                (self.measurement_window.as_secs_f64() / elapsed.as_secs_f64()).ceil() as u64 + 1
+            };
+            reps = reps.saturating_mul(grow.clamp(2, 16));
+        }
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..reps {
+                black_box(f());
+            }
+            samples.push(start.elapsed().as_secs_f64() / reps as f64);
+        }
+        samples.sort_by(f64::total_cmp);
+        self.result = Some(samples[samples.len() / 2]);
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+fn run_benchmark(
+    id: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    window: Duration,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        sample_size,
+        measurement_window: window,
+        result: None,
+    };
+    f(&mut bencher);
+    match bencher.result {
+        Some(secs) => {
+            let rate = match throughput {
+                Some(Throughput::Elements(n)) => {
+                    format!("  thrpt: {:.0} elem/s", n as f64 / secs)
+                }
+                Some(Throughput::Bytes(n)) => {
+                    format!("  thrpt: {:.0} B/s", n as f64 / secs)
+                }
+                None => String::new(),
+            };
+            println!("{id:<40} time: {}{rate}", format_time(secs));
+        }
+        None => println!("{id:<40} (no measurement — Bencher::iter never called)"),
+    }
+}
+
+/// Bundles benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

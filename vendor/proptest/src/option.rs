@@ -1,0 +1,28 @@
+//! `Option` strategies (`prop::option`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Produces `Some` from the inner strategy about 3/4 of the time,
+/// `None` otherwise (matching upstream's default weighting).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// Strategy returned by [`of`].
+#[derive(Debug)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}

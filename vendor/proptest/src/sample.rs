@@ -1,0 +1,28 @@
+//! Sampling strategies (`prop::sample`).
+
+use std::fmt::Debug;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Uniformly selects one of the given values.
+pub fn select<T: Clone + Debug + 'static>(values: impl Into<Vec<T>>) -> Select<T> {
+    let values = values.into();
+    assert!(!values.is_empty(), "select from empty list");
+    Select { values }
+}
+
+/// Strategy returned by [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    values: Vec<T>,
+}
+
+impl<T: Clone + Debug> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.values.len() as u64) as usize;
+        self.values[idx].clone()
+    }
+}

@@ -1,0 +1,311 @@
+//! Regex-style string strategies.
+//!
+//! Upstream proptest treats a `&str` as a regex describing the strings to
+//! generate. This stand-in implements the subset of that syntax the
+//! workspace's tests use: literals, `[...]` classes with ranges, `(...)`
+//! groups with `|` alternation, `{m,n}` / `{n}` / `*` / `+` / `?`
+//! quantifiers, `.` and the `\PC` ("any non-control character") escape.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Literal(char),
+    /// Inclusive char ranges; a singleton char is `(c, c)`.
+    Class(Vec<(char, char)>),
+    /// `\PC` or `.`: any printable, non-control character.
+    AnyPrintable,
+    /// Alternation of sequences.
+    Group(Vec<Vec<Node>>),
+    Repeat(Box<Node>, usize, usize),
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    pattern: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(pattern: &'a str) -> Self {
+        Parser {
+            chars: pattern.chars().peekable(),
+            pattern,
+        }
+    }
+
+    fn fail(&self, what: &str) -> ! {
+        panic!("unsupported regex strategy {:?}: {what}", self.pattern)
+    }
+
+    fn parse_alternatives(&mut self) -> Vec<Vec<Node>> {
+        let mut alternatives = vec![self.parse_seq()];
+        while self.chars.peek() == Some(&'|') {
+            self.chars.next();
+            alternatives.push(self.parse_seq());
+        }
+        alternatives
+    }
+
+    fn parse_seq(&mut self) -> Vec<Node> {
+        let mut seq = Vec::new();
+        while let Some(&c) = self.chars.peek() {
+            if c == ')' || c == '|' {
+                break;
+            }
+            let atom = self.parse_atom();
+            seq.push(self.parse_quantified(atom));
+        }
+        seq
+    }
+
+    fn parse_atom(&mut self) -> Node {
+        match self.chars.next().expect("atom") {
+            '(' => {
+                let alternatives = self.parse_alternatives();
+                if self.chars.next() != Some(')') {
+                    self.fail("unclosed group");
+                }
+                Node::Group(alternatives)
+            }
+            '[' => self.parse_class(),
+            '\\' => self.parse_escape(),
+            '.' => Node::AnyPrintable,
+            c => Node::Literal(c),
+        }
+    }
+
+    fn parse_escape(&mut self) -> Node {
+        match self.chars.next() {
+            Some('P') => {
+                // Only the \PC ("not a control character") category is used.
+                match self.chars.next() {
+                    Some('C') => Node::AnyPrintable,
+                    Some('{') => {
+                        let mut name = String::new();
+                        for c in self.chars.by_ref() {
+                            if c == '}' {
+                                break;
+                            }
+                            name.push(c);
+                        }
+                        if name == "C" || name == "Cc" {
+                            Node::AnyPrintable
+                        } else {
+                            self.fail("unsupported \\P category")
+                        }
+                    }
+                    _ => self.fail("unsupported \\P escape"),
+                }
+            }
+            Some('d') => Node::Class(vec![('0', '9')]),
+            Some('w') => Node::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+            Some('s') => Node::Class(vec![(' ', ' '), ('\t', '\t')]),
+            Some('n') => Node::Literal('\n'),
+            Some('t') => Node::Literal('\t'),
+            Some('r') => Node::Literal('\r'),
+            Some(c @ ('.' | '\\' | '/' | '-' | '(' | ')' | '[' | ']' | '{' | '}' | '|' | '*'
+            | '+' | '?' | '^' | '$')) => Node::Literal(c),
+            _ => self.fail("unsupported escape"),
+        }
+    }
+
+    fn parse_class(&mut self) -> Node {
+        let mut ranges = Vec::new();
+        if self.chars.peek() == Some(&'^') {
+            self.fail("negated classes are not supported");
+        }
+        loop {
+            let c = match self.chars.next() {
+                None => self.fail("unclosed class"),
+                Some(']') => break,
+                Some('\\') => match self.parse_escape() {
+                    Node::Literal(c) => c,
+                    Node::Class(mut r) => {
+                        ranges.append(&mut r);
+                        continue;
+                    }
+                    _ => self.fail("unsupported class escape"),
+                },
+                Some(c) => c,
+            };
+            // `a-z` range, unless `-` is the final literal (as in `[._-]`).
+            if self.chars.peek() == Some(&'-') {
+                let mut lookahead = self.chars.clone();
+                lookahead.next();
+                match lookahead.peek() {
+                    Some(&']') | None => ranges.push((c, c)),
+                    Some(_) => {
+                        self.chars.next();
+                        let end = match self.chars.next() {
+                            Some('\\') => match self.parse_escape() {
+                                Node::Literal(e) => e,
+                                _ => self.fail("unsupported range end"),
+                            },
+                            Some(e) => e,
+                            None => self.fail("unclosed class"),
+                        };
+                        if end < c {
+                            self.fail("inverted class range");
+                        }
+                        ranges.push((c, end));
+                    }
+                }
+            } else {
+                ranges.push((c, c));
+            }
+        }
+        if ranges.is_empty() {
+            self.fail("empty class");
+        }
+        Node::Class(ranges)
+    }
+
+    fn parse_quantified(&mut self, atom: Node) -> Node {
+        match self.chars.peek() {
+            Some('{') => {
+                self.chars.next();
+                let mut spec = String::new();
+                loop {
+                    match self.chars.next() {
+                        Some('}') => break,
+                        Some(c) => spec.push(c),
+                        None => self.fail("unclosed quantifier"),
+                    }
+                }
+                let (min, max) = match spec.split_once(',') {
+                    None => {
+                        let n = spec.parse().unwrap_or_else(|_| self.fail("bad quantifier"));
+                        (n, n)
+                    }
+                    Some((lo, "")) => {
+                        let lo: usize =
+                            lo.parse().unwrap_or_else(|_| self.fail("bad quantifier"));
+                        (lo, lo + 8)
+                    }
+                    Some((lo, hi)) => (
+                        lo.parse().unwrap_or_else(|_| self.fail("bad quantifier")),
+                        hi.parse().unwrap_or_else(|_| self.fail("bad quantifier")),
+                    ),
+                };
+                if max < min {
+                    self.fail("inverted quantifier");
+                }
+                Node::Repeat(Box::new(atom), min, max)
+            }
+            Some('*') => {
+                self.chars.next();
+                Node::Repeat(Box::new(atom), 0, 8)
+            }
+            Some('+') => {
+                self.chars.next();
+                Node::Repeat(Box::new(atom), 1, 8)
+            }
+            Some('?') => {
+                self.chars.next();
+                Node::Repeat(Box::new(atom), 0, 1)
+            }
+            _ => atom,
+        }
+    }
+}
+
+/// A sprinkling of non-ASCII, non-control characters so `\PC` exercises
+/// multi-byte UTF-8 in parsers.
+const UNICODE_SAMPLE: &[char] = &['é', 'ß', 'λ', 'ж', '中', '한', '→', '€', '𝔘', '🙂'];
+
+fn generate_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Literal(c) => out.push(*c),
+        Node::Class(ranges) => {
+            let idx = rng.below(ranges.len() as u64) as usize;
+            let (lo, hi) = ranges[idx];
+            let span = hi as u32 - lo as u32 + 1;
+            let v = lo as u32 + rng.below(u64::from(span)) as u32;
+            out.push(char::from_u32(v).expect("class range stays in valid chars"));
+        }
+        Node::AnyPrintable => {
+            if rng.below(10) == 0 {
+                let idx = rng.below(UNICODE_SAMPLE.len() as u64) as usize;
+                out.push(UNICODE_SAMPLE[idx]);
+            } else {
+                out.push(char::from_u32(0x20 + rng.below(0x5F) as u32).expect("printable ascii"));
+            }
+        }
+        Node::Group(alternatives) => {
+            let idx = rng.below(alternatives.len() as u64) as usize;
+            for n in &alternatives[idx] {
+                generate_node(n, rng, out);
+            }
+        }
+        Node::Repeat(inner, min, max) => {
+            let len = min + rng.below((max - min) as u64 + 1) as usize;
+            for _ in 0..len {
+                generate_node(inner, rng, out);
+            }
+        }
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut parser = Parser::new(self);
+        let alternatives = parser.parse_alternatives();
+        if parser.chars.next().is_some() {
+            parser.fail("trailing input (unbalanced ')'?)");
+        }
+        let mut out = String::new();
+        let idx = rng.below(alternatives.len() as u64) as usize;
+        for node in &alternatives[idx] {
+            generate_node(node, rng, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn gen100(pattern: &'static str) -> Vec<String> {
+        let mut rng = TestRng::seed_from_u64(1);
+        (0..100).map(|_| pattern.generate(&mut rng)).collect()
+    }
+
+    #[test]
+    fn printable_any() {
+        for s in gen100("\\PC{0,200}") {
+            assert!(s.chars().count() <= 200);
+            assert!(!s.chars().any(char::is_control), "control char in {s:?}");
+        }
+    }
+
+    #[test]
+    fn classes_and_literals() {
+        for s in gen100("http://[a-z]{1,10}\\.de/[a-zA-Z0-9_.-]{0,30}") {
+            assert!(s.starts_with("http://"), "{s:?}");
+            assert!(s.contains(".de/"), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn groups_repeat() {
+        for s in gen100("(/[a-zA-Z0-9._-]{0,12}){0,4}") {
+            let segments = s.split('/').count().saturating_sub(1);
+            assert!(segments <= 4, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        for s in gen100("[a-zA-Z][a-zA-Z0-9.-]{0,20}") {
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic());
+            for c in s.chars().skip(1) {
+                assert!(c.is_ascii_alphanumeric() || c == '.' || c == '-', "{s:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! The case-generation loop and its RNG.
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::strategy::Strategy;
+
+/// Deterministic generator used by strategies (xoshiro256++).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seeds from a 64-bit value via SplitMix64.
+    pub fn seed_from_u64(mut state: u64) -> Self {
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            *word = z ^ (z >> 31);
+        }
+        if s == [0, 0, 0, 0] {
+            s[0] = 1;
+        }
+        TestRng { s }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Runner configuration (upstream's `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Upper bound on rejected (`prop_assume!`) cases before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Config {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case failed an assertion.
+    Fail(String),
+    /// The case was rejected by `prop_assume!` and should not count.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// A rejection with the given message.
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::Reject(message.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+/// Result of one test-case execution.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Generates inputs and runs the test body `config.cases` times.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: Config,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// A runner with a fixed default seed.
+    pub fn new(config: Config) -> Self {
+        Self::new_seeded(config, "proptest")
+    }
+
+    /// A runner seeded from `name` (typically module path + test name), so
+    /// each test gets a distinct but reproducible stream.
+    pub fn new_seeded(config: Config, name: &str) -> Self {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunner {
+            config,
+            rng: TestRng::seed_from_u64(hash),
+        }
+    }
+
+    /// Runs `test` against `config.cases` generated inputs.
+    ///
+    /// Returns `Err(message)` describing the first failing input; there is
+    /// no shrinking, the input is reported exactly as generated.
+    pub fn run<S, F>(&mut self, strategy: &S, mut test: F) -> Result<(), String>
+    where
+        S: Strategy,
+        F: FnMut(S::Value) -> TestCaseResult,
+    {
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        while passed < self.config.cases {
+            let value = strategy.generate(&mut self.rng);
+            let shown = format!("{value:?}");
+            let outcome = catch_unwind(AssertUnwindSafe(|| test(value)));
+            match outcome {
+                Ok(Ok(())) => passed += 1,
+                Ok(Err(TestCaseError::Reject(_))) => {
+                    rejected += 1;
+                    if rejected > self.config.max_global_rejects {
+                        return Err(format!(
+                            "too many rejected cases ({rejected}) after {passed} passed"
+                        ));
+                    }
+                }
+                Ok(Err(TestCaseError::Fail(message))) => {
+                    return Err(format!(
+                        "proptest case failed after {passed} passing case(s): {message}\n\
+                         input: {shown}"
+                    ));
+                }
+                Err(panic) => {
+                    let message = panic
+                        .downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| panic.downcast_ref::<&str>().copied())
+                        .unwrap_or("<non-string panic>");
+                    return Err(format!(
+                        "proptest case panicked after {passed} passing case(s): {message}\n\
+                         input: {shown}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,39 @@
+//! Offline stand-in for `serde`.
+//!
+//! This workspace's build environment has no access to crates.io, so the
+//! real `serde` cannot be fetched. Nothing in the workspace actually
+//! serializes data (there is no `serde_json`/`bincode` dependency); the
+//! `#[derive(Serialize, Deserialize)]` attributes only mark types as
+//! serializable for downstream consumers. This crate keeps those derives
+//! and bounds compiling by providing the two traits as blanket-implemented
+//! markers and re-exporting no-op derive macros.
+//!
+//! If the real `serde` becomes available, delete `vendor/` and the
+//! `[patch.crates-io]` table in the workspace `Cargo.toml`; no source
+//! changes are required.
+
+/// Marker stand-in for `serde::Serialize`. Blanket-implemented for all
+/// types, so any `T: Serialize` bound is satisfied.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T> DeserializeOwned for T {}
+
+/// Mirrors `serde::de` far enough for common bounds.
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+/// Mirrors `serde::ser` far enough for common bounds.
+pub mod ser {
+    pub use super::Serialize;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

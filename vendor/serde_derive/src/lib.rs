@@ -1,0 +1,19 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde stand-in.
+//!
+//! The stand-in `serde` crate blanket-implements both traits, so the
+//! derives have nothing to emit — they only need to exist (and accept the
+//! `#[serde(...)]` helper attribute) for `#[derive(Serialize)]` to parse.
+
+use proc_macro::TokenStream;
+
+/// No-op: the stand-in `Serialize` trait is blanket-implemented.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op: the stand-in `Deserialize` trait is blanket-implemented.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
