@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use webcache_bench::experiments;
-use webcache_sim::{SimulationConfig, Simulator};
 use webcache_core::{CostModel, PolicyKind};
+use webcache_sim::{SimulationConfig, Simulator};
 use webcache_trace::ByteSize;
 use webcache_workload::WorkloadProfile;
 

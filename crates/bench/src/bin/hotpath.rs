@@ -1,0 +1,178 @@
+//! Hot-path throughput harness: hashed vs dense replay, per policy.
+//!
+//! Replays the scaled DFN workload through both simulator paths and
+//! reports requests per second, writing the results to a JSON file
+//! (`BENCH_hotpath.json` by default) so regressions are visible in
+//! review diffs.
+//!
+//! ```text
+//! hotpath [--scale DENOM] [--seed SEED] [--iters N] [--out PATH]
+//!
+//! --scale DENOM   run at 1/DENOM of the full trace size (default 256)
+//! --seed SEED     generator seed (default 20020623)
+//! --iters N       timed repetitions per cell; the best is kept (default 5)
+//! --out PATH      output JSON path (default BENCH_hotpath.json)
+//! ```
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use webcache_bench::{dfn_trace, SEED_DEFAULT};
+use webcache_core::PolicyKind;
+use webcache_sim::{SimulationConfig, Simulator};
+use webcache_trace::{ByteSize, DenseTrace, Trace};
+
+/// Seed-commit GD*(P) throughput (requests/s) on this harness's default
+/// workload, recorded before the hash-free hot path landed. The issue's
+/// acceptance bar is 2x this number on the dense path.
+const SEED_BASELINE_GDSTAR_PACKET_RPS: u64 = 1_968_196;
+
+struct Cell {
+    label: String,
+    hashed_rps: f64,
+    dense_rps: f64,
+}
+
+fn main() -> ExitCode {
+    let mut scale = 1.0 / 256.0;
+    let mut seed = SEED_DEFAULT;
+    let mut iters = 5usize;
+    let mut out = String::from("BENCH_hotpath.json");
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(denom) if denom >= 1.0 => scale = 1.0 / denom,
+                _ => return usage("--scale expects a denominator >= 1"),
+            },
+            "--seed" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(s) => seed = s,
+                None => return usage("--seed expects an integer"),
+            },
+            "--iters" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => iters = n,
+                _ => return usage("--iters expects a positive integer"),
+            },
+            "--out" => match args.next() {
+                Some(path) => out = path,
+                None => return usage("--out expects a path"),
+            },
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let trace = dfn_trace(scale, seed);
+    let dense = DenseTrace::build(&trace);
+    let capacity = ByteSize::new((trace.overall_size().as_f64() * 0.05) as u64);
+    eprintln!(
+        "# {} requests, {} distinct documents, capacity {} bytes, best of {iters}",
+        trace.len(),
+        dense.distinct_documents(),
+        capacity.as_u64()
+    );
+
+    let mut cells = Vec::new();
+    println!(
+        "{:<10} {:>14} {:>14} {:>9}",
+        "policy", "hashed req/s", "dense req/s", "speedup"
+    );
+    for kind in PolicyKind::ALL {
+        let cell = measure(kind, &trace, &dense, capacity, iters);
+        println!(
+            "{:<10} {:>14.0} {:>14.0} {:>8.2}x",
+            cell.label,
+            cell.hashed_rps,
+            cell.dense_rps,
+            cell.dense_rps / cell.hashed_rps
+        );
+        cells.push(cell);
+    }
+
+    let json = render_json(&cells, &trace, scale, seed, iters);
+    if let Err(e) = std::fs::write(&out, json) {
+        eprintln!("error: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("# wrote {out}");
+    ExitCode::SUCCESS
+}
+
+fn measure(
+    kind: PolicyKind,
+    trace: &Trace,
+    dense: &DenseTrace,
+    capacity: ByteSize,
+    iters: usize,
+) -> Cell {
+    let requests = trace.len() as f64;
+    let mut best_hashed = f64::INFINITY;
+    let mut best_dense = f64::INFINITY;
+    for _ in 0..iters {
+        let start = Instant::now();
+        std::hint::black_box(
+            Simulator::new(kind.instantiate(), SimulationConfig::new(capacity)).run_hashed(trace),
+        );
+        best_hashed = best_hashed.min(start.elapsed().as_secs_f64());
+
+        let start = Instant::now();
+        std::hint::black_box(
+            Simulator::new(kind.instantiate(), SimulationConfig::new(capacity)).run_dense(dense),
+        );
+        best_dense = best_dense.min(start.elapsed().as_secs_f64());
+    }
+    Cell {
+        label: kind.label(),
+        hashed_rps: requests / best_hashed,
+        dense_rps: requests / best_dense,
+    }
+}
+
+fn render_json(cells: &[Cell], trace: &Trace, scale: f64, seed: u64, iters: usize) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"workload\": \"dfn\",");
+    let _ = writeln!(s, "  \"scale\": {scale},");
+    let _ = writeln!(s, "  \"seed\": {seed},");
+    let _ = writeln!(s, "  \"requests\": {},", trace.len());
+    let _ = writeln!(s, "  \"iters\": {iters},");
+    let _ = writeln!(
+        s,
+        "  \"seed_baseline_rps_gdstar_packet\": {SEED_BASELINE_GDSTAR_PACKET_RPS},"
+    );
+    s.push_str("  \"policies\": [\n");
+    for (i, cell) in cells.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"policy\": \"{}\", \"hashed_rps\": {:.0}, \"dense_rps\": {:.0}, \"speedup\": {:.3}}}{}",
+            cell.label,
+            cell.hashed_rps,
+            cell.dense_rps,
+            cell.dense_rps / cell.hashed_rps,
+            if i + 1 < cells.len() { "," } else { "" }
+        );
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}
+
+fn usage(error: &str) -> ExitCode {
+    if !error.is_empty() {
+        eprintln!("error: {error}\n");
+    }
+    eprintln!(
+        "hotpath [--scale DENOM] [--seed SEED] [--iters N] [--out PATH]\n\
+         \n\
+         Times every replacement policy over the scaled DFN workload through\n\
+         the hashed and the dense simulator paths and writes the requests/s\n\
+         comparison to a JSON file (default BENCH_hotpath.json)."
+    );
+    if error.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

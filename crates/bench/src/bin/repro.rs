@@ -39,8 +39,22 @@ fn main() -> ExitCode {
     }
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
         wanted = [
-            "table1", "table2", "table3", "table4", "table5", "figure1", "figure2", "figure3",
-            "rtp", "ablation-beta", "ablation-modification", "ablation-admission", "future", "loglike", "per-type-beta", "oracle",
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "figure1",
+            "figure2",
+            "figure3",
+            "rtp",
+            "ablation-beta",
+            "ablation-modification",
+            "ablation-admission",
+            "future",
+            "loglike",
+            "per-type-beta",
+            "oracle",
         ]
         .iter()
         .map(|s| s.to_string())

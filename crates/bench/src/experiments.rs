@@ -19,9 +19,11 @@ use crate::{dfn_trace, rtp_trace};
 pub fn table1(scale: f64, seed: u64) -> String {
     let dfn = TraceCharacterization::measure(&dfn_trace(scale, seed));
     let rtp = TraceCharacterization::measure(&rtp_trace(scale, seed));
-    let mut t = Table::new(vec!["Property".into(), "DFN".into(), "RTP".into()])
-        .with_title(format!("Table 1. Properties of DFN and RTP trace (scale {scale:.5})"));
-    let rows: [(&str, Box<dyn Fn(&TraceCharacterization) -> String>); 4] = [
+    let mut t = Table::new(vec!["Property".into(), "DFN".into(), "RTP".into()]).with_title(
+        format!("Table 1. Properties of DFN and RTP trace (scale {scale:.5})"),
+    );
+    type Row = (&'static str, Box<dyn Fn(&TraceCharacterization) -> String>);
+    let rows: [Row; 4] = [
         (
             "Distinct Documents",
             Box::new(|c: &TraceCharacterization| c.properties.distinct_documents.to_string()),
@@ -81,11 +83,7 @@ pub fn figure1_capacity(scale: f64) -> ByteSize {
 /// Runs one GD\* variant for Figure 1 and returns its report.
 pub fn figure1_run(trace: &Trace, cost: CostModel, capacity: ByteSize) -> SimulationReport {
     let config = SimulationConfig::new(capacity).with_occupancy_samples(50);
-    Simulator::new(
-        Box::new(GdStar::new(cost, BetaMode::default())),
-        config,
-    )
-    .run(trace)
+    Simulator::new(Box::new(GdStar::new(cost, BetaMode::default())), config).run(trace)
 }
 
 /// Figure 1: adaptability of GD\* — occupancy of the web cache by the
@@ -163,11 +161,11 @@ pub fn rtp_summary(scale: f64, seed: u64) -> String {
     let trace = rtp_trace(scale, seed);
     let constant = sweep(&trace, PolicyKind::PAPER_CONSTANT.to_vec());
     let packet = sweep(&trace, PolicyKind::PAPER_PACKET.to_vec());
-    let mut out = figure(
-        &constant,
-        "Section 4.4 (RTP trace): constant cost model",
-    );
-    out.push_str(&figure(&packet, "Section 4.4 (RTP trace): packet cost model"));
+    let mut out = figure(&constant, "Section 4.4 (RTP trace): constant cost model");
+    out.push_str(&figure(
+        &packet,
+        "Section 4.4 (RTP trace): packet cost model",
+    ));
     out
 }
 
@@ -175,9 +173,7 @@ pub fn rtp_summary(scale: f64, seed: u64) -> String {
 /// estimator, DFN trace, constant cost.
 pub fn ablation_beta(scale: f64, seed: u64) -> String {
     let trace = dfn_trace(scale, seed);
-    let capacity = ByteSize::new(
-        (trace.overall_size().as_f64() * 0.05).round() as u64,
-    );
+    let capacity = ByteSize::new((trace.overall_size().as_f64() * 0.05).round() as u64);
     let config = SimulationConfig::new(capacity);
     let mut t = Table::new(vec![
         "beta mode".into(),
@@ -190,11 +186,8 @@ pub fn ablation_beta(scale: f64, seed: u64) -> String {
         "Ablation A1. GD*(1) beta sensitivity (DFN, cache {capacity})"
     ));
     let mut run = |label: String, mode: BetaMode| {
-        let report = Simulator::new(
-            Box::new(GdStar::new(CostModel::Constant, mode)),
-            config,
-        )
-        .run(&trace);
+        let report =
+            Simulator::new(Box::new(GdStar::new(CostModel::Constant, mode)), config).run(&trace);
         let overall = report.overall();
         t.push_row(vec![
             label,
@@ -232,8 +225,7 @@ pub fn ablation_modification(scale: f64, seed: u64) -> String {
     ));
     for rule in [ModificationRule::SizeDelta, ModificationRule::AnyChange] {
         for kind in [PolicyKind::Lru, PolicyKind::GdStar(CostModel::Constant)] {
-            let config =
-                SimulationConfig::new(capacity).with_modification_rule(rule);
+            let config = SimulationConfig::new(capacity).with_modification_rule(rule);
             let report = Simulator::new(kind.instantiate(), config).run(&trace);
             let overall = report.overall();
             t.push_row(vec![
@@ -344,7 +336,10 @@ pub fn future_workload(scale: f64, seed: u64) -> String {
         ] {
             let report =
                 Simulator::new(kind.instantiate(), SimulationConfig::new(capacity)).run(&trace);
-            rates.push((report.overall().hit_rate(), report.overall().byte_hit_rate()));
+            rates.push((
+                report.overall().hit_rate(),
+                report.overall().byte_hit_rate(),
+            ));
         }
         for &(hr, _) in &rates {
             row.push(format!("{hr:.4}"));
@@ -505,7 +500,13 @@ mod tests {
 
     #[test]
     fn tables_render() {
-        for text in [table1(S, 1), table2(S, 1), table3(S, 1), table4(S, 1), table5(S, 1)] {
+        for text in [
+            table1(S, 1),
+            table2(S, 1),
+            table3(S, 1),
+            table4(S, 1),
+            table5(S, 1),
+        ] {
             assert!(text.lines().count() >= 6, "{text}");
         }
     }

@@ -77,11 +77,7 @@ impl Args {
                     message: "expected a value".to_owned(),
                 });
             };
-            if args
-                .values
-                .insert(flag.to_owned(), value.clone())
-                .is_some()
-            {
+            if args.values.insert(flag.to_owned(), value.clone()).is_some() {
                 return Err(ArgError::Duplicate(flag.to_owned()));
             }
         }
@@ -184,6 +180,8 @@ mod tests {
             ArgError::Missing("out").to_string(),
             "missing required flag `--out`"
         );
-        assert!(ArgError::Duplicate("x".into()).to_string().contains("twice"));
+        assert!(ArgError::Duplicate("x".into())
+            .to_string()
+            .contains("twice"));
     }
 }

@@ -63,22 +63,23 @@ pub fn parse_capacity(raw: &str) -> Result<CapacitySpec, String> {
     }
 
     let lower = raw.to_ascii_lowercase();
-    let (digits, multiplier) = if let Some(d) = lower.strip_suffix("kib").or(lower.strip_suffix("kb")) {
-        (d, 1024u64)
-    } else if let Some(d) = lower.strip_suffix("mib").or(lower.strip_suffix("mb")) {
-        (d, 1024 * 1024)
-    } else if let Some(d) = lower.strip_suffix("gib").or(lower.strip_suffix("gb")) {
-        (d, 1024 * 1024 * 1024)
-    } else if let Some(d) = lower.strip_suffix('b') {
-        (d, 1)
-    } else {
-        (lower.as_str(), 1)
-    };
+    let (digits, multiplier) =
+        if let Some(d) = lower.strip_suffix("kib").or(lower.strip_suffix("kb")) {
+            (d, 1024u64)
+        } else if let Some(d) = lower.strip_suffix("mib").or(lower.strip_suffix("mb")) {
+            (d, 1024 * 1024)
+        } else if let Some(d) = lower.strip_suffix("gib").or(lower.strip_suffix("gb")) {
+            (d, 1024 * 1024 * 1024)
+        } else if let Some(d) = lower.strip_suffix('b') {
+            (d, 1)
+        } else {
+            (lower.as_str(), 1)
+        };
     let value: f64 = digits
         .trim()
         .parse()
         .map_err(|_| format!("bad capacity `{raw}`"))?;
-    if !(value > 0.0) {
+    if value.is_nan() || value <= 0.0 {
         return Err(format!("capacity must be positive, got `{raw}`"));
     }
     Ok(CapacitySpec::Bytes(ByteSize::new(

@@ -128,13 +128,13 @@ pub fn simulate(args: &Args) -> Result<String, CliError> {
     let (label, by_type, occupancy_series) = match kind {
         Some(kind) => {
             let report = Simulator::new(kind.instantiate(), config).run(&trace);
-            (report.policy.clone(), *report.by_type(), Some(report.occupancy))
+            (
+                report.policy.clone(),
+                *report.by_type(),
+                Some(report.occupancy),
+            )
         }
-        None => (
-            "clairvoyant".to_owned(),
-            clairvoyant(&trace, &config),
-            None,
-        ),
+        None => ("clairvoyant".to_owned(), clairvoyant(&trace, &config), None),
     };
 
     let mut table = Table::new(vec![
@@ -260,7 +260,9 @@ pub fn sweep(args: &Args) -> Result<String, CliError> {
                     if !(frac > 0.0 && frac <= 1.0) {
                         return Err(usage(format!("fraction out of (0, 1]: `{f}`")));
                     }
-                    Ok(ByteSize::new((overall.as_f64() * frac).round().max(1.0) as u64))
+                    Ok(ByteSize::new(
+                        (overall.as_f64() * frac).round().max(1.0) as u64
+                    ))
                 })
                 .collect::<Result<_, _>>()?
         }

@@ -130,7 +130,11 @@ fn characterize_accepts_squid_directly() {
         "100.000 5 c TCP_MISS/200 900 GET http://e.de/a.gif - DIRECT/- image/gif\n",
     )
     .unwrap();
-    let out = run(&argv(&format!("characterize --squid {}", log_path.display()))).unwrap();
+    let out = run(&argv(&format!(
+        "characterize --squid {}",
+        log_path.display()
+    )))
+    .unwrap();
     assert!(out.contains("Total Requests"));
     fs::remove_file(log_path).ok();
 }
@@ -140,7 +144,7 @@ fn usage_errors_are_reported() {
     for bad in [
         "generate --profile dfn", // missing --out
         "generate --profile mars --out /tmp/x",
-        "simulate --policy lru",        // missing input
+        "simulate --policy lru",                     // missing input
         "simulate --trace a --squid b --policy lru", // both inputs
         "sweep --trace missing-file.wct",
         "simulate --trace missing-file.wct --policy nonsense",

@@ -10,7 +10,7 @@
 //! document; rejected documents are forwarded to the client without
 //! being stored.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use serde::{Deserialize, Serialize};
 
@@ -31,12 +31,20 @@ pub enum AdmissionRule {
 }
 
 /// Stateful admission decision-maker. See the module-level documentation above.
+///
+/// The second-hit memory is a per-slot bitmap plus a FIFO of slots:
+/// document handles are dense interned slots (the cache interns before
+/// consulting admission), so a `Vec<bool>` replaces the hash set.
 #[derive(Debug)]
 pub struct AdmissionController {
     rule: AdmissionRule,
-    /// SecondHit memory: docs seen once, in FIFO order for bounded size.
-    seen_once: HashMap<DocId, ()>,
-    order: VecDeque<DocId>,
+    /// SecondHit memory: `seen_once[slot]` = fetched once, not yet
+    /// admitted or forgotten.
+    seen_once: Vec<bool>,
+    /// Number of set bits in `seen_once`.
+    remembered: usize,
+    /// FIFO of slots for window bounding; may hold stale handles.
+    order: VecDeque<u32>,
 }
 
 impl AdmissionController {
@@ -51,7 +59,8 @@ impl AdmissionController {
         }
         AdmissionController {
             rule,
-            seen_once: HashMap::new(),
+            seen_once: Vec::new(),
+            remembered: 0,
             order: VecDeque::new(),
         }
     }
@@ -68,19 +77,30 @@ impl AdmissionController {
             AdmissionRule::All => true,
             AdmissionRule::MaxSize(limit) => size <= limit,
             AdmissionRule::SecondHit(window) => {
-                if self.seen_once.remove(&doc).is_some() {
+                let slot = doc.as_u64() as usize;
+                if slot >= self.seen_once.len() {
+                    self.seen_once.resize(slot + 1, false);
+                }
+                if self.seen_once[slot] {
                     // Second fetch: admit. (The stale entry in `order`
                     // is skipped when it surfaces.)
+                    self.seen_once[slot] = false;
+                    self.remembered -= 1;
                     return true;
                 }
-                self.seen_once.insert(doc, ());
-                self.order.push_back(doc);
+                self.seen_once[slot] = true;
+                self.remembered += 1;
+                self.order.push_back(slot as u32);
                 // Bound the memory to the window, skipping stale handles.
-                while self.seen_once.len() > window {
+                while self.remembered > window {
                     let Some(old) = self.order.pop_front() else {
                         break;
                     };
-                    self.seen_once.remove(&old);
+                    let old = old as usize;
+                    if self.seen_once[old] {
+                        self.seen_once[old] = false;
+                        self.remembered -= 1;
+                    }
                 }
                 false
             }
@@ -89,7 +109,7 @@ impl AdmissionController {
 
     /// Number of documents currently remembered by the second-hit filter.
     pub fn remembered(&self) -> usize {
-        self.seen_once.len()
+        self.remembered
     }
 }
 
@@ -111,7 +131,10 @@ mod tests {
     #[test]
     fn max_size_threshold() {
         let mut c = AdmissionController::new(AdmissionRule::MaxSize(ByteSize::new(1000)));
-        assert!(c.admit(doc(1), ByteSize::new(1000)), "boundary is inclusive");
+        assert!(
+            c.admit(doc(1), ByteSize::new(1000)),
+            "boundary is inclusive"
+        );
         assert!(!c.admit(doc(2), ByteSize::new(1001)));
     }
 
@@ -140,12 +163,15 @@ mod tests {
         let mut c = AdmissionController::new(AdmissionRule::SecondHit(2));
         c.admit(doc(1), ByteSize::new(1));
         assert!(c.admit(doc(1), ByteSize::new(1))); // consume doc 1
-        // Window has a stale `order` entry for doc 1; filling it must
-        // still retain the two live docs.
+                                                    // Window has a stale `order` entry for doc 1; filling it must
+                                                    // still retain the two live docs.
         c.admit(doc(2), ByteSize::new(1));
         c.admit(doc(3), ByteSize::new(1));
         assert_eq!(c.remembered(), 2);
-        assert!(c.admit(doc(2), ByteSize::new(1)), "doc 2 must still be live");
+        assert!(
+            c.admit(doc(2), ByteSize::new(1)),
+            "doc 2 must still be live"
+        );
     }
 
     #[test]

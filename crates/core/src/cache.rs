@@ -5,11 +5,28 @@
 //! per-[document-type](DocumentType) occupancy counters — the quantities
 //! plotted in Figure 1 of the paper (fraction of cached documents and of
 //! cached bytes per type).
-
-use std::collections::HashMap;
+//!
+//! # Data layout
+//!
+//! The store is a slab: a `Vec<Option<Entry>>` indexed by *slot*, where a
+//! slot is a dense integer the cache assigns to each document id on its
+//! first insert attempt (and keeps forever — slots survive eviction).
+//! Policies and the admission controller are addressed with slot-valued
+//! [`DocId`] handles, so all their per-document state is vector-indexed
+//! too; no hash is computed anywhere on the hit path. Two interning modes
+//! exist:
+//!
+//! * [`Cache::new`] / [`Cache::with_admission`] intern arbitrary sparse
+//!   ids through a hash map (one fx-hash lookup per request, at the
+//!   boundary only).
+//! * [`Cache::with_dense_slots`] skips even that: the caller promises ids
+//!   are already dense slots `0..n` (a
+//!   [`DenseTrace`](webcache_trace::DenseTrace) replay), and the slab and
+//!   policy state are pre-sized to `n`.
 
 use serde::{Deserialize, Serialize};
 
+use webcache_trace::fxhash::FxHashMap;
 use webcache_trace::{ByteSize, DocId, DocumentType, TypeMap};
 
 use crate::admission::{AdmissionController, AdmissionRule};
@@ -36,8 +53,41 @@ pub struct EvictionOutcome {
 
 #[derive(Debug, Clone, Copy)]
 struct Entry {
+    /// The document id as the caller knows it (reported in
+    /// [`EvictionOutcome::evicted`]; policies only ever see the slot).
+    doc: DocId,
     size: ByteSize,
     doc_type: DocumentType,
+}
+
+/// How document ids map to dense slab slots.
+#[derive(Debug)]
+enum SlotIndex {
+    /// Ids are already dense slots (`Cache::with_dense_slots`).
+    Identity,
+    /// Sparse ids are interned on first insert attempt.
+    Map(FxHashMap<u64, u32>),
+}
+
+impl SlotIndex {
+    /// The slot of `doc`, if one was ever assigned.
+    fn get(&self, doc: DocId) -> Option<u32> {
+        match self {
+            SlotIndex::Identity => Some(doc.as_u64() as u32),
+            SlotIndex::Map(map) => map.get(&doc.as_u64()).copied(),
+        }
+    }
+
+    /// The slot of `doc`, assigning the next free one if new.
+    fn intern(&mut self, doc: DocId) -> u32 {
+        match self {
+            SlotIndex::Identity => doc.as_u64() as u32,
+            SlotIndex::Map(map) => {
+                let next = map.len() as u32;
+                *map.entry(doc.as_u64()).or_insert(next)
+            }
+        }
+    }
 }
 
 /// A web cache with a fixed byte capacity and a pluggable replacement
@@ -57,7 +107,11 @@ struct Entry {
 pub struct Cache {
     capacity: ByteSize,
     used: ByteSize,
-    entries: HashMap<DocId, Entry>,
+    /// Slot-indexed slab of resident documents.
+    entries: Vec<Option<Entry>>,
+    /// Number of resident documents (`Some` entries in the slab).
+    live: usize,
+    slots: SlotIndex,
     occupancy: TypeMap<Occupancy>,
     policy: Box<dyn ReplacementPolicy>,
     admission: AdmissionController,
@@ -89,12 +143,59 @@ impl Cache {
         Cache {
             capacity,
             used: ByteSize::ZERO,
-            entries: HashMap::new(),
+            entries: Vec::new(),
+            live: 0,
+            slots: SlotIndex::Map(FxHashMap::default()),
             occupancy: TypeMap::default(),
             policy,
             admission: AdmissionController::new(rule),
             rejected_by_admission: 0,
         }
+    }
+
+    /// Creates an empty cache whose document ids are promised to be dense
+    /// slots `0..distinct_documents` (e.g. a
+    /// [`DenseTrace`](webcache_trace::DenseTrace) replay). Skips the
+    /// id-interning map and pre-sizes the slab and all policy state.
+    ///
+    /// Behaviorally identical to [`Cache::with_admission`] fed ids in
+    /// first-insert-attempt order; only the data layout differs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_dense_slots(
+        capacity: ByteSize,
+        policy: Box<dyn ReplacementPolicy>,
+        rule: AdmissionRule,
+        distinct_documents: usize,
+    ) -> Self {
+        assert!(!capacity.is_zero(), "cache capacity must be positive");
+        let mut policy = policy;
+        policy.reserve_slots(distinct_documents);
+        Cache {
+            capacity,
+            used: ByteSize::ZERO,
+            entries: vec![None; distinct_documents],
+            live: 0,
+            slots: SlotIndex::Identity,
+            occupancy: TypeMap::default(),
+            policy,
+            admission: AdmissionController::new(rule),
+            rejected_by_admission: 0,
+        }
+    }
+
+    /// The slot-valued handle policies and admission are addressed with.
+    #[inline]
+    fn handle(slot: u32) -> DocId {
+        DocId::new(slot as u64)
+    }
+
+    /// The resident entry at `slot`, if any.
+    #[inline]
+    fn entry_at(&self, slot: u32) -> Option<Entry> {
+        self.entries.get(slot as usize).copied().flatten()
     }
 
     /// Number of insert attempts the admission rule turned away.
@@ -114,12 +215,12 @@ impl Cache {
 
     /// Number of resident documents.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.live
     }
 
     /// Whether the cache holds no documents.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.live == 0
     }
 
     /// The replacement policy's display label (e.g. `"GD*(P)"`).
@@ -129,12 +230,15 @@ impl Cache {
 
     /// Whether `doc` is resident, *without* touching policy state.
     pub fn contains(&self, doc: DocId) -> bool {
-        self.entries.contains_key(&doc)
+        self.slots.get(doc).and_then(|s| self.entry_at(s)).is_some()
     }
 
     /// The resident size of `doc`, if cached.
     pub fn size_of(&self, doc: DocId) -> Option<ByteSize> {
-        self.entries.get(&doc).map(|e| e.size)
+        self.slots
+            .get(doc)
+            .and_then(|s| self.entry_at(s))
+            .map(|e| e.size)
     }
 
     /// Per-type occupancy counters (documents and bytes).
@@ -148,10 +252,13 @@ impl Cache {
     /// request; on a miss the caller fetches the document and calls
     /// [`Cache::insert`].
     pub fn access(&mut self, doc: DocId) -> bool {
-        match self.entries.get(&doc) {
+        let Some(slot) = self.slots.get(doc) else {
+            return false;
+        };
+        match self.entry_at(slot) {
             Some(entry) => {
-                let (size, ty) = (entry.size, entry.doc_type);
-                self.policy.on_hit_typed(doc, size, ty);
+                self.policy
+                    .on_hit_typed(Self::handle(slot), entry.size, entry.doc_type);
                 true
             }
             None => false,
@@ -170,10 +277,17 @@ impl Cache {
         doc_type: DocumentType,
         size: ByteSize,
     ) -> EvictionOutcome {
-        if self.contains(doc) {
-            self.invalidate(doc);
+        let slot = self.slots.intern(doc);
+        let handle = Self::handle(slot);
+        if slot as usize >= self.entries.len() {
+            self.entries.resize(slot as usize + 1, None);
         }
-        if !self.admission.admit(doc, size) {
+        if self.entries[slot as usize].is_some() {
+            // Re-admission with new size/type: drop the old incarnation.
+            self.policy.remove(handle);
+            self.detach(slot);
+        }
+        if !self.admission.admit(handle, size) {
             self.rejected_by_admission += 1;
             return EvictionOutcome {
                 inserted: false,
@@ -193,16 +307,23 @@ impl Cache {
                 .policy
                 .evict()
                 .expect("cache is over budget but policy tracks no documents");
-            self.detach(victim);
-            evicted.push(victim);
+            let vslot = victim.as_u64() as u32;
+            let ventry = self.entries[vslot as usize].expect("policy evicted a non-resident slot");
+            self.detach(vslot);
+            evicted.push(ventry.doc);
         }
 
-        self.entries.insert(doc, Entry { size, doc_type });
+        self.entries[slot as usize] = Some(Entry {
+            doc,
+            size,
+            doc_type,
+        });
+        self.live += 1;
         self.used += size;
-        let slot = &mut self.occupancy[doc_type];
-        slot.documents += 1;
-        slot.bytes += size;
-        self.policy.on_insert_typed(doc, size, doc_type);
+        let occ = &mut self.occupancy[doc_type];
+        occ.documents += 1;
+        occ.bytes += size;
+        self.policy.on_insert_typed(handle, size, doc_type);
         EvictionOutcome {
             inserted: true,
             evicted,
@@ -214,36 +335,41 @@ impl Cache {
     /// Returns `true` if the document was resident. Unlike eviction this
     /// has no aging side effects on the policy.
     pub fn invalidate(&mut self, doc: DocId) -> bool {
-        if self.entries.contains_key(&doc) {
-            self.policy.remove(doc);
-            self.detach(doc);
+        let Some(slot) = self.slots.get(doc) else {
+            return false;
+        };
+        if self.entry_at(slot).is_some() {
+            self.policy.remove(Self::handle(slot));
+            self.detach(slot);
             true
         } else {
             false
         }
     }
 
-    /// Removes bookkeeping for a document already untracked by the policy.
-    fn detach(&mut self, doc: DocId) {
-        let entry = self
-            .entries
-            .remove(&doc)
+    /// Removes bookkeeping for a slot already untracked by the policy.
+    fn detach(&mut self, slot: u32) {
+        let entry = self.entries[slot as usize]
+            .take()
             .expect("detach of non-resident document");
+        self.live -= 1;
         self.used -= entry.size;
-        let slot = &mut self.occupancy[entry.doc_type];
-        slot.documents -= 1;
-        slot.bytes -= entry.size;
+        let occ = &mut self.occupancy[entry.doc_type];
+        occ.documents -= 1;
+        occ.bytes -= entry.size;
     }
 
     /// Checks internal consistency; used by tests.
     #[doc(hidden)]
     pub fn debug_validate(&self) {
         assert!(self.used <= self.capacity, "capacity exceeded");
-        let total: u64 = self.entries.values().map(|e| e.size.as_u64()).sum();
+        let residents: Vec<&Entry> = self.entries.iter().flatten().collect();
+        let total: u64 = residents.iter().map(|e| e.size.as_u64()).sum();
         assert_eq!(self.used.as_u64(), total, "used-bytes counter drifted");
-        assert_eq!(self.policy.len(), self.entries.len(), "policy desync");
+        assert_eq!(self.policy.len(), self.live, "policy desync");
+        assert_eq!(residents.len(), self.live, "live counter drifted");
         let mut per_type: TypeMap<Occupancy> = TypeMap::default();
-        for e in self.entries.values() {
+        for e in &residents {
             per_type[e.doc_type].documents += 1;
             per_type[e.doc_type].bytes += e.size;
         }
@@ -351,7 +477,10 @@ mod tests {
             PolicyKind::Lru.instantiate(),
             AdmissionRule::MaxSize(ByteSize::new(100)),
         );
-        assert!(c.insert(doc(1), DocumentType::Image, ByteSize::new(100)).inserted);
+        assert!(
+            c.insert(doc(1), DocumentType::Image, ByteSize::new(100))
+                .inserted
+        );
         let outcome = c.insert(doc(2), DocumentType::MultiMedia, ByteSize::new(101));
         assert!(!outcome.inserted);
         assert!(outcome.evicted.is_empty(), "rejection must not evict");
@@ -368,10 +497,16 @@ mod tests {
             PolicyKind::Lru.instantiate(),
             AdmissionRule::SecondHit(64),
         );
-        assert!(!c.insert(doc(1), DocumentType::Html, ByteSize::new(10)).inserted);
+        assert!(
+            !c.insert(doc(1), DocumentType::Html, ByteSize::new(10))
+                .inserted
+        );
         assert!(!c.contains(doc(1)));
         // Second fetch of the same document is admitted.
-        assert!(c.insert(doc(1), DocumentType::Html, ByteSize::new(10)).inserted);
+        assert!(
+            c.insert(doc(1), DocumentType::Html, ByteSize::new(10))
+                .inserted
+        );
         assert!(c.contains(doc(1)));
         assert_eq!(c.admission_rejections(), 1);
         c.debug_validate();
@@ -390,8 +525,10 @@ mod tests {
             let mut c = Cache::new(ByteSize::new(10_000), kind.instantiate());
             let mut state = 987654321u64;
             let mut next = || {
-                state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
-                (state >> 33) as u64
+                state = state
+                    .wrapping_mul(2862933555777941757)
+                    .wrapping_add(3037000493);
+                state >> 33
             };
             for step in 0..3000 {
                 let d = doc(next() % 200);

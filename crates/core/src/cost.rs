@@ -19,7 +19,9 @@ use webcache_trace::ByteSize;
 pub const TCP_PAYLOAD_BYTES: u64 = 536;
 
 /// The cost `c(p)` of bringing a document into the cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
 pub enum CostModel {
     /// `c(p) = 1` — optimizes hit rate. Schemes using it are written
     /// GDS(1) / GD\*(1).

@@ -7,12 +7,12 @@
 use webcache_trace::{ByteSize, DocId};
 
 use super::{PriorityKey, ReplacementPolicy};
-use crate::pqueue::IndexedHeap;
+use crate::pqueue::DenseIndexedHeap;
 
 /// FIFO replacement state. See the module-level documentation above.
 #[derive(Debug, Default)]
 pub struct Fifo {
-    heap: IndexedHeap<DocId, PriorityKey>,
+    heap: DenseIndexedHeap<DocId, PriorityKey>,
     seq: u64,
 }
 
@@ -47,6 +47,10 @@ impl ReplacementPolicy for Fifo {
 
     fn len(&self) -> usize {
         self.heap.len()
+    }
+
+    fn reserve_slots(&mut self, n: usize) {
+        self.heap.reserve(n);
     }
 }
 

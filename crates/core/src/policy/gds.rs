@@ -17,20 +17,21 @@
 //! GDS is online-optimal with respect to its cost function but ignores how
 //! *often* a document was used — the gap GreedyDual\* fills.
 
-use std::collections::HashMap;
-
 use webcache_trace::{ByteSize, DocId};
 
 use super::{PriorityKey, ReplacementPolicy};
 use crate::cost::CostModel;
-use crate::pqueue::IndexedHeap;
+use crate::pqueue::DenseIndexedHeap;
 
 /// GreedyDual-Size replacement state. See the module-level documentation above.
+///
+/// GDS recomputes `H` from the request's size on every touch, so the heap
+/// itself is the only per-document state — membership doubles as the
+/// presence check.
 #[derive(Debug)]
 pub struct Gds {
     cost_model: CostModel,
-    heap: IndexedHeap<DocId, PriorityKey>,
-    sizes: HashMap<DocId, ByteSize>,
+    heap: DenseIndexedHeap<DocId, PriorityKey>,
     /// Inflation value `L`.
     inflation: f64,
     seq: u64,
@@ -41,8 +42,7 @@ impl Gds {
     pub fn new(cost_model: CostModel) -> Self {
         Gds {
             cost_model,
-            heap: IndexedHeap::new(),
-            sizes: HashMap::new(),
+            heap: DenseIndexedHeap::new(),
             inflation: 0.0,
             seq: 0,
         }
@@ -67,7 +67,6 @@ impl Gds {
     }
 
     fn touch(&mut self, doc: DocId, size: ByteSize) {
-        self.sizes.insert(doc, size);
         self.seq += 1;
         let key = PriorityKey::new(self.inflation + self.value(size), self.seq);
         self.heap.upsert(doc, key);
@@ -80,31 +79,32 @@ impl ReplacementPolicy for Gds {
     }
 
     fn on_insert(&mut self, doc: DocId, size: ByteSize) {
-        debug_assert!(!self.sizes.contains_key(&doc), "double insert of {doc}");
+        debug_assert!(!self.heap.contains(doc), "double insert of {doc}");
         self.touch(doc, size);
     }
 
     fn on_hit(&mut self, doc: DocId, size: ByteSize) {
-        if self.sizes.contains_key(&doc) {
+        if self.heap.contains(doc) {
             self.touch(doc, size);
         }
     }
 
     fn evict(&mut self) -> Option<DocId> {
         let (doc, key) = self.heap.pop_min()?;
-        self.sizes.remove(&doc);
         self.inflation = key.value.get();
         Some(doc)
     }
 
     fn remove(&mut self, doc: DocId) {
-        if self.sizes.remove(&doc).is_some() {
-            self.heap.remove(doc);
-        }
+        self.heap.remove(doc);
     }
 
     fn len(&self) -> usize {
         self.heap.len()
+    }
+
+    fn reserve_slots(&mut self, n: usize) {
+        self.heap.reserve(n);
     }
 }
 

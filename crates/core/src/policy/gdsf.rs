@@ -12,20 +12,19 @@
 //! both as a baseline in its own right and as the anchor point of the β
 //! ablation (`GdStar::with_fixed_beta(cost, 1.0)` must agree with it).
 
-use std::collections::HashMap;
-
 use webcache_trace::{ByteSize, DocId};
 
-use super::{PriorityKey, ReplacementPolicy};
+use super::{slot_entry, slot_of, PriorityKey, ReplacementPolicy};
 use crate::cost::CostModel;
-use crate::pqueue::IndexedHeap;
+use crate::pqueue::DenseIndexedHeap;
 
 /// GDSF replacement state. See the module-level documentation above.
 #[derive(Debug)]
 pub struct Gdsf {
     cost_model: CostModel,
-    heap: IndexedHeap<DocId, PriorityKey>,
-    docs: HashMap<DocId, (ByteSize, u64)>,
+    heap: DenseIndexedHeap<DocId, PriorityKey>,
+    /// Per-slot `(size, frequency)`; frequency 0 = not tracked.
+    docs: Vec<(ByteSize, u64)>,
     inflation: f64,
     seq: u64,
 }
@@ -35,8 +34,8 @@ impl Gdsf {
     pub fn new(cost_model: CostModel) -> Self {
         Gdsf {
             cost_model,
-            heap: IndexedHeap::new(),
-            docs: HashMap::new(),
+            heap: DenseIndexedHeap::new(),
+            docs: Vec::new(),
             inflation: 0.0,
             seq: 0,
         }
@@ -56,7 +55,8 @@ impl Gdsf {
         let s = size.as_f64().max(1.0);
         let value = freq as f64 * self.cost_model.cost(size) / s;
         self.seq += 1;
-        self.heap.upsert(doc, PriorityKey::new(self.inflation + value, self.seq));
+        self.heap
+            .upsert(doc, PriorityKey::new(self.inflation + value, self.seq));
     }
 }
 
@@ -66,13 +66,14 @@ impl ReplacementPolicy for Gdsf {
     }
 
     fn on_insert(&mut self, doc: DocId, size: ByteSize) {
-        debug_assert!(!self.docs.contains_key(&doc), "double insert of {doc}");
-        self.docs.insert(doc, (size, 1));
+        let state = slot_entry(&mut self.docs, slot_of(doc), (ByteSize::ZERO, 0));
+        debug_assert!(state.1 == 0, "double insert of {doc}");
+        *state = (size, 1);
         self.push_key(doc, 1, size);
     }
 
     fn on_hit(&mut self, doc: DocId, size: ByteSize) {
-        let Some(state) = self.docs.get_mut(&doc) else {
+        let Some(state) = self.docs.get_mut(slot_of(doc)).filter(|s| s.1 > 0) else {
             return;
         };
         state.0 = size;
@@ -83,19 +84,27 @@ impl ReplacementPolicy for Gdsf {
 
     fn evict(&mut self) -> Option<DocId> {
         let (doc, key) = self.heap.pop_min()?;
-        self.docs.remove(&doc);
+        self.docs[slot_of(doc)] = (ByteSize::ZERO, 0);
         self.inflation = key.value.get();
         Some(doc)
     }
 
     fn remove(&mut self, doc: DocId) {
-        if self.docs.remove(&doc).is_some() {
+        if let Some(state) = self.docs.get_mut(slot_of(doc)).filter(|s| s.1 > 0) {
+            *state = (ByteSize::ZERO, 0);
             self.heap.remove(doc);
         }
     }
 
     fn len(&self) -> usize {
         self.heap.len()
+    }
+
+    fn reserve_slots(&mut self, n: usize) {
+        self.heap.reserve(n);
+        if self.docs.len() < n {
+            self.docs.resize(n, (ByteSize::ZERO, 0));
+        }
     }
 }
 
@@ -133,7 +142,7 @@ mod tests {
         let mut state = 42u64;
         let mut next = || {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-            (state >> 33) as u64
+            state >> 33
         };
         let mut tracked = std::collections::HashSet::new();
         for _ in 0..2000 {

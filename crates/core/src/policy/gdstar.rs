@@ -22,15 +22,13 @@
 //! offline. A fixed β can be configured instead via [`BetaMode::Fixed`]
 //! (used by the β ablation experiment).
 
-use std::collections::HashMap;
-
 use serde::{Deserialize, Serialize};
 
 use webcache_trace::{ByteSize, DocId, DocumentType, TypeMap};
 
-use super::{PriorityKey, ReplacementPolicy};
+use super::{slot_entry, slot_of, PriorityKey, ReplacementPolicy};
 use crate::cost::CostModel;
-use crate::pqueue::IndexedHeap;
+use crate::pqueue::DenseIndexedHeap;
 
 /// How GD\* obtains the temporal-correlation exponent β.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -158,11 +156,7 @@ impl BetaEstimator {
             .zip(&ws)
             .map(|((x, y), w)| w * (x - mx) * (y - my))
             .sum();
-        let sxx: f64 = xs
-            .iter()
-            .zip(&ws)
-            .map(|(x, w)| w * (x - mx).powi(2))
-            .sum();
+        let sxx: f64 = xs.iter().zip(&ws).map(|(x, w)| w * (x - mx).powi(2)).sum();
         if sxx == 0.0 {
             return None;
         }
@@ -198,8 +192,9 @@ pub struct GdStar {
     per_type_beta: TypeMap<f64>,
     per_type_estimators: TypeMap<BetaEstimator>,
     per_type_last_refresh: TypeMap<u64>,
-    heap: IndexedHeap<DocId, PriorityKey>,
-    docs: HashMap<DocId, DocState>,
+    heap: DenseIndexedHeap<DocId, PriorityKey>,
+    /// Per-slot document state; `None` = not tracked.
+    docs: Vec<Option<DocState>>,
     inflation: f64,
     /// Counts policy events (inserts + hits) as a proxy for the request
     /// clock; gaps are measured in these units.
@@ -229,8 +224,8 @@ impl GdStar {
             per_type_beta: TypeMap::splat(beta),
             per_type_estimators: TypeMap::from_fn(|_| BetaEstimator::new()),
             per_type_last_refresh: TypeMap::default(),
-            heap: IndexedHeap::new(),
-            docs: HashMap::new(),
+            heap: DenseIndexedHeap::new(),
+            docs: Vec::new(),
             inflation: 0.0,
             clock: 0,
             seq: 0,
@@ -282,7 +277,11 @@ impl GdStar {
 
     /// The in-cache reference count of `doc`.
     pub fn frequency(&self, doc: DocId) -> Option<u64> {
-        self.docs.get(&doc).map(|d| d.freq)
+        self.docs
+            .get(slot_of(doc))
+            .copied()
+            .flatten()
+            .map(|d| d.freq)
     }
 
     fn maybe_refresh_beta(&mut self, ty: DocumentType) {
@@ -337,30 +336,30 @@ impl ReplacementPolicy for GdStar {
     fn on_hit(&mut self, doc: DocId, size: ByteSize) {
         let ty = self
             .docs
-            .get(&doc)
+            .get(slot_of(doc))
+            .copied()
+            .flatten()
             .map(|d| d.ty)
             .unwrap_or(DocumentType::Other);
         self.on_hit_typed(doc, size, ty);
     }
 
     fn on_insert_typed(&mut self, doc: DocId, size: ByteSize, doc_type: DocumentType) {
-        debug_assert!(!self.docs.contains_key(&doc), "double insert of {doc}");
         self.clock += 1;
-        self.docs.insert(
-            doc,
-            DocState {
-                size,
-                ty: doc_type,
-                freq: 1,
-                last_access: self.clock,
-            },
-        );
+        let state = slot_entry(&mut self.docs, slot_of(doc), None);
+        debug_assert!(state.is_none(), "double insert of {doc}");
+        *state = Some(DocState {
+            size,
+            ty: doc_type,
+            freq: 1,
+            last_access: self.clock,
+        });
         self.push_key(doc, 1, size, doc_type);
     }
 
     fn on_hit_typed(&mut self, doc: DocId, size: ByteSize, doc_type: DocumentType) {
         self.clock += 1;
-        let Some(state) = self.docs.get_mut(&doc) else {
+        let Some(state) = self.docs.get_mut(slot_of(doc)).and_then(Option::as_mut) else {
             return;
         };
         state.freq += 1;
@@ -377,19 +376,28 @@ impl ReplacementPolicy for GdStar {
 
     fn evict(&mut self) -> Option<DocId> {
         let (doc, key) = self.heap.pop_min()?;
-        self.docs.remove(&doc);
+        self.docs[slot_of(doc)] = None;
         self.inflation = key.value.get();
         Some(doc)
     }
 
     fn remove(&mut self, doc: DocId) {
-        if self.docs.remove(&doc).is_some() {
-            self.heap.remove(doc);
+        if let Some(state) = self.docs.get_mut(slot_of(doc)) {
+            if state.take().is_some() {
+                self.heap.remove(doc);
+            }
         }
     }
 
     fn len(&self) -> usize {
         self.heap.len()
+    }
+
+    fn reserve_slots(&mut self, n: usize) {
+        self.heap.reserve(n);
+        if self.docs.len() < n {
+            self.docs.resize(n, None);
+        }
     }
 }
 

@@ -6,18 +6,17 @@
 //! never evicted — the defect that LFU-DA's dynamic aging repairs. Included
 //! as a baseline for the aging ablation.
 
-use std::collections::HashMap;
-
 use webcache_trace::{ByteSize, DocId};
 
-use super::{PriorityKey, ReplacementPolicy};
-use crate::pqueue::IndexedHeap;
+use super::{slot_entry, slot_of, PriorityKey, ReplacementPolicy};
+use crate::pqueue::DenseIndexedHeap;
 
 /// LFU replacement state. See the module-level documentation above.
 #[derive(Debug, Default)]
 pub struct Lfu {
-    heap: IndexedHeap<DocId, PriorityKey>,
-    counts: HashMap<DocId, u64>,
+    heap: DenseIndexedHeap<DocId, PriorityKey>,
+    /// Per-slot reference count; 0 = not tracked.
+    counts: Vec<u64>,
     seq: u64,
 }
 
@@ -29,14 +28,19 @@ impl Lfu {
 
     /// The in-cache reference count of `doc`, if tracked.
     pub fn reference_count(&self, doc: DocId) -> Option<u64> {
-        self.counts.get(&doc).copied()
+        match self.counts.get(slot_of(doc)) {
+            Some(&count) if count > 0 => Some(count),
+            _ => None,
+        }
     }
 
     fn touch(&mut self, doc: DocId) {
-        let count = self.counts.get(&doc).copied().unwrap_or(0) + 1;
-        self.counts.insert(doc, count);
+        let count = slot_entry(&mut self.counts, slot_of(doc), 0);
+        *count += 1;
+        let count = *count;
         self.seq += 1;
-        self.heap.upsert(doc, PriorityKey::new(count as f64, self.seq));
+        self.heap
+            .upsert(doc, PriorityKey::new(count as f64, self.seq));
     }
 }
 
@@ -46,30 +50,41 @@ impl ReplacementPolicy for Lfu {
     }
 
     fn on_insert(&mut self, doc: DocId, _size: ByteSize) {
-        debug_assert!(!self.counts.contains_key(&doc), "double insert of {doc}");
+        debug_assert!(
+            self.reference_count(doc).is_none(),
+            "double insert of {doc}"
+        );
         self.touch(doc);
     }
 
     fn on_hit(&mut self, doc: DocId, _size: ByteSize) {
-        if self.counts.contains_key(&doc) {
+        if self.reference_count(doc).is_some() {
             self.touch(doc);
         }
     }
 
     fn evict(&mut self) -> Option<DocId> {
         let (doc, _) = self.heap.pop_min()?;
-        self.counts.remove(&doc);
+        self.counts[slot_of(doc)] = 0;
         Some(doc)
     }
 
     fn remove(&mut self, doc: DocId) {
-        if self.counts.remove(&doc).is_some() {
+        if self.reference_count(doc).is_some() {
+            self.counts[slot_of(doc)] = 0;
             self.heap.remove(doc);
         }
     }
 
     fn len(&self) -> usize {
         self.heap.len()
+    }
+
+    fn reserve_slots(&mut self, n: usize) {
+        self.heap.reserve(n);
+        if self.counts.len() < n {
+            self.counts.resize(n, 0);
+        }
     }
 }
 

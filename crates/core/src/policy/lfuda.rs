@@ -15,18 +15,17 @@
 //! pollution of plain LFU. LFU-DA achieves high byte hit rates because it
 //! does not discriminate against large documents.
 
-use std::collections::HashMap;
-
 use webcache_trace::{ByteSize, DocId};
 
-use super::{PriorityKey, ReplacementPolicy};
-use crate::pqueue::IndexedHeap;
+use super::{slot_entry, slot_of, PriorityKey, ReplacementPolicy};
+use crate::pqueue::DenseIndexedHeap;
 
 /// LFU-DA replacement state. See the module-level documentation above.
 #[derive(Debug, Default)]
 pub struct LfuDa {
-    heap: IndexedHeap<DocId, PriorityKey>,
-    counts: HashMap<DocId, u64>,
+    heap: DenseIndexedHeap<DocId, PriorityKey>,
+    /// Per-slot reference count; 0 = not tracked.
+    counts: Vec<u64>,
     /// Cache age `L`: the key value of the last evicted document.
     age: f64,
     seq: u64,
@@ -48,9 +47,14 @@ impl LfuDa {
         self.heap.key_of(doc).map(|k| k.value.get())
     }
 
+    fn tracked(&self, doc: DocId) -> bool {
+        self.counts.get(slot_of(doc)).copied().unwrap_or(0) > 0
+    }
+
     fn touch(&mut self, doc: DocId) {
-        let count = self.counts.get(&doc).copied().unwrap_or(0) + 1;
-        self.counts.insert(doc, count);
+        let count = slot_entry(&mut self.counts, slot_of(doc), 0);
+        *count += 1;
+        let count = *count;
         self.seq += 1;
         let key = PriorityKey::new(count as f64 + self.age, self.seq);
         self.heap.upsert(doc, key);
@@ -63,32 +67,40 @@ impl ReplacementPolicy for LfuDa {
     }
 
     fn on_insert(&mut self, doc: DocId, _size: ByteSize) {
-        debug_assert!(!self.counts.contains_key(&doc), "double insert of {doc}");
+        debug_assert!(!self.tracked(doc), "double insert of {doc}");
         self.touch(doc);
     }
 
     fn on_hit(&mut self, doc: DocId, _size: ByteSize) {
-        if self.counts.contains_key(&doc) {
+        if self.tracked(doc) {
             self.touch(doc);
         }
     }
 
     fn evict(&mut self) -> Option<DocId> {
         let (doc, key) = self.heap.pop_min()?;
-        self.counts.remove(&doc);
+        self.counts[slot_of(doc)] = 0;
         // Dynamic aging: the cache age inflates to the victim's key.
         self.age = key.value.get();
         Some(doc)
     }
 
     fn remove(&mut self, doc: DocId) {
-        if self.counts.remove(&doc).is_some() {
+        if self.tracked(doc) {
+            self.counts[slot_of(doc)] = 0;
             self.heap.remove(doc);
         }
     }
 
     fn len(&self) -> usize {
         self.heap.len()
+    }
+
+    fn reserve_slots(&mut self, n: usize) {
+        self.heap.reserve(n);
+        if self.counts.len() < n {
+            self.counts.resize(n, 0);
+        }
     }
 }
 
@@ -139,11 +151,9 @@ mod tests {
             p.on_hit(doc(0), sz());
         }
         let mut evicted_stale = false;
-        let mut next_doc = 1u64;
-        for _ in 0..20 {
+        for next_doc in 1u64..=20 {
             // Keep exactly 2 tracked documents: insert one, evict one.
             p.on_insert(doc(next_doc), sz());
-            next_doc += 1;
             if p.evict() == Some(doc(0)) {
                 evicted_stale = true;
                 break;

@@ -10,11 +10,9 @@
 //! Implemented as an intrusive doubly-linked list over a slab with a
 //! position map — all operations are `O(1)`.
 
-use std::collections::HashMap;
-
 use webcache_trace::{ByteSize, DocId};
 
-use super::ReplacementPolicy;
+use super::{slot_entry, slot_of, ReplacementPolicy};
 
 #[derive(Debug, Clone, Copy)]
 struct Node {
@@ -23,10 +21,15 @@ struct Node {
     next: Option<usize>,
 }
 
+/// Sentinel marking an untracked document slot in [`Lru::map`].
+const UNTRACKED: u32 = u32::MAX;
+
 /// LRU replacement state. See the module-level documentation above.
 #[derive(Debug, Default)]
 pub struct Lru {
-    map: HashMap<DocId, usize>,
+    /// Document slot -> node index; [`UNTRACKED`] = not in the cache.
+    map: Vec<u32>,
+    live: usize,
     nodes: Vec<Node>,
     free: Vec<usize>,
     /// Most recently used.
@@ -44,6 +47,13 @@ impl Lru {
     /// The current victim-if-evicted-now, without removing it.
     pub fn peek_victim(&self) -> Option<DocId> {
         self.tail.map(|i| self.nodes[i].doc)
+    }
+
+    fn node_of(&self, doc: DocId) -> Option<usize> {
+        match self.map.get(slot_of(doc)) {
+            Some(&idx) if idx != UNTRACKED => Some(idx as usize),
+            _ => None,
+        }
     }
 
     fn push_front(&mut self, doc: DocId) -> usize {
@@ -92,13 +102,14 @@ impl ReplacementPolicy for Lru {
     }
 
     fn on_insert(&mut self, doc: DocId, _size: ByteSize) {
-        debug_assert!(!self.map.contains_key(&doc), "double insert of {doc}");
+        debug_assert!(self.node_of(doc).is_none(), "double insert of {doc}");
         let idx = self.push_front(doc);
-        self.map.insert(doc, idx);
+        *slot_entry(&mut self.map, slot_of(doc), UNTRACKED) = idx as u32;
+        self.live += 1;
     }
 
     fn on_hit(&mut self, doc: DocId, _size: ByteSize) {
-        if let Some(&idx) = self.map.get(&doc) {
+        if let Some(idx) = self.node_of(doc) {
             if self.head == Some(idx) {
                 return;
             }
@@ -106,7 +117,7 @@ impl ReplacementPolicy for Lru {
             // `unlink` freed the slot; `push_front` reuses it immediately.
             let new_idx = self.push_front(doc);
             debug_assert_eq!(new_idx, idx);
-            self.map.insert(doc, new_idx);
+            self.map[slot_of(doc)] = new_idx as u32;
         }
     }
 
@@ -114,18 +125,27 @@ impl ReplacementPolicy for Lru {
         let idx = self.tail?;
         let doc = self.nodes[idx].doc;
         self.unlink(idx);
-        self.map.remove(&doc);
+        self.map[slot_of(doc)] = UNTRACKED;
+        self.live -= 1;
         Some(doc)
     }
 
     fn remove(&mut self, doc: DocId) {
-        if let Some(idx) = self.map.remove(&doc) {
+        if let Some(idx) = self.node_of(doc) {
             self.unlink(idx);
+            self.map[slot_of(doc)] = UNTRACKED;
+            self.live -= 1;
         }
     }
 
     fn len(&self) -> usize {
-        self.map.len()
+        self.live
+    }
+
+    fn reserve_slots(&mut self, n: usize) {
+        if self.map.len() < n {
+            self.map.resize(n, UNTRACKED);
+        }
     }
 }
 
@@ -179,8 +199,7 @@ mod tests {
             lru.on_insert(doc(i), sz());
         }
         lru.remove(doc(2));
-        let order: Vec<u64> =
-            std::iter::from_fn(|| lru.evict().map(DocId::as_u64)).collect();
+        let order: Vec<u64> = std::iter::from_fn(|| lru.evict().map(DocId::as_u64)).collect();
         assert_eq!(order, vec![0, 1, 3, 4]);
     }
 
@@ -203,7 +222,7 @@ mod tests {
         let mut state = 12345u64;
         let mut next = || {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-            (state >> 33) as u64
+            state >> 33
         };
 
         for step in 0..4000 {

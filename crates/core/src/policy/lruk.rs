@@ -8,21 +8,26 @@
 //! cache literature — discriminates one-timers sharply, the same goal
 //! SLRU and the second-hit admission filter pursue by other means.
 
-use std::collections::{HashMap, VecDeque};
-
 use webcache_trace::{ByteSize, DocId};
 
-use super::{PriorityKey, ReplacementPolicy};
-use crate::pqueue::IndexedHeap;
+use super::{slot_of, PriorityKey, ReplacementPolicy};
+use crate::pqueue::DenseIndexedHeap;
 
 /// LRU-K replacement state. See the module-level documentation above.
+///
+/// Reference histories are flattened into one vector of `k` fixed rows
+/// per document slot (`history[slot*k .. slot*k+k]`, oldest first, with
+/// `lens[slot]` valid entries); K is a small constant (2 in the classic
+/// variant), so the left-shift on overflow is a couple of word moves.
 #[derive(Debug)]
 pub struct LruK {
     k: usize,
-    /// Last K reference times per document, most recent at the back.
-    history: HashMap<DocId, VecDeque<u64>>,
+    /// Flattened last-K reference times, `k` slots per document row.
+    history: Vec<u64>,
+    /// Valid entries per document row; 0 = not tracked.
+    lens: Vec<u32>,
     /// Min-heap on the backward K-distance key.
-    heap: IndexedHeap<DocId, PriorityKey>,
+    heap: DenseIndexedHeap<DocId, PriorityKey>,
     clock: u64,
 }
 
@@ -36,8 +41,9 @@ impl LruK {
         assert!(k > 0, "LRU-K needs K ≥ 1");
         LruK {
             k,
-            history: HashMap::new(),
-            heap: IndexedHeap::new(),
+            history: Vec::new(),
+            lens: Vec::new(),
+            heap: DenseIndexedHeap::new(),
             clock: 0,
         }
     }
@@ -52,12 +58,26 @@ impl LruK {
         self.k
     }
 
+    fn tracked(&self, doc: DocId) -> bool {
+        self.lens.get(slot_of(doc)).copied().unwrap_or(0) > 0
+    }
+
     fn touch(&mut self, doc: DocId) {
         self.clock += 1;
-        let history = self.history.entry(doc).or_default();
-        history.push_back(self.clock);
-        while history.len() > self.k {
-            history.pop_front();
+        let slot = slot_of(doc);
+        if slot >= self.lens.len() {
+            self.lens.resize(slot + 1, 0);
+            self.history.resize((slot + 1) * self.k, 0);
+        }
+        let row = slot * self.k;
+        let len = self.lens[slot] as usize;
+        if len < self.k {
+            self.history[row + len] = self.clock;
+            self.lens[slot] = (len + 1) as u32;
+        } else {
+            // Row full: shift out the oldest reference.
+            self.history.copy_within(row + 1..row + self.k, row);
+            self.history[row + self.k - 1] = self.clock;
         }
         // Priority: the K-th most recent reference time when available —
         // the min-heap then pops the *oldest* K-th reference, i.e. the
@@ -65,10 +85,10 @@ impl LruK {
         // references have infinite distance: keyed below every full
         // history (-1e18 + first reference), so they evict first, oldest
         // first.
-        let key = if history.len() == self.k {
-            PriorityKey::new(history[0] as f64, doc.as_u64())
+        let key = if self.lens[slot] as usize == self.k {
+            PriorityKey::new(self.history[row] as f64, doc.as_u64())
         } else {
-            PriorityKey::new(-1e18 + history[0] as f64, doc.as_u64())
+            PriorityKey::new(-1e18 + self.history[row] as f64, doc.as_u64())
         };
         self.heap.upsert(doc, key);
     }
@@ -80,30 +100,39 @@ impl ReplacementPolicy for LruK {
     }
 
     fn on_insert(&mut self, doc: DocId, _size: ByteSize) {
-        debug_assert!(!self.history.contains_key(&doc), "double insert of {doc}");
+        debug_assert!(!self.tracked(doc), "double insert of {doc}");
         self.touch(doc);
     }
 
     fn on_hit(&mut self, doc: DocId, _size: ByteSize) {
-        if self.history.contains_key(&doc) {
+        if self.tracked(doc) {
             self.touch(doc);
         }
     }
 
     fn evict(&mut self) -> Option<DocId> {
         let (doc, _) = self.heap.pop_min()?;
-        self.history.remove(&doc);
+        self.lens[slot_of(doc)] = 0;
         Some(doc)
     }
 
     fn remove(&mut self, doc: DocId) {
-        if self.history.remove(&doc).is_some() {
+        if self.tracked(doc) {
+            self.lens[slot_of(doc)] = 0;
             self.heap.remove(doc);
         }
     }
 
     fn len(&self) -> usize {
         self.heap.len()
+    }
+
+    fn reserve_slots(&mut self, n: usize) {
+        self.heap.reserve(n);
+        if self.lens.len() < n {
+            self.lens.resize(n, 0);
+            self.history.resize(n * self.k, 0);
+        }
     }
 }
 
@@ -137,7 +166,7 @@ mod tests {
         p.on_hit(doc(1), sz()); // t3: doc1 history [t1, t3]
         p.on_hit(doc(2), sz()); // t4: doc2 history [t2, t4]
         p.on_hit(doc(1), sz()); // t5: doc1 history [t3, t5]
-        // K-th most recent: doc1 -> t3, doc2 -> t2; doc2 is older.
+                                // K-th most recent: doc1 -> t3, doc2 -> t2; doc2 is older.
         assert_eq!(p.evict(), Some(doc(2)));
     }
 
@@ -195,7 +224,7 @@ mod tests {
         for _ in 0..10 {
             p.on_hit(doc(1), sz());
         }
-        assert_eq!(p.history[&doc(1)].len(), 2);
+        assert_eq!(p.lens[slot_of(doc(1))], 2);
         assert_eq!(p.k(), 2);
         assert_eq!(p.label(), "LRU-2");
     }

@@ -93,6 +93,35 @@ pub trait ReplacementPolicy: fmt::Debug + Send {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Announces that document handles will be dense slots `0..n`, so
+    /// slot-indexed state can be sized once up front instead of growing
+    /// on demand. Purely an optimization hint; the default does nothing.
+    fn reserve_slots(&mut self, n: usize) {
+        let _ = n;
+    }
+}
+
+/// The slot a document handle indexes in per-document vectors.
+///
+/// Policies store per-document state in plain vectors indexed by
+/// `doc.as_u64()`: the [`Cache`](crate::Cache) interns every real
+/// document id to a dense slot before calling the policy hooks, so these
+/// values are small contiguous integers, never sparse 64-bit ids.
+#[inline]
+pub(crate) fn slot_of(doc: DocId) -> usize {
+    doc.as_u64() as usize
+}
+
+/// Grows `vec` with `fill` until `index` is in bounds, then returns the
+/// element — the on-demand counterpart of
+/// [`ReplacementPolicy::reserve_slots`].
+#[inline]
+pub(crate) fn slot_entry<T: Copy>(vec: &mut Vec<T>, index: usize, fill: T) -> &mut T {
+    if index >= vec.len() {
+        vec.resize(index + 1, fill);
+    }
+    &mut vec[index]
 }
 
 /// A heap key combining a priority value with a deterministic tie-breaker.
@@ -123,7 +152,7 @@ impl PriorityKey {
 /// let policy = PolicyKind::GdStar(CostModel::Packet).instantiate();
 /// assert_eq!(policy.label(), "GD*(P)");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum PolicyKind {
     /// Least Recently Used.
     Lru,
@@ -325,8 +354,14 @@ mod tests {
             assert_eq!(PolicyKind::parse(&kind.label()), Some(kind), "{kind}");
         }
         // Forgiving spellings.
-        assert_eq!(PolicyKind::parse("GDStar(P)"), Some(PolicyKind::GdStar(CostModel::Packet)));
-        assert_eq!(PolicyKind::parse("gds_1"), Some(PolicyKind::Gds(CostModel::Constant)));
+        assert_eq!(
+            PolicyKind::parse("GDStar(P)"),
+            Some(PolicyKind::GdStar(CostModel::Packet))
+        );
+        assert_eq!(
+            PolicyKind::parse("gds_1"),
+            Some(PolicyKind::Gds(CostModel::Constant))
+        );
         assert_eq!(PolicyKind::parse("lfu da"), Some(PolicyKind::LfuDa));
         assert_eq!(PolicyKind::parse(""), None);
         assert_eq!(PolicyKind::parse("gdq"), None);

@@ -8,12 +8,12 @@
 use webcache_trace::{ByteSize, DocId};
 
 use super::{PriorityKey, ReplacementPolicy};
-use crate::pqueue::IndexedHeap;
+use crate::pqueue::DenseIndexedHeap;
 
 /// SIZE replacement state. See the module-level documentation above.
 #[derive(Debug, Default)]
 pub struct SizeBased {
-    heap: IndexedHeap<DocId, PriorityKey>,
+    heap: DenseIndexedHeap<DocId, PriorityKey>,
     seq: u64,
 }
 
@@ -42,7 +42,13 @@ impl ReplacementPolicy for SizeBased {
             // Refresh the tie-breaker so equal-size ties follow recency.
             let key = self.heap.key_of(doc).expect("contains checked");
             self.seq += 1;
-            self.heap.update(doc, PriorityKey { tie: self.seq, ..key });
+            self.heap.update(
+                doc,
+                PriorityKey {
+                    tie: self.seq,
+                    ..key
+                },
+            );
         }
     }
 
@@ -56,6 +62,10 @@ impl ReplacementPolicy for SizeBased {
 
     fn len(&self) -> usize {
         self.heap.len()
+    }
+
+    fn reserve_slots(&mut self, n: usize) {
+        self.heap.reserve(n);
     }
 }
 

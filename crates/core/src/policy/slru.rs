@@ -13,11 +13,11 @@
 //! the one-timer floods that dominate web traces (most documents in the
 //! DFN/RTP workloads are referenced exactly once).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use webcache_trace::{ByteSize, DocId};
 
-use super::ReplacementPolicy;
+use super::{slot_entry, slot_of, ReplacementPolicy};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Segment {
@@ -25,17 +25,34 @@ enum Segment {
     Protected,
 }
 
+impl Segment {
+    fn code(self) -> u8 {
+        match self {
+            Segment::Probationary => 1,
+            Segment::Protected => 2,
+        }
+    }
+}
+
+/// Per-slot segment code: 0 = not tracked, 1 = probationary, 2 = protected.
+const GONE: u8 = 0;
+
 /// SLRU replacement state. See the module-level documentation above.
 ///
 /// Both segments are kept as recency-ordered deques with lazy deletion
-/// (stale handles are skipped on pop), plus a live-position map.
+/// (stale handles are skipped on pop), plus a per-slot live-state vector
+/// and running live counters (so `len`/`protected_len` are O(1)).
 #[derive(Debug)]
 pub struct Slru {
     /// Front = most recent. Entries are (doc, generation).
     probationary: VecDeque<(DocId, u64)>,
     protected: VecDeque<(DocId, u64)>,
-    /// doc -> (segment, generation of its live entry).
-    docs: HashMap<DocId, (Segment, u64)>,
+    /// Per document slot: (segment code, generation of its live entry).
+    state: Vec<(u8, u64)>,
+    /// Live documents across both segments.
+    live: usize,
+    /// Live documents in the protected segment.
+    protected_live: usize,
     /// Protected-segment capacity in documents.
     protected_capacity: usize,
     generation: u64,
@@ -61,7 +78,9 @@ impl Slru {
         Slru {
             probationary: VecDeque::new(),
             protected: VecDeque::new(),
-            docs: HashMap::new(),
+            state: Vec::new(),
+            live: 0,
+            protected_live: 0,
             protected_capacity: capacity,
             generation: 0,
         }
@@ -69,10 +88,21 @@ impl Slru {
 
     /// Number of live documents in the protected segment.
     pub fn protected_len(&self) -> usize {
-        self.docs
-            .values()
-            .filter(|(seg, _)| *seg == Segment::Protected)
-            .count()
+        self.protected_live
+    }
+
+    fn state_of(&self, doc: DocId) -> (u8, u64) {
+        self.state.get(slot_of(doc)).copied().unwrap_or((GONE, 0))
+    }
+
+    /// Clears a live document's state, maintaining the counters.
+    fn forget(&mut self, doc: DocId) {
+        let slot = slot_of(doc);
+        if self.state[slot].0 == Segment::Protected.code() {
+            self.protected_live -= 1;
+        }
+        self.state[slot] = (GONE, 0);
+        self.live -= 1;
     }
 
     fn push(&mut self, doc: DocId, segment: Segment) {
@@ -82,17 +112,27 @@ impl Slru {
             Segment::Probationary => self.probationary.push_front(entry),
             Segment::Protected => self.protected.push_front(entry),
         }
-        self.docs.insert(doc, (segment, self.generation));
+        let state = slot_entry(&mut self.state, slot_of(doc), (GONE, 0));
+        let old = state.0;
+        *state = (segment.code(), self.generation);
+        if old == GONE {
+            self.live += 1;
+        }
+        if old != Segment::Protected.code() && segment == Segment::Protected {
+            self.protected_live += 1;
+        } else if old == Segment::Protected.code() && segment != Segment::Protected {
+            self.protected_live -= 1;
+        }
     }
 
     /// Pops the live LRU entry of a queue, skipping stale handles.
     fn pop_live(
         queue: &mut VecDeque<(DocId, u64)>,
-        docs: &HashMap<DocId, (Segment, u64)>,
+        state: &[(u8, u64)],
         segment: Segment,
     ) -> Option<DocId> {
         while let Some((doc, generation)) = queue.pop_back() {
-            if docs.get(&doc) == Some(&(segment, generation)) {
+            if state.get(slot_of(doc)).copied() == Some((segment.code(), generation)) {
                 return Some(doc);
             }
         }
@@ -100,9 +140,8 @@ impl Slru {
     }
 
     fn demote_protected_overflow(&mut self) {
-        while self.protected_len() > self.protected_capacity {
-            let Some(victim) =
-                Self::pop_live(&mut self.protected, &self.docs, Segment::Protected)
+        while self.protected_live > self.protected_capacity {
+            let Some(victim) = Self::pop_live(&mut self.protected, &self.state, Segment::Protected)
             else {
                 break;
             };
@@ -124,12 +163,12 @@ impl ReplacementPolicy for Slru {
     }
 
     fn on_insert(&mut self, doc: DocId, _size: ByteSize) {
-        debug_assert!(!self.docs.contains_key(&doc), "double insert of {doc}");
+        debug_assert!(self.state_of(doc).0 == GONE, "double insert of {doc}");
         self.push(doc, Segment::Probationary);
     }
 
     fn on_hit(&mut self, doc: DocId, _size: ByteSize) {
-        if self.docs.contains_key(&doc) {
+        if self.state_of(doc).0 != GONE {
             self.push(doc, Segment::Protected);
             self.demote_protected_overflow();
         }
@@ -137,25 +176,33 @@ impl ReplacementPolicy for Slru {
 
     fn evict(&mut self) -> Option<DocId> {
         if let Some(doc) =
-            Self::pop_live(&mut self.probationary, &self.docs, Segment::Probationary)
+            Self::pop_live(&mut self.probationary, &self.state, Segment::Probationary)
         {
-            self.docs.remove(&doc);
+            self.forget(doc);
             return Some(doc);
         }
         // Probationary empty: fall back to the protected LRU.
-        let doc = Self::pop_live(&mut self.protected, &self.docs, Segment::Protected)?;
-        self.docs.remove(&doc);
+        let doc = Self::pop_live(&mut self.protected, &self.state, Segment::Protected)?;
+        self.forget(doc);
         Some(doc)
     }
 
     fn remove(&mut self, doc: DocId) {
-        // Lazy deletion: drop the map entry; stale queue handles are
+        // Lazy deletion: clear the live state; stale queue handles are
         // skipped during pops.
-        self.docs.remove(&doc);
+        if self.state_of(doc).0 != GONE {
+            self.forget(doc);
+        }
     }
 
     fn len(&self) -> usize {
-        self.docs.len()
+        self.live
+    }
+
+    fn reserve_slots(&mut self, n: usize) {
+        if self.state.len() < n {
+            self.state.resize(n, (GONE, 0));
+        }
     }
 }
 

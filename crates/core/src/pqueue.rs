@@ -2,17 +2,189 @@
 //!
 //! The GreedyDual family and LFU-DA need a priority queue supporting
 //! *extract-min* and *arbitrary key change on hit*. [`IndexedHeap`] keeps a
-//! position map from item to heap slot, so updating or removing any item is
-//! `O(log n)` without lazy-deletion garbage.
+//! position index from item to heap slot, so updating or removing any item
+//! is `O(log n)` without lazy-deletion garbage.
+//!
+//! The position index is pluggable through [`PositionIndex`]: the default
+//! [`HashPositions`] works for any hashable item, while [`DensePositions`]
+//! backs the index with a plain `Vec<u32>` for items that are small dense
+//! integers (interned document slots). Every sift step updates the
+//! position of the swapped pair, so on the simulator hot path — millions
+//! of sift steps per run — replacing the two hash-map writes per swap
+//! with two vector stores is the single largest win of the dense layout.
 
-use std::collections::HashMap;
+use std::fmt::Debug;
 use std::hash::Hash;
+
+use webcache_trace::fxhash::FxHashMap;
+use webcache_trace::DocId;
+
+/// Reverse index from heap item to its current slot position.
+///
+/// Implementations must behave like a map from `I` to `usize`: `set`
+/// overwrites, `remove` is idempotent, `clear` empties while keeping
+/// allocations.
+pub trait PositionIndex<I>: Debug + Default {
+    /// The position of `item`, if tracked.
+    fn get(&self, item: I) -> Option<usize>;
+
+    /// Records `item` at `pos`.
+    fn set(&mut self, item: I, pos: usize);
+
+    /// Forgets `item`, returning its last position if it was tracked.
+    fn remove(&mut self, item: I) -> Option<usize>;
+
+    /// Forgets every item, keeping allocations.
+    fn clear(&mut self);
+
+    /// Pre-sizes the index for `n` distinct items. Optional.
+    fn reserve(&mut self, n: usize) {
+        let _ = n;
+    }
+}
+
+/// The general-purpose position index: a hash map (fx-hashed — heap items
+/// are trusted small keys, never attacker-controlled input).
+#[derive(Debug, Clone)]
+pub struct HashPositions<I> {
+    map: FxHashMap<I, usize>,
+}
+
+impl<I> Default for HashPositions<I> {
+    fn default() -> Self {
+        HashPositions {
+            map: FxHashMap::default(),
+        }
+    }
+}
+
+impl<I: Copy + Eq + Hash + Debug> PositionIndex<I> for HashPositions<I> {
+    #[inline]
+    fn get(&self, item: I) -> Option<usize> {
+        self.map.get(&item).copied()
+    }
+
+    #[inline]
+    fn set(&mut self, item: I, pos: usize) {
+        self.map.insert(item, pos);
+    }
+
+    #[inline]
+    fn remove(&mut self, item: I) -> Option<usize> {
+        self.map.remove(&item)
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    fn reserve(&mut self, n: usize) {
+        self.map.reserve(n);
+    }
+}
+
+/// Items usable with [`DensePositions`]: small dense non-negative integers.
+pub trait DenseItem: Copy {
+    /// The dense index of this item. Indices should be contiguous from 0;
+    /// the position vector grows to the largest index seen.
+    fn dense_index(self) -> usize;
+}
+
+impl DenseItem for u32 {
+    #[inline]
+    fn dense_index(self) -> usize {
+        self as usize
+    }
+}
+
+impl DenseItem for u64 {
+    #[inline]
+    fn dense_index(self) -> usize {
+        self as usize
+    }
+}
+
+impl DenseItem for usize {
+    #[inline]
+    fn dense_index(self) -> usize {
+        self
+    }
+}
+
+impl DenseItem for DocId {
+    #[inline]
+    fn dense_index(self) -> usize {
+        self.as_u64() as usize
+    }
+}
+
+/// Sentinel marking an untracked slot in [`DensePositions`].
+const ABSENT: u32 = u32::MAX;
+
+/// A `Vec<u32>`-backed position index for dense items.
+///
+/// Position lookups and updates are single vector accesses. Heap
+/// positions are stored as `u32` (a heap cannot meaningfully exceed
+/// 4 billion live entries); `u32::MAX` marks absence.
+#[derive(Debug, Clone, Default)]
+pub struct DensePositions {
+    positions: Vec<u32>,
+}
+
+impl DensePositions {
+    fn slot(&mut self, index: usize) -> &mut u32 {
+        if index >= self.positions.len() {
+            self.positions.resize(index + 1, ABSENT);
+        }
+        &mut self.positions[index]
+    }
+}
+
+impl<I: DenseItem + Debug> PositionIndex<I> for DensePositions {
+    #[inline]
+    fn get(&self, item: I) -> Option<usize> {
+        match self.positions.get(item.dense_index()) {
+            Some(&pos) if pos != ABSENT => Some(pos as usize),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, item: I, pos: usize) {
+        debug_assert!(pos < ABSENT as usize, "heap position overflows u32");
+        *self.slot(item.dense_index()) = pos as u32;
+    }
+
+    #[inline]
+    fn remove(&mut self, item: I) -> Option<usize> {
+        match self.positions.get_mut(item.dense_index()) {
+            Some(pos) if *pos != ABSENT => {
+                let old = *pos as usize;
+                *pos = ABSENT;
+                Some(old)
+            }
+            _ => None,
+        }
+    }
+
+    fn clear(&mut self) {
+        // Keep the allocation; the vector is reusable across runs.
+        self.positions.fill(ABSENT);
+    }
+
+    fn reserve(&mut self, n: usize) {
+        if n > self.positions.len() {
+            self.positions.resize(n, ABSENT);
+        }
+    }
+}
 
 /// A binary min-heap over `(key, item)` pairs with by-item addressing.
 ///
-/// `I` is the item (e.g. a document id), `K` the priority key. The heap
-/// orders by `K`; ties should be broken inside `K` itself (e.g. with a
-/// sequence number) if deterministic extraction order matters.
+/// `I` is the item (e.g. a document id), `K` the priority key, `X` the
+/// [`PositionIndex`] implementation. The heap orders by `K`; ties should
+/// be broken inside `K` itself (e.g. with a sequence number) if
+/// deterministic extraction order matters.
 ///
 /// ```
 /// use webcache_core::pqueue::IndexedHeap;
@@ -26,34 +198,46 @@ use std::hash::Hash;
 /// assert!(heap.is_empty());
 /// ```
 #[derive(Debug, Clone)]
-pub struct IndexedHeap<I, K> {
+pub struct IndexedHeap<I, K, X = HashPositions<I>> {
     /// Heap-ordered `(key, item)` pairs.
     slots: Vec<(K, I)>,
     /// Item -> index into `slots`.
-    positions: HashMap<I, usize>,
+    positions: X,
 }
 
-impl<I, K> Default for IndexedHeap<I, K>
+/// An [`IndexedHeap`] whose position index is a plain vector — for items
+/// that are dense interned slots.
+pub type DenseIndexedHeap<I, K> = IndexedHeap<I, K, DensePositions>;
+
+impl<I, K, X> Default for IndexedHeap<I, K, X>
 where
-    I: Copy + Eq + Hash,
+    I: Copy,
     K: Ord + Copy,
+    X: PositionIndex<I>,
 {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<I, K> IndexedHeap<I, K>
+impl<I, K, X> IndexedHeap<I, K, X>
 where
-    I: Copy + Eq + Hash,
+    I: Copy,
     K: Ord + Copy,
+    X: PositionIndex<I>,
 {
     /// Creates an empty heap.
     pub fn new() -> Self {
         IndexedHeap {
             slots: Vec::new(),
-            positions: HashMap::new(),
+            positions: X::default(),
         }
+    }
+
+    /// Pre-sizes the heap for `n` items.
+    pub fn reserve(&mut self, n: usize) {
+        self.slots.reserve(n);
+        self.positions.reserve(n);
     }
 
     /// Number of items in the heap.
@@ -68,12 +252,12 @@ where
 
     /// Whether `item` is present.
     pub fn contains(&self, item: I) -> bool {
-        self.positions.contains_key(&item)
+        self.positions.get(item).is_some()
     }
 
     /// The key currently associated with `item`, if present.
     pub fn key_of(&self, item: I) -> Option<K> {
-        self.positions.get(&item).map(|&i| self.slots[i].0)
+        self.positions.get(item).map(|i| self.slots[i].0)
     }
 
     /// Inserts a new item.
@@ -85,12 +269,12 @@ where
     /// unknown.
     pub fn insert(&mut self, item: I, key: K) {
         assert!(
-            !self.positions.contains_key(&item),
+            self.positions.get(item).is_none(),
             "item already present; use update/upsert"
         );
         let idx = self.slots.len();
         self.slots.push((key, item));
-        self.positions.insert(item, idx);
+        self.positions.set(item, idx);
         self.sift_up(idx);
     }
 
@@ -100,9 +284,9 @@ where
     ///
     /// Panics if `item` is not present.
     pub fn update(&mut self, item: I, key: K) {
-        let &idx = self
+        let idx = self
             .positions
-            .get(&item)
+            .get(item)
             .expect("update of item not in heap");
         let old = self.slots[idx].0;
         self.slots[idx].0 = key;
@@ -136,7 +320,7 @@ where
 
     /// Removes `item`, returning its key if it was present.
     pub fn remove(&mut self, item: I) -> Option<K> {
-        let &idx = self.positions.get(&item)?;
+        let idx = self.positions.get(item)?;
         let key = self.slots[idx].0;
         self.remove_at(idx);
         Some(key)
@@ -152,9 +336,9 @@ where
         let last = self.slots.len() - 1;
         self.slots.swap(idx, last);
         let (_, removed) = self.slots.pop().expect("slot exists");
-        self.positions.remove(&removed);
+        self.positions.remove(removed);
         if idx < self.slots.len() {
-            self.positions.insert(self.slots[idx].1, idx);
+            self.positions.set(self.slots[idx].1, idx);
             // The swapped-in element may need to move either way.
             self.sift_up(idx);
             self.sift_down(idx);
@@ -193,11 +377,11 @@ where
 
     fn swap(&mut self, a: usize, b: usize) {
         self.slots.swap(a, b);
-        self.positions.insert(self.slots[a].1, a);
-        self.positions.insert(self.slots[b].1, b);
+        self.positions.set(self.slots[a].1, a);
+        self.positions.set(self.slots[b].1, b);
     }
 
-    /// Checks the heap invariant and position map; used by tests.
+    /// Checks the heap invariant and position index; used by tests.
     #[cfg(test)]
     fn check_invariants(&self) {
         for idx in 1..self.slots.len() {
@@ -207,9 +391,8 @@ where
                 "heap order violated at {idx}"
             );
         }
-        assert_eq!(self.positions.len(), self.slots.len());
         for (i, &(_, item)) in self.slots.iter().enumerate() {
-            assert_eq!(self.positions[&item], i, "position map stale");
+            assert_eq!(self.positions.get(item), Some(i), "position index stale");
         }
     }
 }
@@ -220,7 +403,7 @@ mod tests {
 
     #[test]
     fn basic_ordering() {
-        let mut h = IndexedHeap::new();
+        let mut h: IndexedHeap<u64, u64> = IndexedHeap::new();
         for (i, k) in [(1u64, 50u64), (2, 10), (3, 30), (4, 20), (5, 40)] {
             h.insert(i, k);
             h.check_invariants();
@@ -233,7 +416,7 @@ mod tests {
 
     #[test]
     fn update_moves_items_both_ways() {
-        let mut h = IndexedHeap::new();
+        let mut h: IndexedHeap<&str, i32> = IndexedHeap::new();
         h.insert("a", 10);
         h.insert("b", 20);
         h.insert("c", 30);
@@ -248,7 +431,7 @@ mod tests {
 
     #[test]
     fn upsert_inserts_then_updates() {
-        let mut h = IndexedHeap::new();
+        let mut h: IndexedHeap<u32, u32> = IndexedHeap::new();
         h.upsert(7u32, 1u32);
         h.upsert(7, 9);
         assert_eq!(h.len(), 1);
@@ -257,7 +440,7 @@ mod tests {
 
     #[test]
     fn remove_arbitrary_items() {
-        let mut h = IndexedHeap::new();
+        let mut h: IndexedHeap<u64, u64> = IndexedHeap::new();
         for i in 0u64..20 {
             h.insert(i, (i * 7) % 13);
         }
@@ -271,7 +454,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "already present")]
     fn double_insert_panics() {
-        let mut h = IndexedHeap::new();
+        let mut h: IndexedHeap<u8, u8> = IndexedHeap::new();
         h.insert(1u8, 1u8);
         h.insert(1, 2);
     }
@@ -285,26 +468,59 @@ mod tests {
 
     #[test]
     fn clear_resets() {
-        let mut h = IndexedHeap::new();
+        let mut h: IndexedHeap<u8, u8> = IndexedHeap::new();
         h.insert(1u8, 1u8);
         h.clear();
         assert!(h.is_empty());
         assert_eq!(h.pop_min(), None);
     }
 
-    /// Randomized differential test against a sorted-map reference model.
+    #[test]
+    fn dense_positions_grow_clear_and_reuse() {
+        let mut h: DenseIndexedHeap<u32, u32> = IndexedHeap::new();
+        h.reserve(8);
+        for i in 0..8u32 {
+            h.insert(i, 100 - i);
+        }
+        h.check_invariants();
+        assert_eq!(h.pop_min(), Some((7, 93)));
+        // Sparse-ish index far beyond the reservation still works.
+        h.insert(5_000, 1);
+        assert_eq!(h.peek_min(), Some((5_000, 1)));
+        h.clear();
+        assert!(h.is_empty());
+        assert!(!h.contains(0), "clear must forget dense positions");
+        // Reuse after clear: same items, fresh keys.
+        for i in 0..8u32 {
+            h.insert(i, i);
+        }
+        h.check_invariants();
+        assert_eq!(h.pop_min(), Some((0, 0)));
+        assert_eq!(h.len(), 7);
+    }
+
+    /// Randomized differential test against a sorted-map reference model,
+    /// run over both position-index variants.
     #[test]
     fn differential_against_btreemap() {
+        differential_model_run::<HashPositions<u32>>();
+        differential_model_run::<DensePositions>();
+    }
+
+    fn differential_model_run<X: PositionIndex<u32>>() {
         use std::collections::BTreeMap;
+        use std::collections::HashMap;
 
         // Simple deterministic LCG so the test needs no external RNG.
         let mut state = 0x2545F491_4F6CDD1Du64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
 
-        let mut heap: IndexedHeap<u32, (u32, u32)> = IndexedHeap::new();
+        let mut heap: IndexedHeap<u32, (u32, u32), X> = IndexedHeap::new();
         let mut model: BTreeMap<(u32, u32), u32> = BTreeMap::new(); // key -> item
         let mut keys: HashMap<u32, (u32, u32)> = HashMap::new();
         let mut tie = 0u32;
@@ -348,5 +564,20 @@ mod tests {
             assert_eq!(heap.len(), model.len(), "step {step}");
         }
         heap.check_invariants();
+
+        // `clear()` reuse: replay a short prefix after clearing and check
+        // the two variants still agree with the model discipline.
+        heap.clear();
+        assert!(heap.is_empty());
+        for i in 0..32u32 {
+            heap.insert(i, (i % 7, i));
+        }
+        let mut popped = Vec::new();
+        while let Some((item, _)) = heap.pop_min() {
+            popped.push(item);
+        }
+        let mut sorted = popped.clone();
+        sorted.sort_by_key(|&i| (i % 7, i));
+        assert_eq!(popped, sorted, "post-clear ordering must be exact");
     }
 }

@@ -6,7 +6,7 @@ use std::sync::Mutex;
 use serde::{Deserialize, Serialize};
 
 use webcache_core::PolicyKind;
-use webcache_trace::{ByteSize, DocumentType, Trace};
+use webcache_trace::{ByteSize, DenseTrace, DocumentType, Trace};
 
 use crate::simulator::{SimulationConfig, SimulationReport, Simulator};
 
@@ -26,12 +26,34 @@ pub struct SweepPoint {
 }
 
 /// All grid cells of a sweep.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
 pub struct SweepReport {
     points: Vec<SweepPoint>,
+    /// `(policy, capacity) -> points index`, sorted for binary search.
+    /// Derived from `points`; rebuilt on construction, excluded from
+    /// equality.
+    #[serde(skip)]
+    index: Vec<(PolicyKind, ByteSize, u32)>,
+}
+
+impl PartialEq for SweepReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.points == other.points
+    }
 }
 
 impl SweepReport {
+    /// Builds a report from grid points (in their display order).
+    fn from_points(points: Vec<SweepPoint>) -> Self {
+        let mut index: Vec<(PolicyKind, ByteSize, u32)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.policy, p.capacity, i as u32))
+            .collect();
+        index.sort_unstable();
+        SweepReport { points, index }
+    }
+
     /// All points, ordered by policy then capacity.
     pub fn points(&self) -> &[SweepPoint] {
         &self.points
@@ -39,9 +61,13 @@ impl SweepReport {
 
     /// The point for an exact (policy, capacity) pair.
     pub fn get(&self, policy: PolicyKind, capacity: ByteSize) -> Option<&SweepPoint> {
-        self.points
-            .iter()
-            .find(|p| p.policy == policy && p.capacity == capacity)
+        let at = self
+            .index
+            .partition_point(|&(p, c, _)| (p, c) < (policy, capacity));
+        match self.index.get(at) {
+            Some(&(p, c, i)) if p == policy && c == capacity => self.points.get(i as usize),
+            _ => None,
+        }
     }
 
     /// The distinct capacities in ascending order.
@@ -154,8 +180,11 @@ impl CacheSizeSweep {
     /// Runs the grid, using up to `threads` worker threads.
     ///
     /// Each grid cell is independent, so runs are embarrassingly
-    /// parallel; the trace is shared read-only.
+    /// parallel. The [`DenseTrace`] view is built **once** and shared
+    /// read-only across the workers; each replays it against its own
+    /// cache through the hash-free dense path.
     pub fn run_with_threads(&self, trace: &Trace, threads: usize) -> SweepReport {
+        let dense = DenseTrace::build(trace);
         let mut tasks: Vec<(PolicyKind, ByteSize)> = Vec::new();
         for &policy in &self.policies {
             for &capacity in &self.capacities {
@@ -177,12 +206,15 @@ impl CacheSizeSweep {
                         capacity,
                         ..self.template
                     };
-                    let report = Simulator::new(policy.instantiate(), config).run(trace);
-                    results.lock().expect("no panics hold the lock").push(SweepPoint {
-                        policy,
-                        capacity,
-                        report,
-                    });
+                    let report = Simulator::new(policy.instantiate(), config).run_dense(&dense);
+                    results
+                        .lock()
+                        .expect("no panics hold the lock")
+                        .push(SweepPoint {
+                            policy,
+                            capacity,
+                            report,
+                        });
                 });
             }
         });
@@ -194,7 +226,7 @@ impl CacheSizeSweep {
                 p.capacity,
             )
         });
-        SweepReport { points }
+        SweepReport::from_points(points)
     }
 
     /// Runs the grid with one worker per available CPU core.
@@ -251,9 +283,15 @@ mod tests {
         let trace = tiny_trace();
         let sweep = CacheSizeSweep::new(
             vec![PolicyKind::Lru],
-            vec![ByteSize::new(1_000), ByteSize::new(4_000), ByteSize::new(64_000)],
+            vec![
+                ByteSize::new(1_000),
+                ByteSize::new(4_000),
+                ByteSize::new(64_000),
+            ],
         );
-        let series = sweep.run_with_threads(&trace, 2).hit_rate_series(PolicyKind::Lru, None);
+        let series = sweep
+            .run_with_threads(&trace, 2)
+            .hit_rate_series(PolicyKind::Lru, None);
         assert_eq!(series.len(), 3);
         assert!(series[0].1 <= series[2].1, "{series:?}");
         assert!(series[2].1 > 0.5, "everything fits at 64 kB: {series:?}");

@@ -87,7 +87,10 @@ impl HierarchyConfig {
 
     fn validate(&self) {
         assert!(self.leaf_count > 0, "hierarchy needs at least one leaf");
-        assert!(!self.leaf_capacity.is_zero(), "leaf capacity must be positive");
+        assert!(
+            !self.leaf_capacity.is_zero(),
+            "leaf capacity must be positive"
+        );
         assert!(
             !self.parent_capacity.is_zero(),
             "parent capacity must be positive"
@@ -122,8 +125,7 @@ impl HierarchyReport {
         if self.leaf.bytes_requested.is_zero() {
             return 0.0;
         }
-        (self.leaf.bytes_hit + self.parent.bytes_hit).as_f64()
-            / self.leaf.bytes_requested.as_f64()
+        (self.leaf.bytes_hit + self.parent.bytes_hit).as_f64() / self.leaf.bytes_requested.as_f64()
     }
 }
 
@@ -142,15 +144,13 @@ pub fn simulate_hierarchy(trace: &Trace, config: HierarchyConfig) -> HierarchyRe
     let warmup_end = trace.warmup_boundary(config.warmup_fraction);
     let mut leaf_stats = HitStats::default();
     let mut parent_stats = HitStats::default();
-    let mut last_transfer: std::collections::HashMap<u64, u64> =
-        std::collections::HashMap::new();
+    let mut last_transfer: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
 
     for (index, request) in trace.iter().enumerate() {
         let doc: DocId = request.doc;
         let transfer = request.size.as_u64();
         let prev = last_transfer.insert(doc.as_u64(), transfer);
-        let modified =
-            prev.is_some_and(|p| config.modification_rule.is_modification(p, transfer));
+        let modified = prev.is_some_and(|p| config.modification_rule.is_modification(p, transfer));
 
         let (leaf_hit, parent_hit) = if modified {
             // Invalidate the stale copies everywhere.
@@ -211,14 +211,10 @@ mod tests {
     }
 
     fn config(leaves: usize, leaf_cap: u64, parent_cap: u64) -> HierarchyConfig {
-        HierarchyConfig::new(
-            leaves,
-            ByteSize::new(leaf_cap),
-            ByteSize::new(parent_cap),
-        )
-        .with_leaf_policy(PolicyKind::Lru)
-        .with_parent_policy(PolicyKind::Lru)
-        .with_warmup_fraction(0.0)
+        HierarchyConfig::new(leaves, ByteSize::new(leaf_cap), ByteSize::new(parent_cap))
+            .with_leaf_policy(PolicyKind::Lru)
+            .with_parent_policy(PolicyKind::Lru)
+            .with_warmup_fraction(0.0)
     }
 
     #[test]
@@ -229,7 +225,10 @@ mod tests {
         let r = simulate_hierarchy(&t, config(1, 1_000, 1_000));
         assert_eq!(r.leaf.requests, 2);
         assert_eq!(r.leaf.hits, 1);
-        assert_eq!(r.parent.requests, 1, "only the cold miss reached the parent");
+        assert_eq!(
+            r.parent.requests, 1,
+            "only the cold miss reached the parent"
+        );
         assert_eq!(r.parent.hits, 0);
         assert_eq!(r.combined_hit_rate(), 0.5);
     }
@@ -278,10 +277,7 @@ mod tests {
     #[test]
     fn warmup_excludes_early_requests() {
         let t = trace(&[(1, 100), (1, 100), (1, 100), (1, 100)]);
-        let r = simulate_hierarchy(
-            &t,
-            config(1, 1_000, 1_000).with_warmup_fraction(0.5),
-        );
+        let r = simulate_hierarchy(&t, config(1, 1_000, 1_000).with_warmup_fraction(0.5));
         assert_eq!(r.leaf.requests, 2);
         assert_eq!(r.leaf.hits, 2);
     }

@@ -29,9 +29,7 @@ impl OccupancySample {
             document_fraction: TypeMap::from_fn(|ty| {
                 frac(occ[ty].documents as f64, total_docs as f64)
             }),
-            byte_fraction: TypeMap::from_fn(|ty| {
-                frac(occ[ty].bytes.as_f64(), total_bytes as f64)
-            }),
+            byte_fraction: TypeMap::from_fn(|ty| frac(occ[ty].bytes.as_f64(), total_bytes as f64)),
         }
     }
 }
@@ -75,7 +73,11 @@ impl OccupancySeries {
         if self.samples.is_empty() {
             return 0.0;
         }
-        self.samples.iter().map(|s| s.byte_fraction[ty]).sum::<f64>() / self.samples.len() as f64
+        self.samples
+            .iter()
+            .map(|s| s.byte_fraction[ty])
+            .sum::<f64>()
+            / self.samples.len() as f64
     }
 
     /// Mean document fraction a type held over the series.
@@ -150,9 +152,7 @@ mod tests {
         let mean = (1.0 + 0.5 + 0.25) / 3.0;
         assert!((series.mean_byte_fraction(DocumentType::Image) - mean).abs() < 1e-12);
         let doc_mean = (1.0 + 0.5 + 1.0 / 3.0) / 3.0;
-        assert!(
-            (series.mean_document_fraction(DocumentType::Image) - doc_mean).abs() < 1e-12
-        );
+        assert!((series.mean_document_fraction(DocumentType::Image) - doc_mean).abs() < 1e-12);
         // Spread is measured over the steady-state half: samples 1 and 2.
         assert_eq!(series.byte_fraction_spread(DocumentType::Image), 0.25);
     }

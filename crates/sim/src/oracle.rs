@@ -199,9 +199,24 @@ mod tests {
     #[test]
     fn modifications_count_as_misses() {
         let t: Trace = vec![
-            Request::new(Timestamp::ZERO, DocId::new(1), DocumentType::Html, ByteSize::new(100)),
-            Request::new(Timestamp::ZERO, DocId::new(1), DocumentType::Html, ByteSize::new(102)),
-            Request::new(Timestamp::ZERO, DocId::new(1), DocumentType::Html, ByteSize::new(102)),
+            Request::new(
+                Timestamp::ZERO,
+                DocId::new(1),
+                DocumentType::Html,
+                ByteSize::new(100),
+            ),
+            Request::new(
+                Timestamp::ZERO,
+                DocId::new(1),
+                DocumentType::Html,
+                ByteSize::new(102),
+            ),
+            Request::new(
+                Timestamp::ZERO,
+                DocId::new(1),
+                DocumentType::Html,
+                ByteSize::new(102),
+            ),
         ]
         .into();
         let oracle = clairvoyant_overall(&t, &config(1_000));

@@ -54,7 +54,11 @@ pub fn figure_panel(sweep: &SweepReport, metric: Metric, ty: Option<DocumentType
                 .iter()
                 .find(|&&(c, _)| c == capacity)
                 .map(|&(_, v)| v);
-            row.push(value.map(|v| format!("{v:.4}")).unwrap_or_else(|| "-".into()));
+            row.push(
+                value
+                    .map(|v| format!("{v:.4}"))
+                    .unwrap_or_else(|| "-".into()),
+            );
         }
         table.push_row(row);
     }
@@ -204,7 +208,11 @@ mod tests {
         let csv = occupancy_csv(&series);
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 2);
-        assert_eq!(lines[0].matches(",").count(), 10, "1 index + 10 fraction columns");
+        assert_eq!(
+            lines[0].matches(",").count(),
+            10,
+            "1 index + 10 fraction columns"
+        );
         assert!(lines[1].starts_with('5'));
     }
 

@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use serde::{Deserialize, Serialize};
 
 use webcache_core::{AdmissionRule, Cache, ReplacementPolicy};
-use webcache_trace::{ByteSize, Trace, TypeMap};
+use webcache_trace::{ByteSize, DenseTrace, DocumentType, Trace, TypeMap};
 
 use crate::metrics::HitStats;
 use crate::occupancy::{OccupancySample, OccupancySeries};
@@ -139,35 +139,131 @@ impl SimulationReport {
     }
 }
 
+/// Sentinel in the dense last-transfer table: document never fetched.
+const NO_TRANSFER: u64 = u64::MAX;
+
 /// Drives a [`Cache`] over a [`Trace`] and accounts per-type hit rates.
 ///
-/// See the [crate docs](crate) for the methodology.
+/// See the [crate docs](crate) for the methodology. [`Simulator::run`]
+/// replays through the hash-free dense path ([`DenseTrace`] +
+/// [`Cache::with_dense_slots`]); [`Simulator::run_hashed`] keeps the
+/// sparse-id path alive, primarily so tests can check the two agree.
 #[derive(Debug)]
 pub struct Simulator {
-    cache: Cache,
+    policy: Box<dyn ReplacementPolicy>,
     config: SimulationConfig,
-    last_transfer: HashMap<u64, u64>,
 }
 
 impl Simulator {
-    /// Creates a simulator over a fresh cache.
+    /// Creates a simulator that will drive a fresh cache.
     pub fn new(policy: Box<dyn ReplacementPolicy>, config: SimulationConfig) -> Self {
-        Simulator {
-            cache: Cache::with_admission(config.capacity, policy, config.admission_rule),
-            config,
-            last_transfer: HashMap::new(),
-        }
+        Simulator { policy, config }
     }
 
-    /// Runs the full trace and produces the report.
-    pub fn run(mut self, trace: &Trace) -> SimulationReport {
-        let warmup_end = trace.warmup_boundary(self.config.warmup_fraction);
-        let measured = trace.len().saturating_sub(warmup_end);
+    /// How many requests to skip for warm-up and how often to sample
+    /// occupancy, for a trace of `len` requests.
+    fn schedule(&self, len: usize) -> (usize, usize) {
+        let warmup_end = ((len as f64) * self.config.warmup_fraction).floor() as usize;
+        let measured = len.saturating_sub(warmup_end);
         let sample_every = if self.config.occupancy_samples > 0 && measured > 0 {
             (measured / self.config.occupancy_samples).max(1)
         } else {
             usize::MAX
         };
+        (warmup_end, sample_every)
+    }
+
+    /// Runs the full trace and produces the report.
+    ///
+    /// Builds the [`DenseTrace`] view and replays it. Sweeps that run one
+    /// trace many times should build the view once and call
+    /// [`Simulator::run_dense`] directly.
+    pub fn run(self, trace: &Trace) -> SimulationReport {
+        let dense = DenseTrace::build(trace);
+        self.run_dense(&dense)
+    }
+
+    /// Replays a pre-built dense trace view (the sweep hot path).
+    ///
+    /// Per-document simulator state is vector-indexed by the trace's
+    /// dense slots; no hash is computed per request.
+    pub fn run_dense(self, trace: &DenseTrace) -> SimulationReport {
+        let (warmup_end, sample_every) = self.schedule(trace.len());
+        let mut cache = Cache::with_dense_slots(
+            self.config.capacity,
+            self.policy,
+            self.config.admission_rule,
+            trace.distinct_documents(),
+        );
+        let mut last_transfer: Vec<u64> = vec![NO_TRANSFER; trace.distinct_documents()];
+
+        let mut by_type: TypeMap<HitStats> = TypeMap::default();
+        let mut occupancy = OccupancySeries::new();
+
+        let slots = trace.docs();
+        let sizes = trace.sizes();
+        let types = trace.type_indices();
+        for index in 0..trace.len() {
+            let slot = slots[index];
+            let doc = DenseTrace::slot_doc(slot);
+            let transfer = sizes[index];
+            let size = ByteSize::new(transfer);
+            let doc_type = DocumentType::from_index(types[index] as usize);
+
+            let prev = last_transfer[slot as usize];
+            last_transfer[slot as usize] = transfer;
+            let modified = prev != NO_TRANSFER
+                && self
+                    .config
+                    .modification_rule
+                    .is_modification(prev, transfer);
+
+            let hit = if modified {
+                // The origin changed the document: any cached copy is
+                // stale. Count a miss and fetch the new version.
+                cache.invalidate(doc);
+                false
+            } else {
+                cache.access(doc)
+            };
+            if !hit {
+                cache.insert(doc, doc_type, size);
+            }
+
+            if index >= warmup_end {
+                let stats = &mut by_type[doc_type];
+                stats.record(size, hit);
+                if modified {
+                    stats.modification_misses += 1;
+                }
+                let measured_index = index - warmup_end;
+                if measured_index % sample_every == sample_every - 1 {
+                    occupancy.push(OccupancySample::capture(index as u64, &cache));
+                }
+            }
+        }
+
+        SimulationReport {
+            policy: cache.policy_label(),
+            config: self.config,
+            by_type,
+            occupancy,
+        }
+    }
+
+    /// Runs the full trace through the sparse-id hashed cache path.
+    ///
+    /// Semantically identical to [`Simulator::run`]; kept so the dense
+    /// rewrite stays checkable against the straightforward
+    /// implementation (see the `dense_matches_hashed` tests).
+    pub fn run_hashed(self, trace: &Trace) -> SimulationReport {
+        let (warmup_end, sample_every) = self.schedule(trace.len());
+        let mut cache = Cache::with_admission(
+            self.config.capacity,
+            self.policy,
+            self.config.admission_rule,
+        );
+        let mut last_transfer: HashMap<u64, u64> = HashMap::new();
 
         let mut by_type: TypeMap<HitStats> = TypeMap::default();
         let mut occupancy = OccupancySeries::new();
@@ -175,21 +271,19 @@ impl Simulator {
         for (index, request) in trace.iter().enumerate() {
             let doc = request.doc;
             let transfer = request.size.as_u64();
-            let prev = self.last_transfer.insert(doc.as_u64(), transfer);
+            let prev = last_transfer.insert(doc.as_u64(), transfer);
 
-            let modified = prev
-                .is_some_and(|p| self.config.modification_rule.is_modification(p, transfer));
+            let modified =
+                prev.is_some_and(|p| self.config.modification_rule.is_modification(p, transfer));
 
             let hit = if modified {
-                // The origin changed the document: any cached copy is
-                // stale. Count a miss and fetch the new version.
-                self.cache.invalidate(doc);
+                cache.invalidate(doc);
                 false
             } else {
-                self.cache.access(doc)
+                cache.access(doc)
             };
             if !hit {
-                self.cache.insert(doc, request.doc_type, request.size);
+                cache.insert(doc, request.doc_type, request.size);
             }
 
             if index >= warmup_end {
@@ -200,13 +294,13 @@ impl Simulator {
                 }
                 let measured_index = index - warmup_end;
                 if measured_index % sample_every == sample_every - 1 {
-                    occupancy.push(OccupancySample::capture(index as u64, &self.cache));
+                    occupancy.push(OccupancySample::capture(index as u64, &cache));
                 }
             }
         }
 
         SimulationReport {
-            policy: self.cache.policy_label(),
+            policy: cache.policy_label(),
             config: self.config,
             by_type,
             occupancy,
@@ -329,10 +423,22 @@ mod tests {
     #[test]
     fn modification_rule_boundaries() {
         let rule = ModificationRule::SizeDelta;
-        assert!(!rule.is_modification(100, 100), "no change is not a modification");
-        assert!(rule.is_modification(100, 104), "4% change is a modification");
-        assert!(!rule.is_modification(100, 105), "exactly 5% is an interrupt");
-        assert!(!rule.is_modification(100, 30), "large change is an interrupt");
+        assert!(
+            !rule.is_modification(100, 100),
+            "no change is not a modification"
+        );
+        assert!(
+            rule.is_modification(100, 104),
+            "4% change is a modification"
+        );
+        assert!(
+            !rule.is_modification(100, 105),
+            "exactly 5% is an interrupt"
+        );
+        assert!(
+            !rule.is_modification(100, 30),
+            "large change is an interrupt"
+        );
         assert!(ModificationRule::AnyChange.is_modification(100, 101));
         assert!(!ModificationRule::AnyChange.is_modification(100, 100));
     }

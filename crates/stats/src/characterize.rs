@@ -65,10 +65,8 @@ impl TraceCharacterization {
     pub fn measure(trace: &Trace) -> Self {
         let doc_sizes = trace.document_sizes();
         // Document type lookup: the type a document was requested as.
-        let mut doc_types: Vec<(u64, DocumentType)> = trace
-            .iter()
-            .map(|r| (r.doc.as_u64(), r.doc_type))
-            .collect();
+        let mut doc_types: Vec<(u64, DocumentType)> =
+            trace.iter().map(|r| (r.doc.as_u64(), r.doc_type)).collect();
         doc_types.sort_unstable_by_key(|&(id, _)| id);
         doc_types.dedup_by_key(|&mut (id, _)| id);
         let type_of = |id: u64| -> DocumentType {
@@ -104,16 +102,10 @@ impl TraceCharacterization {
 
         let frac = |num: f64, den: f64| if den == 0.0 { 0.0 } else { num / den };
         let breakdown = TypeMap::from_fn(|ty| TypeBreakdown {
-            distinct_documents: frac(
-                distinct[ty] as f64,
-                properties.distinct_documents as f64,
-            ),
+            distinct_documents: frac(distinct[ty] as f64, properties.distinct_documents as f64),
             overall_size: frac(size_sum[ty].as_f64(), properties.overall_size.as_f64()),
             total_requests: frac(requests[ty] as f64, properties.total_requests as f64),
-            requested_bytes: frac(
-                req_bytes[ty].as_f64(),
-                properties.requested_bytes.as_f64(),
-            ),
+            requested_bytes: frac(req_bytes[ty].as_f64(), properties.requested_bytes.as_f64()),
         });
 
         let statistics = TypeMap::from_fn(|ty| TypeStatistics {
@@ -158,7 +150,8 @@ impl TraceCharacterization {
         let mut t = Table::new(headers).with_title(format!(
             "{trace_name}: Workload characteristics broken down into document types (%)"
         ));
-        let rows: [(&str, fn(&TypeBreakdown) -> f64); 4] = [
+        type Row = (&'static str, fn(&TypeBreakdown) -> f64);
+        let rows: [Row; 4] = [
             ("% of Distinct Documents", |b| b.distinct_documents),
             ("% of Overall Size", |b| b.overall_size),
             ("% of Total Requests", |b| b.total_requests),
@@ -185,7 +178,8 @@ impl TraceCharacterization {
         let mut t = Table::new(headers).with_title(format!(
             "{trace_name}: Breakdown of document sizes and temporal locality"
         ));
-        let rows: [(&str, Box<dyn Fn(&TypeStatistics) -> String>); 8] = [
+        type Row = (&'static str, Box<dyn Fn(&TypeStatistics) -> String>);
+        let rows: [Row; 8] = [
             (
                 "Mean of Document Size (KB)",
                 Box::new(|s: &TypeStatistics| format!("{:.2}", s.document_size.mean / KIB)),
@@ -221,7 +215,11 @@ impl TraceCharacterization {
         ];
         for (label, get) in rows {
             let mut row = vec![label.to_owned()];
-            row.extend(DocumentType::ALL.iter().map(|&ty| get(&self.statistics[ty])));
+            row.extend(
+                DocumentType::ALL
+                    .iter()
+                    .map(|&ty| get(&self.statistics[ty])),
+            );
             t.push_row(row);
         }
         t
@@ -253,7 +251,10 @@ mod tests {
         let ch = TraceCharacterization::measure(&mixed_trace());
         assert_eq!(ch.properties.distinct_documents, 4);
         assert_eq!(ch.properties.total_requests, 5);
-        assert_eq!(ch.properties.overall_size.as_u64(), 1000 + 3000 + 2000 + 100_000);
+        assert_eq!(
+            ch.properties.overall_size.as_u64(),
+            1000 + 3000 + 2000 + 100_000
+        );
         assert_eq!(
             ch.properties.requested_bytes.as_u64(),
             1000 + 3000 + 1000 + 2000 + 100_000

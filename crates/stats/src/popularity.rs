@@ -121,15 +121,34 @@ mod tests {
     fn degenerate_inputs() {
         assert_eq!(alpha_from_counts(&[]), None);
         assert_eq!(alpha_from_counts(&[7]), None);
-        assert_eq!(alpha_from_counts(&[0, 0, 0]), None, "zero counts are dropped");
+        assert_eq!(
+            alpha_from_counts(&[0, 0, 0]),
+            None,
+            "zero counts are dropped"
+        );
     }
 
     #[test]
     fn per_type_counts_filter() {
         let trace: Trace = vec![
-            Request::new(Timestamp::ZERO, DocId::new(1), DocumentType::Image, ByteSize::new(1)),
-            Request::new(Timestamp::ZERO, DocId::new(1), DocumentType::Image, ByteSize::new(1)),
-            Request::new(Timestamp::ZERO, DocId::new(2), DocumentType::Html, ByteSize::new(1)),
+            Request::new(
+                Timestamp::ZERO,
+                DocId::new(1),
+                DocumentType::Image,
+                ByteSize::new(1),
+            ),
+            Request::new(
+                Timestamp::ZERO,
+                DocId::new(1),
+                DocumentType::Image,
+                ByteSize::new(1),
+            ),
+            Request::new(
+                Timestamp::ZERO,
+                DocId::new(2),
+                DocumentType::Html,
+                ByteSize::new(1),
+            ),
         ]
         .into();
         let image_counts = request_counts(&trace, Some(DocumentType::Image));

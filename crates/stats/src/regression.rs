@@ -35,7 +35,11 @@ pub fn fit_line(points: &[(f64, f64)]) -> Option<LineFit> {
 /// Returns `None` with fewer than two positively weighted points or when
 /// all weighted `x` coincide.
 pub fn fit_line_weighted(points: &[(f64, f64, f64)]) -> Option<LineFit> {
-    let points: Vec<_> = points.iter().copied().filter(|&(_, _, w)| w > 0.0).collect();
+    let points: Vec<_> = points
+        .iter()
+        .copied()
+        .filter(|&(_, _, w)| w > 0.0)
+        .collect();
     if points.len() < 2 {
         return None;
     }
@@ -105,7 +109,10 @@ mod tests {
     fn degenerate_inputs_yield_none() {
         assert!(fit_line(&[]).is_none());
         assert!(fit_line(&[(1.0, 1.0)]).is_none());
-        assert!(fit_line(&[(1.0, 1.0), (1.0, 2.0)]).is_none(), "vertical line");
+        assert!(
+            fit_line(&[(1.0, 1.0), (1.0, 2.0)]).is_none(),
+            "vertical line"
+        );
     }
 
     #[test]

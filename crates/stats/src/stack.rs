@@ -149,11 +149,7 @@ impl StackDistances {
         if self.total == 0 {
             return 0.0;
         }
-        let hits: u64 = self
-            .histogram
-            .iter()
-            .take(capacity_docs + 1)
-            .sum();
+        let hits: u64 = self.histogram.iter().take(capacity_docs + 1).sum();
         hits as f64 / self.total as f64
     }
 
@@ -268,10 +264,30 @@ mod tests {
         // Image refs interleaved with html noise; image distances are
         // measured within the image substream only.
         let reqs: Vec<Request> = vec![
-            Request::new(Timestamp::ZERO, DocId::new(1), DocumentType::Image, ByteSize::new(1)),
-            Request::new(Timestamp::ZERO, DocId::new(2), DocumentType::Html, ByteSize::new(1)),
-            Request::new(Timestamp::ZERO, DocId::new(3), DocumentType::Html, ByteSize::new(1)),
-            Request::new(Timestamp::ZERO, DocId::new(1), DocumentType::Image, ByteSize::new(1)),
+            Request::new(
+                Timestamp::ZERO,
+                DocId::new(1),
+                DocumentType::Image,
+                ByteSize::new(1),
+            ),
+            Request::new(
+                Timestamp::ZERO,
+                DocId::new(2),
+                DocumentType::Html,
+                ByteSize::new(1),
+            ),
+            Request::new(
+                Timestamp::ZERO,
+                DocId::new(3),
+                DocumentType::Html,
+                ByteSize::new(1),
+            ),
+            Request::new(
+                Timestamp::ZERO,
+                DocId::new(1),
+                DocumentType::Image,
+                ByteSize::new(1),
+            ),
         ];
         let s = StackDistances::measure(&reqs.into(), Some(DocumentType::Image));
         assert_eq!(s.total(), 2);

@@ -120,7 +120,13 @@ impl Table {
             .headers
             .iter()
             .enumerate()
-            .map(|(i, _)| if i == 0 { ":--".to_owned() } else { "--:".to_owned() })
+            .map(|(i, _)| {
+                if i == 0 {
+                    ":--".to_owned()
+                } else {
+                    "--:".to_owned()
+                }
+            })
             .collect();
         out.push_str(&format!("| {} |\n", seps.join(" | ")));
         for row in &self.rows {

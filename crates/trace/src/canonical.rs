@@ -90,7 +90,10 @@ mod tests {
 
     #[test]
     fn fragments_drop() {
-        assert_eq!(canonicalize("http://e.de/a.html#sec2"), "http://e.de/a.html");
+        assert_eq!(
+            canonicalize("http://e.de/a.html#sec2"),
+            "http://e.de/a.html"
+        );
         assert_eq!(canonicalize("relative/path#x"), "relative/path");
     }
 

@@ -67,8 +67,8 @@ pub fn parse_line(line: &str, line_no: usize) -> Result<ClfEntry, TraceError> {
     let (date, rest) = rest
         .split_once(']')
         .ok_or_else(|| err("missing `]` after timestamp".into()))?;
-    let timestamp = parse_clf_timestamp(date)
-        .ok_or_else(|| err(format!("bad timestamp `{date}`")))?;
+    let timestamp =
+        parse_clf_timestamp(date).ok_or_else(|| err(format!("bad timestamp `{date}`")))?;
 
     let (_, rest) = rest
         .split_once('"')
@@ -178,7 +178,10 @@ fn month_number(name: &str) -> Option<i64> {
         "jan", "feb", "mar", "apr", "may", "jun", "jul", "aug", "sep", "oct", "nov", "dec",
     ];
     let lower = name.to_ascii_lowercase();
-    MONTHS.iter().position(|&m| m == lower).map(|i| i as i64 + 1)
+    MONTHS
+        .iter()
+        .position(|&m| m == lower)
+        .map(|i| i as i64 + 1)
 }
 
 /// Days since 1970-01-01 for a proleptic Gregorian civil date
@@ -250,10 +253,22 @@ mod tests {
     fn malformed_lines_error() {
         for (bad, needle) in [
             ("no brackets here", "[timestamp"),
-            (r#"h - - [bad date] "GET /x HTTP/1.0" 200 1"#, "bad timestamp"),
-            (r#"h - - [01/Jan/2000:00:00:00 +0000] GET /x 200 1"#, "request line"),
-            (r#"h - - [01/Jan/2000:00:00:00 +0000] "GET /x HTTP/1.0" abc 1"#, "bad status"),
-            (r#"h - - [01/Jan/2000:00:00:00 +0000] "GET /x HTTP/1.0" 200 xyz"#, "bad size"),
+            (
+                r#"h - - [bad date] "GET /x HTTP/1.0" 200 1"#,
+                "bad timestamp",
+            ),
+            (
+                r#"h - - [01/Jan/2000:00:00:00 +0000] GET /x 200 1"#,
+                "request line",
+            ),
+            (
+                r#"h - - [01/Jan/2000:00:00:00 +0000] "GET /x HTTP/1.0" abc 1"#,
+                "bad status",
+            ),
+            (
+                r#"h - - [01/Jan/2000:00:00:00 +0000] "GET /x HTTP/1.0" 200 xyz"#,
+                "bad size",
+            ),
         ] {
             let err = parse_line(bad, 3).unwrap_err().to_string();
             assert!(err.contains(needle), "`{bad}` -> `{err}`");
@@ -263,9 +278,11 @@ mod tests {
 
     #[test]
     fn month_names_roundtrip() {
-        for (i, m) in ["Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"]
-            .iter()
-            .enumerate()
+        for (i, m) in [
+            "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+        ]
+        .iter()
+        .enumerate()
         {
             assert_eq!(month_number(m), Some(i as i64 + 1));
         }

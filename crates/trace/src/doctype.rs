@@ -63,6 +63,23 @@ impl DocumentType {
         self as usize
     }
 
+    /// The inverse of [`DocumentType::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is not a valid type index (`>= 5`).
+    #[inline]
+    pub const fn from_index(index: usize) -> DocumentType {
+        match index {
+            0 => DocumentType::Image,
+            1 => DocumentType::Html,
+            2 => DocumentType::MultiMedia,
+            3 => DocumentType::Application,
+            4 => DocumentType::Other,
+            _ => panic!("document type index out of range"),
+        }
+    }
+
     /// Classifies a document from its MIME type, falling back to the URL's
     /// file extension when the MIME type is absent or unknown.
     ///
@@ -127,10 +144,7 @@ impl DocumentType {
     /// extension classify as [`DocumentType::Other`], except that a URL
     /// ending in `/` is assumed to serve an HTML index page.
     pub fn from_url(url: &str) -> DocumentType {
-        let path = url
-            .split(['?', '#'])
-            .next()
-            .unwrap_or(url);
+        let path = url.split(['?', '#']).next().unwrap_or(url);
         if path.ends_with('/') {
             return DocumentType::Html;
         }
@@ -150,8 +164,8 @@ impl DocumentType {
             "gif" | "jpg" | "jpeg" | "jpe" | "png" | "bmp" | "ico" | "tif" | "tiff" | "xbm"
             | "xpm" | "pbm" | "pgm" | "ppm" | "svg" | "webp" => DocumentType::Image,
             "html" | "htm" | "shtml" | "phtml" | "asp" | "aspx" | "php" | "php3" | "jsp"
-            | "txt" | "text" | "tex" | "java" | "c" | "h" | "cc" | "cpp" | "css" | "js"
-            | "xml" | "rss" | "md" => DocumentType::Html,
+            | "txt" | "text" | "tex" | "java" | "c" | "h" | "cc" | "cpp" | "css" | "js" | "xml"
+            | "rss" | "md" => DocumentType::Html,
             "mp3" | "mp2" | "mpga" | "wav" | "au" | "aif" | "aiff" | "ra" | "ram" | "rm"
             | "mid" | "midi" | "mpg" | "mpeg" | "mpe" | "mp4" | "mov" | "qt" | "avi" | "asf"
             | "asx" | "wmv" | "wma" | "ogg" | "flv" | "swf" => DocumentType::MultiMedia,
@@ -277,21 +291,46 @@ mod tests {
     fn indices_are_dense_and_ordered() {
         for (i, ty) in DocumentType::ALL.iter().enumerate() {
             assert_eq!(ty.index(), i);
+            assert_eq!(DocumentType::from_index(i), *ty);
         }
     }
 
     #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_index_rejects_out_of_range() {
+        let _ = DocumentType::from_index(5);
+    }
+
+    #[test]
     fn mime_top_level_classes() {
-        assert_eq!(DocumentType::from_mime("image/gif"), Some(DocumentType::Image));
-        assert_eq!(DocumentType::from_mime("text/html"), Some(DocumentType::Html));
-        assert_eq!(DocumentType::from_mime("text/plain"), Some(DocumentType::Html));
-        assert_eq!(DocumentType::from_mime("audio/mpeg"), Some(DocumentType::MultiMedia));
-        assert_eq!(DocumentType::from_mime("video/quicktime"), Some(DocumentType::MultiMedia));
+        assert_eq!(
+            DocumentType::from_mime("image/gif"),
+            Some(DocumentType::Image)
+        );
+        assert_eq!(
+            DocumentType::from_mime("text/html"),
+            Some(DocumentType::Html)
+        );
+        assert_eq!(
+            DocumentType::from_mime("text/plain"),
+            Some(DocumentType::Html)
+        );
+        assert_eq!(
+            DocumentType::from_mime("audio/mpeg"),
+            Some(DocumentType::MultiMedia)
+        );
+        assert_eq!(
+            DocumentType::from_mime("video/quicktime"),
+            Some(DocumentType::MultiMedia)
+        );
         assert_eq!(
             DocumentType::from_mime("application/pdf"),
             Some(DocumentType::Application)
         );
-        assert_eq!(DocumentType::from_mime("model/vrml"), Some(DocumentType::Other));
+        assert_eq!(
+            DocumentType::from_mime("model/vrml"),
+            Some(DocumentType::Other)
+        );
     }
 
     #[test]
@@ -345,9 +384,18 @@ mod tests {
             DocumentType::MultiMedia,
             "query strings are ignored"
         );
-        assert_eq!(DocumentType::from_url("http://a.de/dir/"), DocumentType::Html);
-        assert_eq!(DocumentType::from_url("http://a.de/noext"), DocumentType::Other);
-        assert_eq!(DocumentType::from_url("http://a.de/x.unknownext"), DocumentType::Other);
+        assert_eq!(
+            DocumentType::from_url("http://a.de/dir/"),
+            DocumentType::Html
+        );
+        assert_eq!(
+            DocumentType::from_url("http://a.de/noext"),
+            DocumentType::Other
+        );
+        assert_eq!(
+            DocumentType::from_url("http://a.de/x.unknownext"),
+            DocumentType::Other
+        );
     }
 
     #[test]

@@ -68,7 +68,7 @@ mod tests {
     #[test]
     fn source_chain() {
         use std::error::Error;
-        let io = TraceError::from(io::Error::new(io::ErrorKind::Other, "x"));
+        let io = TraceError::from(io::Error::other("x"));
         assert!(io.source().is_some());
         assert!(TraceError::parse(1, "y").source().is_none());
     }

@@ -174,7 +174,11 @@ mod tests {
             assert_eq!(type_from_char(type_char(ty)), Some(ty));
         }
         assert_eq!(type_from_char('x'), None);
-        assert_eq!(type_from_char('i'), Some(DocumentType::Image), "lower-case accepted");
+        assert_eq!(
+            type_from_char('i'),
+            Some(DocumentType::Image),
+            "lower-case accepted"
+        );
     }
 
     #[test]

@@ -81,10 +81,7 @@ pub fn read_trace_bin<R: Read>(mut reader: R) -> Result<Trace, TraceError> {
     let mut record = [0u8; RECORD_BYTES];
     for i in 0..count {
         reader.read_exact(&mut record).map_err(|_| {
-            TraceError::parse(
-                i as usize + 1,
-                format!("truncated record {i} of {count}"),
-            )
+            TraceError::parse(i as usize + 1, format!("truncated record {i} of {count}"))
         })?;
         let ts = u64::from_le_bytes(record[0..8].try_into().expect("8 bytes"));
         let doc = u64::from_le_bytes(record[8..16].try_into().expect("8 bytes"));

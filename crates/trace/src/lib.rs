@@ -15,7 +15,10 @@
 //! * a parser for Squid native `access.log` lines ([`squid`]),
 //! * a preprocessing pipeline ([`preprocess`]) turning raw log entries into
 //!   a clean, cacheable-only request stream,
-//! * a compact text format for persisting traces ([`mod@format`]).
+//! * a compact text format for persisting traces ([`mod@format`]),
+//! * a dense struct-of-arrays view for the simulation hot path
+//!   ([`DenseTrace`]) and the fx hash containers backing it
+//!   ([`mod@fxhash`]).
 //!
 //! # Example
 //!
@@ -38,10 +41,12 @@
 pub mod cacheability;
 pub mod canonical;
 pub mod clf;
+pub mod dense;
 pub mod doctype;
 pub mod error;
 pub mod format;
 pub mod format_bin;
+pub mod fxhash;
 pub mod preprocess;
 pub mod record;
 pub mod squid;
@@ -49,8 +54,10 @@ pub mod status;
 pub mod transform;
 pub mod types;
 
+pub use dense::DenseTrace;
 pub use doctype::{DocumentType, TypeMap};
 pub use error::TraceError;
+pub use fxhash::{FxHashMap, FxHashSet};
 pub use record::{Request, Trace};
 pub use status::HttpStatus;
 pub use types::{ByteSize, DocId, Timestamp};

@@ -131,8 +131,22 @@ mod tests {
     #[test]
     fn filters_dynamic_urls() {
         let log = [
-            entry("100.0", 200, 10, "GET", "http://e.de/cgi-bin/x", "text/html"),
-            entry("101.0", 200, 10, "GET", "http://e.de/x.html?q=1", "text/html"),
+            entry(
+                "100.0",
+                200,
+                10,
+                "GET",
+                "http://e.de/cgi-bin/x",
+                "text/html",
+            ),
+            entry(
+                "101.0",
+                200,
+                10,
+                "GET",
+                "http://e.de/x.html?q=1",
+                "text/html",
+            ),
             entry("102.0", 200, 10, "GET", "http://e.de/x.html", "text/html"),
         ]
         .join("\n");
@@ -174,8 +188,22 @@ mod tests {
     #[test]
     fn timestamps_are_rebased_to_zero() {
         let log = [
-            entry("994176000.500", 200, 10, "GET", "http://e.de/a.html", "text/html"),
-            entry("994176001.500", 200, 10, "GET", "http://e.de/a.html", "text/html"),
+            entry(
+                "994176000.500",
+                200,
+                10,
+                "GET",
+                "http://e.de/a.html",
+                "text/html",
+            ),
+            entry(
+                "994176001.500",
+                200,
+                10,
+                "GET",
+                "http://e.de/a.html",
+                "text/html",
+            ),
         ]
         .join("\n");
         let (trace, _) = preprocess(&parse_log(&log).unwrap());
@@ -207,7 +235,14 @@ mod tests {
     #[test]
     fn url_variants_intern_to_one_document() {
         let log = [
-            entry("100.0", 200, 10, "GET", "http://E.de:80/dir/index.html", "text/html"),
+            entry(
+                "100.0",
+                200,
+                10,
+                "GET",
+                "http://E.de:80/dir/index.html",
+                "text/html",
+            ),
             entry("101.0", 200, 10, "GET", "http://e.de/dir/", "text/html"),
         ]
         .join("\n");

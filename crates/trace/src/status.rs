@@ -83,10 +83,18 @@ mod tests {
     fn cacheable_set_matches_paper() {
         let cacheable = [200u16, 203, 206, 300, 301, 302, 304];
         for code in cacheable {
-            assert!(HttpStatus::new(code).is_cacheable(), "{code} must be cacheable");
+            assert!(
+                HttpStatus::new(code).is_cacheable(),
+                "{code} must be cacheable"
+            );
         }
-        for code in [100u16, 201, 204, 303, 305, 400, 401, 403, 404, 407, 500, 502, 503] {
-            assert!(!HttpStatus::new(code).is_cacheable(), "{code} must not be cacheable");
+        for code in [
+            100u16, 201, 204, 303, 305, 400, 401, 403, 404, 407, 500, 502, 503,
+        ] {
+            assert!(
+                !HttpStatus::new(code).is_cacheable(),
+                "{code} must not be cacheable"
+            );
         }
     }
 

@@ -153,7 +153,11 @@ mod tests {
 
     #[test]
     fn merge_interleaves_and_remaps_ids() {
-        let a: Trace = vec![req(0, 0, DocumentType::Image), req(20, 0, DocumentType::Image)].into();
+        let a: Trace = vec![
+            req(0, 0, DocumentType::Image),
+            req(20, 0, DocumentType::Image),
+        ]
+        .into();
         let b: Trace = vec![req(10, 0, DocumentType::Html)].into();
         let merged = merge(&[&a, &b]);
         assert_eq!(merged.len(), 3);

@@ -287,7 +287,10 @@ mod tests {
         let b = ByteSize::new(30);
         assert_eq!((b - a).as_u64(), 20);
         assert_eq!((a - b).as_u64(), 0, "subtraction saturates at zero");
-        assert_eq!(ByteSize::new(u64::MAX) + ByteSize::new(1), ByteSize::new(u64::MAX));
+        assert_eq!(
+            ByteSize::new(u64::MAX) + ByteSize::new(1),
+            ByteSize::new(u64::MAX)
+        );
     }
 
     #[test]

@@ -195,7 +195,7 @@ mod tests {
             min = min.min(r);
             max = max.max(r);
         }
-        assert!(min >= 5.0 - 1e-9 && min < 10.0, "min = {min}");
+        assert!((5.0 - 1e-9..10.0).contains(&min), "min = {min}");
         assert!(max <= 45.0 + 1e-9 && max > 40.0, "max = {max}");
     }
 
@@ -250,10 +250,14 @@ mod tests {
 
     #[test]
     fn gap_sampler_uses_current_rate() {
-        let model = ArrivalModel::Poisson { rate_per_sec: 100.0 };
+        let model = ArrivalModel::Poisson {
+            rate_per_sec: 100.0,
+        };
         let mut rng = StdRng::seed_from_u64(5);
-        let mean: f64 =
-            (0..10_000).map(|_| model.next_gap_secs(&mut rng, 0.0)).sum::<f64>() / 10_000.0;
+        let mean: f64 = (0..10_000)
+            .map(|_| model.next_gap_secs(&mut rng, 0.0))
+            .sum::<f64>()
+            / 10_000.0;
         assert!((mean - 0.01).abs() < 0.001, "mean gap = {mean}");
     }
 

@@ -51,8 +51,7 @@ impl BoundedPareto {
             l * h / (h - l) * (h / l).ln()
         } else {
             let la = l.powf(a);
-            (la / (1.0 - (l / h).powf(a))) * (a / (a - 1.0))
-                * (l.powf(1.0 - a) - h.powf(1.0 - a))
+            (la / (1.0 - (l / h).powf(a))) * (a / (a - 1.0)) * (l.powf(1.0 - a) - h.powf(1.0 - a))
         }
     }
 

@@ -80,7 +80,11 @@ mod tests {
             .filter(|(_, &c)| c > 0)
             .map(|(b, &c)| {
                 let width = (1u64 << b) as f64;
-                ((1.5 * width).ln(), (c as f64 / (total * width)).ln(), c as f64)
+                (
+                    (1.5 * width).ln(),
+                    (c as f64 / (total * width)).ln(),
+                    c as f64,
+                )
             })
             .collect();
         let wsum: f64 = pts.iter().map(|p| p.2).sum();
@@ -108,10 +112,7 @@ mod tests {
             let d = BoundedPowerLaw::new(beta, (1 << 14) - 1);
             let samples: Vec<u64> = (0..60_000).map(|_| d.sample(&mut rng)).collect();
             let slope = -realized_slope(&samples);
-            assert!(
-                (slope - beta).abs() < 0.25,
-                "β = {beta}, realized {slope}"
-            );
+            assert!((slope - beta).abs() < 0.25, "β = {beta}, realized {slope}");
         }
     }
 

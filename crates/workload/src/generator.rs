@@ -106,11 +106,7 @@ impl TraceGenerator {
         }
 
         // Pass 3: merge into one stream.
-        refs.sort_unstable_by(|a, b| {
-            a.position
-                .total_cmp(&b.position)
-                .then(a.doc.cmp(&b.doc))
-        });
+        refs.sort_unstable_by(|a, b| a.position.total_cmp(&b.position).then(a.doc.cmp(&b.doc)));
 
         // Pass 4: transfer sizes with modifications and interrupts.
         let mut seen = vec![false; doc_type.len()];

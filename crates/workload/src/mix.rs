@@ -72,8 +72,7 @@ pub fn shift_mix(
         } else {
             1.5
         };
-        let new_docs = ((new_requests as f64 / refs_per_doc).round() as u64)
-            .clamp(1, new_requests);
+        let new_docs = ((new_requests as f64 / refs_per_doc).round() as u64).clamp(1, new_requests);
         TypeProfile {
             distinct_documents: new_docs,
             requests: new_requests,
@@ -99,16 +98,24 @@ pub fn blend(a: &WorkloadProfile, b: &WorkloadProfile, t: f64) -> WorkloadProfil
     assert!((0.0..=1.0).contains(&t), "blend factor must be in [0, 1]");
     let types = TypeMap::from_fn(|ty| {
         let (pa, pb) = (&a.types[ty], &b.types[ty]);
-        let distinct =
-            lerp(pa.distinct_documents as f64, pb.distinct_documents as f64, t).round() as u64;
-        let requests = (lerp(pa.requests as f64, pb.requests as f64, t).round() as u64)
-            .max(distinct);
+        let distinct = lerp(
+            pa.distinct_documents as f64,
+            pb.distinct_documents as f64,
+            t,
+        )
+        .round() as u64;
+        let requests =
+            (lerp(pa.requests as f64, pb.requests as f64, t).round() as u64).max(distinct);
         TypeProfile {
             distinct_documents: distinct,
             requests,
             alpha: lerp(pa.alpha, pb.alpha, t),
             beta: lerp(pa.beta, pb.beta, t),
-            size_model: if t < 0.5 { pa.size_model } else { pb.size_model },
+            size_model: if t < 0.5 {
+                pa.size_model
+            } else {
+                pb.size_model
+            },
             modification_rate: lerp(pa.modification_rate, pb.modification_rate, t),
             interrupt_rate: lerp(pa.interrupt_rate, pb.interrupt_rate, t),
             size_popularity_correlation: lerp(

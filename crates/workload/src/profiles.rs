@@ -88,7 +88,10 @@ impl TypeProfile {
         for (name, rate) in [
             ("modification_rate", self.modification_rate),
             ("interrupt_rate", self.interrupt_rate),
-            ("size_popularity_correlation", self.size_popularity_correlation),
+            (
+                "size_popularity_correlation",
+                self.size_popularity_correlation,
+            ),
         ] {
             assert!(
                 (0.0..=1.0).contains(&rate),
@@ -336,7 +339,9 @@ mod tests {
         let share = |p: &WorkloadProfile, ty: DocumentType| {
             p.types[ty].requests as f64 / p.total_requests() as f64
         };
-        assert!(share(&rtp, DocumentType::MultiMedia) > 2.0 * share(&dfn, DocumentType::MultiMedia));
+        assert!(
+            share(&rtp, DocumentType::MultiMedia) > 2.0 * share(&dfn, DocumentType::MultiMedia)
+        );
         assert!(share(&rtp, DocumentType::Html) > 1.8 * share(&dfn, DocumentType::Html));
     }
 

@@ -41,7 +41,11 @@ fn size_statistics_match_size_models() {
     let p = test_profile();
     let trace = p.build_trace(12);
     let ch = TraceCharacterization::measure(&trace);
-    for ty in [DocumentType::Image, DocumentType::Html, DocumentType::Application] {
+    for ty in [
+        DocumentType::Image,
+        DocumentType::Html,
+        DocumentType::Application,
+    ] {
         let SizeModel::LogNormal { mean, median, .. } = p.types[ty].size_model else {
             panic!("profiles use log-normal models");
         };
@@ -49,7 +53,11 @@ fn size_statistics_match_size_models() {
         // Application sizes are extremely heavy-tailed (mean/median ≈ 12):
         // the sample mean of a few thousand documents is noisy and the
         // max-size clamp truncates ~8% of the mass, so allow a wider band.
-        let mean_tolerance = if ty == DocumentType::Application { 0.35 } else { 0.15 };
+        let mean_tolerance = if ty == DocumentType::Application {
+            0.35
+        } else {
+            0.15
+        };
         assert!(
             (got.mean / mean - 1.0).abs() < mean_tolerance,
             "{ty}: doc-size mean {} vs target {mean}",
@@ -90,8 +98,14 @@ fn alpha_estimates_follow_profile_ordering() {
         "image alpha = {a_img}"
     );
     // ...and the qualitative ordering of Table 4 (images steepest).
-    assert!(a_img > a_app, "alpha: images {a_img} vs application {a_app}");
-    assert!(a_img > a_html * 0.9, "alpha: images {a_img} vs html {a_html}");
+    assert!(
+        a_img > a_app,
+        "alpha: images {a_img} vs application {a_app}"
+    );
+    assert!(
+        a_img > a_html * 0.9,
+        "alpha: images {a_img} vs html {a_html}"
+    );
 }
 
 #[test]

@@ -24,8 +24,16 @@ fn synthesize_log() -> String {
     let urls: [(&str, &str, u64); 6] = [
         ("http://www.uni-dortmund.de/index.html", "text/html", 9_200),
         ("http://www.uni-dortmund.de/logo.gif", "image/gif", 2_100),
-        ("http://ls4.cs.uni-dortmund.de/paper.pdf", "application/pdf", 412_000),
-        ("http://media.example.de/lecture.mp3", "audio/mpeg", 3_800_000),
+        (
+            "http://ls4.cs.uni-dortmund.de/paper.pdf",
+            "application/pdf",
+            412_000,
+        ),
+        (
+            "http://media.example.de/lecture.mp3",
+            "audio/mpeg",
+            3_800_000,
+        ),
         ("http://www.example.de/cgi-bin/search", "text/html", 5_000),
         ("http://www.example.de/page.html?id=7", "text/html", 4_000),
     ];

@@ -60,8 +60,11 @@ fn main() {
         println!(
             "  {:12} alpha {:>5}  beta {:>5}",
             ty.label(),
-            alpha.map(|a| format!("{a:.2}")).unwrap_or_else(|| "-".into()),
-            beta.map(|b| format!("{b:.2}")).unwrap_or_else(|| "-".into()),
+            alpha
+                .map(|a| format!("{a:.2}"))
+                .unwrap_or_else(|| "-".into()),
+            beta.map(|b| format!("{b:.2}"))
+                .unwrap_or_else(|| "-".into()),
         );
     }
 }

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_admission-55f4830a0b106e1b.d: crates/bench/benches/ablation_admission.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_admission-55f4830a0b106e1b.rmeta: crates/bench/benches/ablation_admission.rs Cargo.toml
+
+crates/bench/benches/ablation_admission.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_beta-338cc042cdd67474.d: crates/bench/benches/ablation_beta.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_beta-338cc042cdd67474.rmeta: crates/bench/benches/ablation_beta.rs Cargo.toml
+
+crates/bench/benches/ablation_beta.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_modification-7ff0541bf9e89214.d: crates/bench/benches/ablation_modification.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_modification-7ff0541bf9e89214.rmeta: crates/bench/benches/ablation_modification.rs Cargo.toml
+
+crates/bench/benches/ablation_modification.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibration-4f70fa6a371e4bc3.d: crates/workload/tests/calibration.rs
+
+/root/repo/target/debug/deps/calibration-4f70fa6a371e4bc3: crates/workload/tests/calibration.rs
+
+crates/workload/tests/calibration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/calibration-b54dbe13e9922ebc.d: crates/workload/tests/calibration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcalibration-b54dbe13e9922ebc.rmeta: crates/workload/tests/calibration.rs Cargo.toml
+
+crates/workload/tests/calibration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

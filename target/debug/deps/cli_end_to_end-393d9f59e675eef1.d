@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cli_end_to_end-393d9f59e675eef1.d: crates/cli/tests/cli_end_to_end.rs
+
+/root/repo/target/debug/deps/cli_end_to_end-393d9f59e675eef1: crates/cli/tests/cli_end_to_end.rs
+
+crates/cli/tests/cli_end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cli_end_to_end-de55adcf2bf43a20.d: crates/cli/tests/cli_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli_end_to_end-de55adcf2bf43a20.rmeta: crates/cli/tests/cli_end_to_end.rs Cargo.toml
+
+crates/cli/tests/cli_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure3-b9daa4b34e77e054.d: crates/bench/benches/figure3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure3-b9daa4b34e77e054.rmeta: crates/bench/benches/figure3.rs Cargo.toml
+
+crates/bench/benches/figure3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

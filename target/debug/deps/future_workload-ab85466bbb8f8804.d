@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/future_workload-ab85466bbb8f8804.d: crates/bench/benches/future_workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfuture_workload-ab85466bbb8f8804.rmeta: crates/bench/benches/future_workload.rs Cargo.toml
+
+crates/bench/benches/future_workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

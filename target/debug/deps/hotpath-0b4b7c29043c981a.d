@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hotpath-0b4b7c29043c981a.d: crates/bench/src/bin/hotpath.rs
+
+/root/repo/target/debug/deps/hotpath-0b4b7c29043c981a: crates/bench/src/bin/hotpath.rs
+
+crates/bench/src/bin/hotpath.rs:

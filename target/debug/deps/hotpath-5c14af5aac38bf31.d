@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hotpath-5c14af5aac38bf31.d: crates/bench/src/bin/hotpath.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhotpath-5c14af5aac38bf31.rmeta: crates/bench/src/bin/hotpath.rs Cargo.toml
+
+crates/bench/src/bin/hotpath.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hotpath-af2d0dce5977de96.d: crates/bench/src/bin/hotpath.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhotpath-af2d0dce5977de96.rmeta: crates/bench/src/bin/hotpath.rs Cargo.toml
+
+crates/bench/src/bin/hotpath.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/loglike_growth-64017a30d06df4c4.d: crates/bench/benches/loglike_growth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloglike_growth-64017a30d06df4c4.rmeta: crates/bench/benches/loglike_growth.rs Cargo.toml
+
+crates/bench/benches/loglike_growth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/oracle_efficiency-70ba29a8adce7259.d: crates/bench/benches/oracle_efficiency.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboracle_efficiency-70ba29a8adce7259.rmeta: crates/bench/benches/oracle_efficiency.rs Cargo.toml
+
+crates/bench/benches/oracle_efficiency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_findings-0fee921d1ae44eed.d: tests/paper_findings.rs
+
+/root/repo/target/debug/deps/paper_findings-0fee921d1ae44eed: tests/paper_findings.rs
+
+tests/paper_findings.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_findings-fe55789ed107e44e.d: tests/paper_findings.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_findings-fe55789ed107e44e.rmeta: tests/paper_findings.rs Cargo.toml
+
+tests/paper_findings.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/per_type_beta-589774d05d56307c.d: crates/bench/benches/per_type_beta.rs Cargo.toml
+
+/root/repo/target/debug/deps/libper_type_beta-589774d05d56307c.rmeta: crates/bench/benches/per_type_beta.rs Cargo.toml
+
+crates/bench/benches/per_type_beta.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-29af54bb60eb7949.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-29af54bb60eb7949: tests/pipeline.rs
+
+tests/pipeline.rs:

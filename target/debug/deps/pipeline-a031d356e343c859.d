@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-a031d356e343c859.d: tests/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-a031d356e343c859.rmeta: tests/pipeline.rs Cargo.toml
+
+tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/policy_throughput-dab5c09b347b0cc9.d: crates/bench/benches/policy_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpolicy_throughput-dab5c09b347b0cc9.rmeta: crates/bench/benches/policy_throughput.rs Cargo.toml
+
+crates/bench/benches/policy_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

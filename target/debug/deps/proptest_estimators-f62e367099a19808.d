@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_estimators-f62e367099a19808.d: crates/stats/tests/proptest_estimators.rs
+
+/root/repo/target/debug/deps/proptest_estimators-f62e367099a19808: crates/stats/tests/proptest_estimators.rs
+
+crates/stats/tests/proptest_estimators.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_estimators-fbf7343b498d194e.d: crates/stats/tests/proptest_estimators.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_estimators-fbf7343b498d194e.rmeta: crates/stats/tests/proptest_estimators.rs Cargo.toml
+
+crates/stats/tests/proptest_estimators.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_generator-271d16249a30471f.d: crates/workload/tests/proptest_generator.rs
+
+/root/repo/target/debug/deps/proptest_generator-271d16249a30471f: crates/workload/tests/proptest_generator.rs
+
+crates/workload/tests/proptest_generator.rs:

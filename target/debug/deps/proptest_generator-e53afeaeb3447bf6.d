@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_generator-e53afeaeb3447bf6.d: crates/workload/tests/proptest_generator.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_generator-e53afeaeb3447bf6.rmeta: crates/workload/tests/proptest_generator.rs Cargo.toml
+
+crates/workload/tests/proptest_generator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_policies-2f377516adad1ba7.d: crates/core/tests/proptest_policies.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_policies-2f377516adad1ba7.rmeta: crates/core/tests/proptest_policies.rs Cargo.toml
+
+crates/core/tests/proptest_policies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_policies-e4758d69f11a5b3a.d: crates/core/tests/proptest_policies.rs
+
+/root/repo/target/debug/deps/proptest_policies-e4758d69f11a5b3a: crates/core/tests/proptest_policies.rs
+
+crates/core/tests/proptest_policies.rs:

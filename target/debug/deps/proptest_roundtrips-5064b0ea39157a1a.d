@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_roundtrips-5064b0ea39157a1a.d: crates/trace/tests/proptest_roundtrips.rs
+
+/root/repo/target/debug/deps/proptest_roundtrips-5064b0ea39157a1a: crates/trace/tests/proptest_roundtrips.rs
+
+crates/trace/tests/proptest_roundtrips.rs:

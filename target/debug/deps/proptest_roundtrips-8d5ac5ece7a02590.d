@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_roundtrips-8d5ac5ece7a02590.d: crates/trace/tests/proptest_roundtrips.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_roundtrips-8d5ac5ece7a02590.rmeta: crates/trace/tests/proptest_roundtrips.rs Cargo.toml
+
+crates/trace/tests/proptest_roundtrips.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_simulator-89b68223ea203e14.d: crates/sim/tests/proptest_simulator.rs
+
+/root/repo/target/debug/deps/proptest_simulator-89b68223ea203e14: crates/sim/tests/proptest_simulator.rs
+
+crates/sim/tests/proptest_simulator.rs:

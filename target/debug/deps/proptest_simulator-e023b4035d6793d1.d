@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_simulator-e023b4035d6793d1.d: crates/sim/tests/proptest_simulator.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_simulator-e023b4035d6793d1.rmeta: crates/sim/tests/proptest_simulator.rs Cargo.toml
+
+crates/sim/tests/proptest_simulator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

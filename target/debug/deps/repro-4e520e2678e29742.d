@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-4e520e2678e29742.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-4e520e2678e29742: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

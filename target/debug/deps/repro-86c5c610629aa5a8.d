@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-86c5c610629aa5a8.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-86c5c610629aa5a8: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

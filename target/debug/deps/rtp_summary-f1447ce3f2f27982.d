@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rtp_summary-f1447ce3f2f27982.d: crates/bench/benches/rtp_summary.rs Cargo.toml
+
+/root/repo/target/debug/deps/librtp_summary-f1447ce3f2f27982.rmeta: crates/bench/benches/rtp_summary.rs Cargo.toml
+
+crates/bench/benches/rtp_summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1-83e3a32d7ffd7892.d: crates/bench/benches/table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1-83e3a32d7ffd7892.rmeta: crates/bench/benches/table1.rs Cargo.toml
+
+crates/bench/benches/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

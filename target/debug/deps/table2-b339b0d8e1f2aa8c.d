@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2-b339b0d8e1f2aa8c.d: crates/bench/benches/table2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2-b339b0d8e1f2aa8c.rmeta: crates/bench/benches/table2.rs Cargo.toml
+
+crates/bench/benches/table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table5-1dc687c8a9624b23.d: crates/bench/benches/table5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable5-1dc687c8a9624b23.rmeta: crates/bench/benches/table5.rs Cargo.toml
+
+crates/bench/benches/table5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

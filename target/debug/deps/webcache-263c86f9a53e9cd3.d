@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/webcache-263c86f9a53e9cd3.d: src/lib.rs
+
+/root/repo/target/debug/deps/webcache-263c86f9a53e9cd3: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/webcache-5eae4675b03fba40.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwebcache-5eae4675b03fba40.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

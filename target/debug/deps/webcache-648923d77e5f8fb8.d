@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/webcache-648923d77e5f8fb8.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/webcache-648923d77e5f8fb8: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

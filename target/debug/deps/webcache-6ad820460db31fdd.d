@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/webcache-6ad820460db31fdd.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwebcache-6ad820460db31fdd.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

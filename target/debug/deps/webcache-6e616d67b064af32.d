@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/webcache-6e616d67b064af32.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwebcache-6e616d67b064af32.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

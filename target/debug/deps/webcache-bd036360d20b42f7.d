@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/webcache-bd036360d20b42f7.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwebcache-bd036360d20b42f7.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/webcache-bebeb6e19b7e25a4.d: src/lib.rs
+
+/root/repo/target/debug/deps/libwebcache-bebeb6e19b7e25a4.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libwebcache-bebeb6e19b7e25a4.rmeta: src/lib.rs
+
+src/lib.rs:

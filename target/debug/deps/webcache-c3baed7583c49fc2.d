@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/webcache-c3baed7583c49fc2.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/webcache-c3baed7583c49fc2: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

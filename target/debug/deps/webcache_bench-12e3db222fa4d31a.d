@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/webcache_bench-12e3db222fa4d31a.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/debug/deps/webcache_bench-12e3db222fa4d31a: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/webcache_bench-74ab896c678793f1.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwebcache_bench-74ab896c678793f1.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/webcache_bench-d54619f92c0dab89.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/debug/deps/libwebcache_bench-d54619f92c0dab89.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/debug/deps/libwebcache_bench-d54619f92c0dab89.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/webcache_cli-4ceea9a3a9c585a1.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/capacity.rs crates/cli/src/commands.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwebcache_cli-4ceea9a3a9c585a1.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/capacity.rs crates/cli/src/commands.rs Cargo.toml
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/capacity.rs:
+crates/cli/src/commands.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/webcache_cli-f81812a8ffdeecb3.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/capacity.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/libwebcache_cli-f81812a8ffdeecb3.rlib: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/capacity.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/libwebcache_cli-f81812a8ffdeecb3.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/capacity.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/capacity.rs:
+crates/cli/src/commands.rs:

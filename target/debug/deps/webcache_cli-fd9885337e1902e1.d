@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/webcache_cli-fd9885337e1902e1.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/capacity.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/webcache_cli-fd9885337e1902e1: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/capacity.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/capacity.rs:
+crates/cli/src/commands.rs:

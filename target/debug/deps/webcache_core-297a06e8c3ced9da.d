@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/webcache_core-297a06e8c3ced9da.d: crates/core/src/lib.rs crates/core/src/admission.rs crates/core/src/cache.rs crates/core/src/cost.rs crates/core/src/float.rs crates/core/src/policy/mod.rs crates/core/src/policy/fifo.rs crates/core/src/policy/gds.rs crates/core/src/policy/gdsf.rs crates/core/src/policy/gdstar.rs crates/core/src/policy/lfu.rs crates/core/src/policy/lfuda.rs crates/core/src/policy/lru.rs crates/core/src/policy/lruk.rs crates/core/src/policy/size.rs crates/core/src/policy/slru.rs crates/core/src/pqueue.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwebcache_core-297a06e8c3ced9da.rmeta: crates/core/src/lib.rs crates/core/src/admission.rs crates/core/src/cache.rs crates/core/src/cost.rs crates/core/src/float.rs crates/core/src/policy/mod.rs crates/core/src/policy/fifo.rs crates/core/src/policy/gds.rs crates/core/src/policy/gdsf.rs crates/core/src/policy/gdstar.rs crates/core/src/policy/lfu.rs crates/core/src/policy/lfuda.rs crates/core/src/policy/lru.rs crates/core/src/policy/lruk.rs crates/core/src/policy/size.rs crates/core/src/policy/slru.rs crates/core/src/pqueue.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/admission.rs:
+crates/core/src/cache.rs:
+crates/core/src/cost.rs:
+crates/core/src/float.rs:
+crates/core/src/policy/mod.rs:
+crates/core/src/policy/fifo.rs:
+crates/core/src/policy/gds.rs:
+crates/core/src/policy/gdsf.rs:
+crates/core/src/policy/gdstar.rs:
+crates/core/src/policy/lfu.rs:
+crates/core/src/policy/lfuda.rs:
+crates/core/src/policy/lru.rs:
+crates/core/src/policy/lruk.rs:
+crates/core/src/policy/size.rs:
+crates/core/src/policy/slru.rs:
+crates/core/src/pqueue.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

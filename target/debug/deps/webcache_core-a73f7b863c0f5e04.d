@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/webcache_core-a73f7b863c0f5e04.d: crates/core/src/lib.rs crates/core/src/admission.rs crates/core/src/cache.rs crates/core/src/cost.rs crates/core/src/float.rs crates/core/src/policy/mod.rs crates/core/src/policy/fifo.rs crates/core/src/policy/gds.rs crates/core/src/policy/gdsf.rs crates/core/src/policy/gdstar.rs crates/core/src/policy/lfu.rs crates/core/src/policy/lfuda.rs crates/core/src/policy/lru.rs crates/core/src/policy/lruk.rs crates/core/src/policy/size.rs crates/core/src/policy/slru.rs crates/core/src/pqueue.rs
+
+/root/repo/target/debug/deps/libwebcache_core-a73f7b863c0f5e04.rlib: crates/core/src/lib.rs crates/core/src/admission.rs crates/core/src/cache.rs crates/core/src/cost.rs crates/core/src/float.rs crates/core/src/policy/mod.rs crates/core/src/policy/fifo.rs crates/core/src/policy/gds.rs crates/core/src/policy/gdsf.rs crates/core/src/policy/gdstar.rs crates/core/src/policy/lfu.rs crates/core/src/policy/lfuda.rs crates/core/src/policy/lru.rs crates/core/src/policy/lruk.rs crates/core/src/policy/size.rs crates/core/src/policy/slru.rs crates/core/src/pqueue.rs
+
+/root/repo/target/debug/deps/libwebcache_core-a73f7b863c0f5e04.rmeta: crates/core/src/lib.rs crates/core/src/admission.rs crates/core/src/cache.rs crates/core/src/cost.rs crates/core/src/float.rs crates/core/src/policy/mod.rs crates/core/src/policy/fifo.rs crates/core/src/policy/gds.rs crates/core/src/policy/gdsf.rs crates/core/src/policy/gdstar.rs crates/core/src/policy/lfu.rs crates/core/src/policy/lfuda.rs crates/core/src/policy/lru.rs crates/core/src/policy/lruk.rs crates/core/src/policy/size.rs crates/core/src/policy/slru.rs crates/core/src/pqueue.rs
+
+crates/core/src/lib.rs:
+crates/core/src/admission.rs:
+crates/core/src/cache.rs:
+crates/core/src/cost.rs:
+crates/core/src/float.rs:
+crates/core/src/policy/mod.rs:
+crates/core/src/policy/fifo.rs:
+crates/core/src/policy/gds.rs:
+crates/core/src/policy/gdsf.rs:
+crates/core/src/policy/gdstar.rs:
+crates/core/src/policy/lfu.rs:
+crates/core/src/policy/lfuda.rs:
+crates/core/src/policy/lru.rs:
+crates/core/src/policy/lruk.rs:
+crates/core/src/policy/size.rs:
+crates/core/src/policy/slru.rs:
+crates/core/src/pqueue.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/webcache_sim-254376cd51638227.d: crates/sim/src/lib.rs crates/sim/src/experiment.rs crates/sim/src/hierarchy.rs crates/sim/src/latency.rs crates/sim/src/metrics.rs crates/sim/src/occupancy.rs crates/sim/src/oracle.rs crates/sim/src/report.rs crates/sim/src/simulator.rs
+
+/root/repo/target/debug/deps/libwebcache_sim-254376cd51638227.rlib: crates/sim/src/lib.rs crates/sim/src/experiment.rs crates/sim/src/hierarchy.rs crates/sim/src/latency.rs crates/sim/src/metrics.rs crates/sim/src/occupancy.rs crates/sim/src/oracle.rs crates/sim/src/report.rs crates/sim/src/simulator.rs
+
+/root/repo/target/debug/deps/libwebcache_sim-254376cd51638227.rmeta: crates/sim/src/lib.rs crates/sim/src/experiment.rs crates/sim/src/hierarchy.rs crates/sim/src/latency.rs crates/sim/src/metrics.rs crates/sim/src/occupancy.rs crates/sim/src/oracle.rs crates/sim/src/report.rs crates/sim/src/simulator.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/experiment.rs:
+crates/sim/src/hierarchy.rs:
+crates/sim/src/latency.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/occupancy.rs:
+crates/sim/src/oracle.rs:
+crates/sim/src/report.rs:
+crates/sim/src/simulator.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/webcache_sim-d67ebb0bbb0f87aa.d: crates/sim/src/lib.rs crates/sim/src/experiment.rs crates/sim/src/hierarchy.rs crates/sim/src/latency.rs crates/sim/src/metrics.rs crates/sim/src/occupancy.rs crates/sim/src/oracle.rs crates/sim/src/report.rs crates/sim/src/simulator.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwebcache_sim-d67ebb0bbb0f87aa.rmeta: crates/sim/src/lib.rs crates/sim/src/experiment.rs crates/sim/src/hierarchy.rs crates/sim/src/latency.rs crates/sim/src/metrics.rs crates/sim/src/occupancy.rs crates/sim/src/oracle.rs crates/sim/src/report.rs crates/sim/src/simulator.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/experiment.rs:
+crates/sim/src/hierarchy.rs:
+crates/sim/src/latency.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/occupancy.rs:
+crates/sim/src/oracle.rs:
+crates/sim/src/report.rs:
+crates/sim/src/simulator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/webcache_stats-239ae673a2db4014.d: crates/stats/src/lib.rs crates/stats/src/characterize.rs crates/stats/src/concentration.rs crates/stats/src/correlation.rs crates/stats/src/descriptive.rs crates/stats/src/popularity.rs crates/stats/src/regression.rs crates/stats/src/stack.rs crates/stats/src/table.rs
+
+/root/repo/target/debug/deps/libwebcache_stats-239ae673a2db4014.rlib: crates/stats/src/lib.rs crates/stats/src/characterize.rs crates/stats/src/concentration.rs crates/stats/src/correlation.rs crates/stats/src/descriptive.rs crates/stats/src/popularity.rs crates/stats/src/regression.rs crates/stats/src/stack.rs crates/stats/src/table.rs
+
+/root/repo/target/debug/deps/libwebcache_stats-239ae673a2db4014.rmeta: crates/stats/src/lib.rs crates/stats/src/characterize.rs crates/stats/src/concentration.rs crates/stats/src/correlation.rs crates/stats/src/descriptive.rs crates/stats/src/popularity.rs crates/stats/src/regression.rs crates/stats/src/stack.rs crates/stats/src/table.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/characterize.rs:
+crates/stats/src/concentration.rs:
+crates/stats/src/correlation.rs:
+crates/stats/src/descriptive.rs:
+crates/stats/src/popularity.rs:
+crates/stats/src/regression.rs:
+crates/stats/src/stack.rs:
+crates/stats/src/table.rs:

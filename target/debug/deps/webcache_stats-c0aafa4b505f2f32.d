@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/webcache_stats-c0aafa4b505f2f32.d: crates/stats/src/lib.rs crates/stats/src/characterize.rs crates/stats/src/concentration.rs crates/stats/src/correlation.rs crates/stats/src/descriptive.rs crates/stats/src/popularity.rs crates/stats/src/regression.rs crates/stats/src/stack.rs crates/stats/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwebcache_stats-c0aafa4b505f2f32.rmeta: crates/stats/src/lib.rs crates/stats/src/characterize.rs crates/stats/src/concentration.rs crates/stats/src/correlation.rs crates/stats/src/descriptive.rs crates/stats/src/popularity.rs crates/stats/src/regression.rs crates/stats/src/stack.rs crates/stats/src/table.rs Cargo.toml
+
+crates/stats/src/lib.rs:
+crates/stats/src/characterize.rs:
+crates/stats/src/concentration.rs:
+crates/stats/src/correlation.rs:
+crates/stats/src/descriptive.rs:
+crates/stats/src/popularity.rs:
+crates/stats/src/regression.rs:
+crates/stats/src/stack.rs:
+crates/stats/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

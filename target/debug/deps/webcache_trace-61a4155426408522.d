@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/webcache_trace-61a4155426408522.d: crates/trace/src/lib.rs crates/trace/src/cacheability.rs crates/trace/src/canonical.rs crates/trace/src/clf.rs crates/trace/src/dense.rs crates/trace/src/doctype.rs crates/trace/src/error.rs crates/trace/src/format.rs crates/trace/src/format_bin.rs crates/trace/src/fxhash.rs crates/trace/src/preprocess.rs crates/trace/src/record.rs crates/trace/src/squid.rs crates/trace/src/status.rs crates/trace/src/transform.rs crates/trace/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwebcache_trace-61a4155426408522.rmeta: crates/trace/src/lib.rs crates/trace/src/cacheability.rs crates/trace/src/canonical.rs crates/trace/src/clf.rs crates/trace/src/dense.rs crates/trace/src/doctype.rs crates/trace/src/error.rs crates/trace/src/format.rs crates/trace/src/format_bin.rs crates/trace/src/fxhash.rs crates/trace/src/preprocess.rs crates/trace/src/record.rs crates/trace/src/squid.rs crates/trace/src/status.rs crates/trace/src/transform.rs crates/trace/src/types.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/cacheability.rs:
+crates/trace/src/canonical.rs:
+crates/trace/src/clf.rs:
+crates/trace/src/dense.rs:
+crates/trace/src/doctype.rs:
+crates/trace/src/error.rs:
+crates/trace/src/format.rs:
+crates/trace/src/format_bin.rs:
+crates/trace/src/fxhash.rs:
+crates/trace/src/preprocess.rs:
+crates/trace/src/record.rs:
+crates/trace/src/squid.rs:
+crates/trace/src/status.rs:
+crates/trace/src/transform.rs:
+crates/trace/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/webcache_trace-b61b1a019f47b20d.d: crates/trace/src/lib.rs crates/trace/src/cacheability.rs crates/trace/src/canonical.rs crates/trace/src/clf.rs crates/trace/src/dense.rs crates/trace/src/doctype.rs crates/trace/src/error.rs crates/trace/src/format.rs crates/trace/src/format_bin.rs crates/trace/src/fxhash.rs crates/trace/src/preprocess.rs crates/trace/src/record.rs crates/trace/src/squid.rs crates/trace/src/status.rs crates/trace/src/transform.rs crates/trace/src/types.rs
+
+/root/repo/target/debug/deps/libwebcache_trace-b61b1a019f47b20d.rlib: crates/trace/src/lib.rs crates/trace/src/cacheability.rs crates/trace/src/canonical.rs crates/trace/src/clf.rs crates/trace/src/dense.rs crates/trace/src/doctype.rs crates/trace/src/error.rs crates/trace/src/format.rs crates/trace/src/format_bin.rs crates/trace/src/fxhash.rs crates/trace/src/preprocess.rs crates/trace/src/record.rs crates/trace/src/squid.rs crates/trace/src/status.rs crates/trace/src/transform.rs crates/trace/src/types.rs
+
+/root/repo/target/debug/deps/libwebcache_trace-b61b1a019f47b20d.rmeta: crates/trace/src/lib.rs crates/trace/src/cacheability.rs crates/trace/src/canonical.rs crates/trace/src/clf.rs crates/trace/src/dense.rs crates/trace/src/doctype.rs crates/trace/src/error.rs crates/trace/src/format.rs crates/trace/src/format_bin.rs crates/trace/src/fxhash.rs crates/trace/src/preprocess.rs crates/trace/src/record.rs crates/trace/src/squid.rs crates/trace/src/status.rs crates/trace/src/transform.rs crates/trace/src/types.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/cacheability.rs:
+crates/trace/src/canonical.rs:
+crates/trace/src/clf.rs:
+crates/trace/src/dense.rs:
+crates/trace/src/doctype.rs:
+crates/trace/src/error.rs:
+crates/trace/src/format.rs:
+crates/trace/src/format_bin.rs:
+crates/trace/src/fxhash.rs:
+crates/trace/src/preprocess.rs:
+crates/trace/src/record.rs:
+crates/trace/src/squid.rs:
+crates/trace/src/status.rs:
+crates/trace/src/transform.rs:
+crates/trace/src/types.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/webcache_trace-f678d0df95d5999f.d: crates/trace/src/lib.rs crates/trace/src/cacheability.rs crates/trace/src/canonical.rs crates/trace/src/clf.rs crates/trace/src/dense.rs crates/trace/src/doctype.rs crates/trace/src/error.rs crates/trace/src/format.rs crates/trace/src/format_bin.rs crates/trace/src/fxhash.rs crates/trace/src/preprocess.rs crates/trace/src/record.rs crates/trace/src/squid.rs crates/trace/src/status.rs crates/trace/src/transform.rs crates/trace/src/types.rs
+
+/root/repo/target/debug/deps/webcache_trace-f678d0df95d5999f: crates/trace/src/lib.rs crates/trace/src/cacheability.rs crates/trace/src/canonical.rs crates/trace/src/clf.rs crates/trace/src/dense.rs crates/trace/src/doctype.rs crates/trace/src/error.rs crates/trace/src/format.rs crates/trace/src/format_bin.rs crates/trace/src/fxhash.rs crates/trace/src/preprocess.rs crates/trace/src/record.rs crates/trace/src/squid.rs crates/trace/src/status.rs crates/trace/src/transform.rs crates/trace/src/types.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/cacheability.rs:
+crates/trace/src/canonical.rs:
+crates/trace/src/clf.rs:
+crates/trace/src/dense.rs:
+crates/trace/src/doctype.rs:
+crates/trace/src/error.rs:
+crates/trace/src/format.rs:
+crates/trace/src/format_bin.rs:
+crates/trace/src/fxhash.rs:
+crates/trace/src/preprocess.rs:
+crates/trace/src/record.rs:
+crates/trace/src/squid.rs:
+crates/trace/src/status.rs:
+crates/trace/src/transform.rs:
+crates/trace/src/types.rs:

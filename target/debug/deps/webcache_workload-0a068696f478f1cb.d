@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/webcache_workload-0a068696f478f1cb.d: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/dist/mod.rs crates/workload/src/dist/lognormal.rs crates/workload/src/dist/pareto.rs crates/workload/src/dist/powerlaw.rs crates/workload/src/dist/zipf.rs crates/workload/src/generator.rs crates/workload/src/mix.rs crates/workload/src/profiles.rs crates/workload/src/sizes.rs crates/workload/src/temporal.rs
+
+/root/repo/target/debug/deps/libwebcache_workload-0a068696f478f1cb.rlib: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/dist/mod.rs crates/workload/src/dist/lognormal.rs crates/workload/src/dist/pareto.rs crates/workload/src/dist/powerlaw.rs crates/workload/src/dist/zipf.rs crates/workload/src/generator.rs crates/workload/src/mix.rs crates/workload/src/profiles.rs crates/workload/src/sizes.rs crates/workload/src/temporal.rs
+
+/root/repo/target/debug/deps/libwebcache_workload-0a068696f478f1cb.rmeta: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/dist/mod.rs crates/workload/src/dist/lognormal.rs crates/workload/src/dist/pareto.rs crates/workload/src/dist/powerlaw.rs crates/workload/src/dist/zipf.rs crates/workload/src/generator.rs crates/workload/src/mix.rs crates/workload/src/profiles.rs crates/workload/src/sizes.rs crates/workload/src/temporal.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrivals.rs:
+crates/workload/src/dist/mod.rs:
+crates/workload/src/dist/lognormal.rs:
+crates/workload/src/dist/pareto.rs:
+crates/workload/src/dist/powerlaw.rs:
+crates/workload/src/dist/zipf.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/mix.rs:
+crates/workload/src/profiles.rs:
+crates/workload/src/sizes.rs:
+crates/workload/src/temporal.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/webcache_workload-aebdacef035a018f.d: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/dist/mod.rs crates/workload/src/dist/lognormal.rs crates/workload/src/dist/pareto.rs crates/workload/src/dist/powerlaw.rs crates/workload/src/dist/zipf.rs crates/workload/src/generator.rs crates/workload/src/mix.rs crates/workload/src/profiles.rs crates/workload/src/sizes.rs crates/workload/src/temporal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwebcache_workload-aebdacef035a018f.rmeta: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/dist/mod.rs crates/workload/src/dist/lognormal.rs crates/workload/src/dist/pareto.rs crates/workload/src/dist/powerlaw.rs crates/workload/src/dist/zipf.rs crates/workload/src/generator.rs crates/workload/src/mix.rs crates/workload/src/profiles.rs crates/workload/src/sizes.rs crates/workload/src/temporal.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrivals.rs:
+crates/workload/src/dist/mod.rs:
+crates/workload/src/dist/lognormal.rs:
+crates/workload/src/dist/pareto.rs:
+crates/workload/src/dist/powerlaw.rs:
+crates/workload/src/dist/zipf.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/mix.rs:
+crates/workload/src/profiles.rs:
+crates/workload/src/sizes.rs:
+crates/workload/src/temporal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/webcache_workload-d68aff030f2ececb.d: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/dist/mod.rs crates/workload/src/dist/lognormal.rs crates/workload/src/dist/pareto.rs crates/workload/src/dist/powerlaw.rs crates/workload/src/dist/zipf.rs crates/workload/src/generator.rs crates/workload/src/mix.rs crates/workload/src/profiles.rs crates/workload/src/sizes.rs crates/workload/src/temporal.rs
+
+/root/repo/target/debug/deps/webcache_workload-d68aff030f2ececb: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/dist/mod.rs crates/workload/src/dist/lognormal.rs crates/workload/src/dist/pareto.rs crates/workload/src/dist/powerlaw.rs crates/workload/src/dist/zipf.rs crates/workload/src/generator.rs crates/workload/src/mix.rs crates/workload/src/profiles.rs crates/workload/src/sizes.rs crates/workload/src/temporal.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrivals.rs:
+crates/workload/src/dist/mod.rs:
+crates/workload/src/dist/lognormal.rs:
+crates/workload/src/dist/pareto.rs:
+crates/workload/src/dist/powerlaw.rs:
+crates/workload/src/dist/zipf.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/mix.rs:
+crates/workload/src/profiles.rs:
+crates/workload/src/sizes.rs:
+crates/workload/src/temporal.rs:

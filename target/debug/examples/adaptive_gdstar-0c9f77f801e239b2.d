@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/adaptive_gdstar-0c9f77f801e239b2.d: examples/adaptive_gdstar.rs Cargo.toml
+
+/root/repo/target/debug/examples/libadaptive_gdstar-0c9f77f801e239b2.rmeta: examples/adaptive_gdstar.rs Cargo.toml
+
+examples/adaptive_gdstar.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_gdstar-8da298cb242c0404.d: examples/adaptive_gdstar.rs
+
+/root/repo/target/debug/examples/adaptive_gdstar-8da298cb242c0404: examples/adaptive_gdstar.rs
+
+examples/adaptive_gdstar.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hierarchy-d89264fe39d3af34.d: examples/hierarchy.rs
+
+/root/repo/target/debug/examples/hierarchy-d89264fe39d3af34: examples/hierarchy.rs
+
+examples/hierarchy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hierarchy-f2e8b5b970f361ec.d: examples/hierarchy.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhierarchy-f2e8b5b970f361ec.rmeta: examples/hierarchy.rs Cargo.toml
+
+examples/hierarchy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/latency_savings-3b5dbeb67a89fda0.d: examples/latency_savings.rs
+
+/root/repo/target/debug/examples/latency_savings-3b5dbeb67a89fda0: examples/latency_savings.rs
+
+examples/latency_savings.rs:

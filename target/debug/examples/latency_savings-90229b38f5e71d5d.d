@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/latency_savings-90229b38f5e71d5d.d: examples/latency_savings.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblatency_savings-90229b38f5e71d5d.rmeta: examples/latency_savings.rs Cargo.toml
+
+examples/latency_savings.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/policy_comparison-7bb3d170c1bc120d.d: examples/policy_comparison.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpolicy_comparison-7bb3d170c1bc120d.rmeta: examples/policy_comparison.rs Cargo.toml
+
+examples/policy_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/policy_comparison-a27cfe8891c4593f.d: examples/policy_comparison.rs
+
+/root/repo/target/debug/examples/policy_comparison-a27cfe8891c4593f: examples/policy_comparison.rs
+
+examples/policy_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ac2c306605aa868c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ac2c306605aa868c: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/squid_log_replay-166abc91d3cf87a6.d: examples/squid_log_replay.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsquid_log_replay-166abc91d3cf87a6.rmeta: examples/squid_log_replay.rs Cargo.toml
+
+examples/squid_log_replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

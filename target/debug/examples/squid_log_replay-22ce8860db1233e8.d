@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/squid_log_replay-22ce8860db1233e8.d: examples/squid_log_replay.rs
+
+/root/repo/target/debug/examples/squid_log_replay-22ce8860db1233e8: examples/squid_log_replay.rs
+
+examples/squid_log_replay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/temporal_locality-32815c5aa34900a2.d: examples/temporal_locality.rs
+
+/root/repo/target/debug/examples/temporal_locality-32815c5aa34900a2: examples/temporal_locality.rs
+
+examples/temporal_locality.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/temporal_locality-df7447bd3228b909.d: examples/temporal_locality.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtemporal_locality-df7447bd3228b909.rmeta: examples/temporal_locality.rs Cargo.toml
+
+examples/temporal_locality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/workload_characterization-b9a0cf85504f8bf7.d: examples/workload_characterization.rs
+
+/root/repo/target/debug/examples/workload_characterization-b9a0cf85504f8bf7: examples/workload_characterization.rs
+
+examples/workload_characterization.rs:

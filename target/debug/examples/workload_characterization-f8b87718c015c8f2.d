@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/workload_characterization-f8b87718c015c8f2.d: examples/workload_characterization.rs Cargo.toml
+
+/root/repo/target/debug/examples/libworkload_characterization-f8b87718c015c8f2.rmeta: examples/workload_characterization.rs Cargo.toml
+
+examples/workload_characterization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_admission-ccff400c636a5eb0.d: crates/bench/benches/ablation_admission.rs
+
+/root/repo/target/release/deps/ablation_admission-ccff400c636a5eb0: crates/bench/benches/ablation_admission.rs
+
+crates/bench/benches/ablation_admission.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_beta-a9f460ee07b8c782.d: crates/bench/benches/ablation_beta.rs
+
+/root/repo/target/release/deps/ablation_beta-a9f460ee07b8c782: crates/bench/benches/ablation_beta.rs
+
+crates/bench/benches/ablation_beta.rs:

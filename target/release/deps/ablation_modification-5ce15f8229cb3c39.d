@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_modification-5ce15f8229cb3c39.d: crates/bench/benches/ablation_modification.rs
+
+/root/repo/target/release/deps/ablation_modification-5ce15f8229cb3c39: crates/bench/benches/ablation_modification.rs
+
+crates/bench/benches/ablation_modification.rs:

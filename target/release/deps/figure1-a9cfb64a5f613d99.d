@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure1-a9cfb64a5f613d99.d: crates/bench/benches/figure1.rs
+
+/root/repo/target/release/deps/figure1-a9cfb64a5f613d99: crates/bench/benches/figure1.rs
+
+crates/bench/benches/figure1.rs:

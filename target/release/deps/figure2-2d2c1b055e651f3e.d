@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure2-2d2c1b055e651f3e.d: crates/bench/benches/figure2.rs
+
+/root/repo/target/release/deps/figure2-2d2c1b055e651f3e: crates/bench/benches/figure2.rs
+
+crates/bench/benches/figure2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure3-c54057a44d11b524.d: crates/bench/benches/figure3.rs
+
+/root/repo/target/release/deps/figure3-c54057a44d11b524: crates/bench/benches/figure3.rs
+
+crates/bench/benches/figure3.rs:

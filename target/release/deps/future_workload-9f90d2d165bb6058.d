@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/future_workload-9f90d2d165bb6058.d: crates/bench/benches/future_workload.rs
+
+/root/repo/target/release/deps/future_workload-9f90d2d165bb6058: crates/bench/benches/future_workload.rs
+
+crates/bench/benches/future_workload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hotpath-823dd0e5f397cf21.d: crates/bench/src/bin/hotpath.rs
+
+/root/repo/target/release/deps/hotpath-823dd0e5f397cf21: crates/bench/src/bin/hotpath.rs
+
+crates/bench/src/bin/hotpath.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/loglike_growth-dee920074bb41307.d: crates/bench/benches/loglike_growth.rs
+
+/root/repo/target/release/deps/loglike_growth-dee920074bb41307: crates/bench/benches/loglike_growth.rs
+
+crates/bench/benches/loglike_growth.rs:

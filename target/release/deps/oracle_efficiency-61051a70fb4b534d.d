@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/oracle_efficiency-61051a70fb4b534d.d: crates/bench/benches/oracle_efficiency.rs
+
+/root/repo/target/release/deps/oracle_efficiency-61051a70fb4b534d: crates/bench/benches/oracle_efficiency.rs
+
+crates/bench/benches/oracle_efficiency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/per_type_beta-5d1356a1b58c9f69.d: crates/bench/benches/per_type_beta.rs
+
+/root/repo/target/release/deps/per_type_beta-5d1356a1b58c9f69: crates/bench/benches/per_type_beta.rs
+
+crates/bench/benches/per_type_beta.rs:

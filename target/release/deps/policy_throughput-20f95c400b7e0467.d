@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/policy_throughput-20f95c400b7e0467.d: crates/bench/benches/policy_throughput.rs
+
+/root/repo/target/release/deps/policy_throughput-20f95c400b7e0467: crates/bench/benches/policy_throughput.rs
+
+crates/bench/benches/policy_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-ccd8b9645a932866.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-ccd8b9645a932866: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-f3cf872bf258c530.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-f3cf872bf258c530: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rtp_summary-18317bc56c676a77.d: crates/bench/benches/rtp_summary.rs
+
+/root/repo/target/release/deps/rtp_summary-18317bc56c676a77: crates/bench/benches/rtp_summary.rs
+
+crates/bench/benches/rtp_summary.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-556a92a93c5c3850.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-556a92a93c5c3850.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-556a92a93c5c3850.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

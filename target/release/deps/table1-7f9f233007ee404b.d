@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-7f9f233007ee404b.d: crates/bench/benches/table1.rs
+
+/root/repo/target/release/deps/table1-7f9f233007ee404b: crates/bench/benches/table1.rs
+
+crates/bench/benches/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-eda875c2227e1505.d: crates/bench/benches/table2.rs
+
+/root/repo/target/release/deps/table2-eda875c2227e1505: crates/bench/benches/table2.rs
+
+crates/bench/benches/table2.rs:

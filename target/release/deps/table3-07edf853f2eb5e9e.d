@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-07edf853f2eb5e9e.d: crates/bench/benches/table3.rs
+
+/root/repo/target/release/deps/table3-07edf853f2eb5e9e: crates/bench/benches/table3.rs
+
+crates/bench/benches/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-6b10223e6b3616f9.d: crates/bench/benches/table4.rs
+
+/root/repo/target/release/deps/table4-6b10223e6b3616f9: crates/bench/benches/table4.rs
+
+crates/bench/benches/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-1eb8965b7dd0273c.d: crates/bench/benches/table5.rs
+
+/root/repo/target/release/deps/table5-1eb8965b7dd0273c: crates/bench/benches/table5.rs
+
+crates/bench/benches/table5.rs:

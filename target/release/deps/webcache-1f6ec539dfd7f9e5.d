@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/webcache-1f6ec539dfd7f9e5.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/webcache-1f6ec539dfd7f9e5: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

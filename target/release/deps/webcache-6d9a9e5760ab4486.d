@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/webcache-6d9a9e5760ab4486.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/webcache-6d9a9e5760ab4486: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/webcache-a84fe2fb9ad087a7.d: src/lib.rs
+
+/root/repo/target/release/deps/webcache-a84fe2fb9ad087a7: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/webcache-a8adbe8e954d8c5b.d: src/lib.rs
+
+/root/repo/target/release/deps/libwebcache-a8adbe8e954d8c5b.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libwebcache-a8adbe8e954d8c5b.rmeta: src/lib.rs
+
+src/lib.rs:

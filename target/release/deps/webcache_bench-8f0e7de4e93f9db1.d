@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/webcache_bench-8f0e7de4e93f9db1.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/release/deps/webcache_bench-8f0e7de4e93f9db1: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:

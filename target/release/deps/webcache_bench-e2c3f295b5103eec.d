@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/webcache_bench-e2c3f295b5103eec.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/release/deps/libwebcache_bench-e2c3f295b5103eec.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/release/deps/libwebcache_bench-e2c3f295b5103eec.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/webcache_cli-75ef2b44632b2428.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/capacity.rs crates/cli/src/commands.rs
+
+/root/repo/target/release/deps/webcache_cli-75ef2b44632b2428: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/capacity.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/capacity.rs:
+crates/cli/src/commands.rs:

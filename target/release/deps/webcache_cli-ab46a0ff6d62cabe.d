@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/webcache_cli-ab46a0ff6d62cabe.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/capacity.rs crates/cli/src/commands.rs
+
+/root/repo/target/release/deps/libwebcache_cli-ab46a0ff6d62cabe.rlib: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/capacity.rs crates/cli/src/commands.rs
+
+/root/repo/target/release/deps/libwebcache_cli-ab46a0ff6d62cabe.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/capacity.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/capacity.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/webcache_core-0c4d483df325f661.d: crates/core/src/lib.rs crates/core/src/admission.rs crates/core/src/cache.rs crates/core/src/cost.rs crates/core/src/float.rs crates/core/src/policy/mod.rs crates/core/src/policy/fifo.rs crates/core/src/policy/gds.rs crates/core/src/policy/gdsf.rs crates/core/src/policy/gdstar.rs crates/core/src/policy/lfu.rs crates/core/src/policy/lfuda.rs crates/core/src/policy/lru.rs crates/core/src/policy/lruk.rs crates/core/src/policy/size.rs crates/core/src/policy/slru.rs crates/core/src/pqueue.rs
+
+/root/repo/target/release/deps/webcache_core-0c4d483df325f661: crates/core/src/lib.rs crates/core/src/admission.rs crates/core/src/cache.rs crates/core/src/cost.rs crates/core/src/float.rs crates/core/src/policy/mod.rs crates/core/src/policy/fifo.rs crates/core/src/policy/gds.rs crates/core/src/policy/gdsf.rs crates/core/src/policy/gdstar.rs crates/core/src/policy/lfu.rs crates/core/src/policy/lfuda.rs crates/core/src/policy/lru.rs crates/core/src/policy/lruk.rs crates/core/src/policy/size.rs crates/core/src/policy/slru.rs crates/core/src/pqueue.rs
+
+crates/core/src/lib.rs:
+crates/core/src/admission.rs:
+crates/core/src/cache.rs:
+crates/core/src/cost.rs:
+crates/core/src/float.rs:
+crates/core/src/policy/mod.rs:
+crates/core/src/policy/fifo.rs:
+crates/core/src/policy/gds.rs:
+crates/core/src/policy/gdsf.rs:
+crates/core/src/policy/gdstar.rs:
+crates/core/src/policy/lfu.rs:
+crates/core/src/policy/lfuda.rs:
+crates/core/src/policy/lru.rs:
+crates/core/src/policy/lruk.rs:
+crates/core/src/policy/size.rs:
+crates/core/src/policy/slru.rs:
+crates/core/src/pqueue.rs:

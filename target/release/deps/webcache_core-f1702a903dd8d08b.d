@@ -1,0 +1,23 @@
+/root/repo/target/release/deps/webcache_core-f1702a903dd8d08b.d: crates/core/src/lib.rs crates/core/src/admission.rs crates/core/src/cache.rs crates/core/src/cost.rs crates/core/src/float.rs crates/core/src/policy/mod.rs crates/core/src/policy/fifo.rs crates/core/src/policy/gds.rs crates/core/src/policy/gdsf.rs crates/core/src/policy/gdstar.rs crates/core/src/policy/lfu.rs crates/core/src/policy/lfuda.rs crates/core/src/policy/lru.rs crates/core/src/policy/lruk.rs crates/core/src/policy/size.rs crates/core/src/policy/slru.rs crates/core/src/pqueue.rs
+
+/root/repo/target/release/deps/libwebcache_core-f1702a903dd8d08b.rlib: crates/core/src/lib.rs crates/core/src/admission.rs crates/core/src/cache.rs crates/core/src/cost.rs crates/core/src/float.rs crates/core/src/policy/mod.rs crates/core/src/policy/fifo.rs crates/core/src/policy/gds.rs crates/core/src/policy/gdsf.rs crates/core/src/policy/gdstar.rs crates/core/src/policy/lfu.rs crates/core/src/policy/lfuda.rs crates/core/src/policy/lru.rs crates/core/src/policy/lruk.rs crates/core/src/policy/size.rs crates/core/src/policy/slru.rs crates/core/src/pqueue.rs
+
+/root/repo/target/release/deps/libwebcache_core-f1702a903dd8d08b.rmeta: crates/core/src/lib.rs crates/core/src/admission.rs crates/core/src/cache.rs crates/core/src/cost.rs crates/core/src/float.rs crates/core/src/policy/mod.rs crates/core/src/policy/fifo.rs crates/core/src/policy/gds.rs crates/core/src/policy/gdsf.rs crates/core/src/policy/gdstar.rs crates/core/src/policy/lfu.rs crates/core/src/policy/lfuda.rs crates/core/src/policy/lru.rs crates/core/src/policy/lruk.rs crates/core/src/policy/size.rs crates/core/src/policy/slru.rs crates/core/src/pqueue.rs
+
+crates/core/src/lib.rs:
+crates/core/src/admission.rs:
+crates/core/src/cache.rs:
+crates/core/src/cost.rs:
+crates/core/src/float.rs:
+crates/core/src/policy/mod.rs:
+crates/core/src/policy/fifo.rs:
+crates/core/src/policy/gds.rs:
+crates/core/src/policy/gdsf.rs:
+crates/core/src/policy/gdstar.rs:
+crates/core/src/policy/lfu.rs:
+crates/core/src/policy/lfuda.rs:
+crates/core/src/policy/lru.rs:
+crates/core/src/policy/lruk.rs:
+crates/core/src/policy/size.rs:
+crates/core/src/policy/slru.rs:
+crates/core/src/pqueue.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/webcache_sim-09a14a5b2fa2d0ff.d: crates/sim/src/lib.rs crates/sim/src/experiment.rs crates/sim/src/hierarchy.rs crates/sim/src/latency.rs crates/sim/src/metrics.rs crates/sim/src/occupancy.rs crates/sim/src/oracle.rs crates/sim/src/report.rs crates/sim/src/simulator.rs
+
+/root/repo/target/release/deps/libwebcache_sim-09a14a5b2fa2d0ff.rlib: crates/sim/src/lib.rs crates/sim/src/experiment.rs crates/sim/src/hierarchy.rs crates/sim/src/latency.rs crates/sim/src/metrics.rs crates/sim/src/occupancy.rs crates/sim/src/oracle.rs crates/sim/src/report.rs crates/sim/src/simulator.rs
+
+/root/repo/target/release/deps/libwebcache_sim-09a14a5b2fa2d0ff.rmeta: crates/sim/src/lib.rs crates/sim/src/experiment.rs crates/sim/src/hierarchy.rs crates/sim/src/latency.rs crates/sim/src/metrics.rs crates/sim/src/occupancy.rs crates/sim/src/oracle.rs crates/sim/src/report.rs crates/sim/src/simulator.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/experiment.rs:
+crates/sim/src/hierarchy.rs:
+crates/sim/src/latency.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/occupancy.rs:
+crates/sim/src/oracle.rs:
+crates/sim/src/report.rs:
+crates/sim/src/simulator.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/webcache_stats-7a60ec521942dd29.d: crates/stats/src/lib.rs crates/stats/src/characterize.rs crates/stats/src/concentration.rs crates/stats/src/correlation.rs crates/stats/src/descriptive.rs crates/stats/src/popularity.rs crates/stats/src/regression.rs crates/stats/src/stack.rs crates/stats/src/table.rs
+
+/root/repo/target/release/deps/webcache_stats-7a60ec521942dd29: crates/stats/src/lib.rs crates/stats/src/characterize.rs crates/stats/src/concentration.rs crates/stats/src/correlation.rs crates/stats/src/descriptive.rs crates/stats/src/popularity.rs crates/stats/src/regression.rs crates/stats/src/stack.rs crates/stats/src/table.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/characterize.rs:
+crates/stats/src/concentration.rs:
+crates/stats/src/correlation.rs:
+crates/stats/src/descriptive.rs:
+crates/stats/src/popularity.rs:
+crates/stats/src/regression.rs:
+crates/stats/src/stack.rs:
+crates/stats/src/table.rs:

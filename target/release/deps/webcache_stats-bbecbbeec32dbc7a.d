@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/webcache_stats-bbecbbeec32dbc7a.d: crates/stats/src/lib.rs crates/stats/src/characterize.rs crates/stats/src/concentration.rs crates/stats/src/correlation.rs crates/stats/src/descriptive.rs crates/stats/src/popularity.rs crates/stats/src/regression.rs crates/stats/src/stack.rs crates/stats/src/table.rs
+
+/root/repo/target/release/deps/libwebcache_stats-bbecbbeec32dbc7a.rlib: crates/stats/src/lib.rs crates/stats/src/characterize.rs crates/stats/src/concentration.rs crates/stats/src/correlation.rs crates/stats/src/descriptive.rs crates/stats/src/popularity.rs crates/stats/src/regression.rs crates/stats/src/stack.rs crates/stats/src/table.rs
+
+/root/repo/target/release/deps/libwebcache_stats-bbecbbeec32dbc7a.rmeta: crates/stats/src/lib.rs crates/stats/src/characterize.rs crates/stats/src/concentration.rs crates/stats/src/correlation.rs crates/stats/src/descriptive.rs crates/stats/src/popularity.rs crates/stats/src/regression.rs crates/stats/src/stack.rs crates/stats/src/table.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/characterize.rs:
+crates/stats/src/concentration.rs:
+crates/stats/src/correlation.rs:
+crates/stats/src/descriptive.rs:
+crates/stats/src/popularity.rs:
+crates/stats/src/regression.rs:
+crates/stats/src/stack.rs:
+crates/stats/src/table.rs:

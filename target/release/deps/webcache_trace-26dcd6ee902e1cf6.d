@@ -1,0 +1,22 @@
+/root/repo/target/release/deps/webcache_trace-26dcd6ee902e1cf6.d: crates/trace/src/lib.rs crates/trace/src/cacheability.rs crates/trace/src/canonical.rs crates/trace/src/clf.rs crates/trace/src/dense.rs crates/trace/src/doctype.rs crates/trace/src/error.rs crates/trace/src/format.rs crates/trace/src/format_bin.rs crates/trace/src/fxhash.rs crates/trace/src/preprocess.rs crates/trace/src/record.rs crates/trace/src/squid.rs crates/trace/src/status.rs crates/trace/src/transform.rs crates/trace/src/types.rs
+
+/root/repo/target/release/deps/libwebcache_trace-26dcd6ee902e1cf6.rlib: crates/trace/src/lib.rs crates/trace/src/cacheability.rs crates/trace/src/canonical.rs crates/trace/src/clf.rs crates/trace/src/dense.rs crates/trace/src/doctype.rs crates/trace/src/error.rs crates/trace/src/format.rs crates/trace/src/format_bin.rs crates/trace/src/fxhash.rs crates/trace/src/preprocess.rs crates/trace/src/record.rs crates/trace/src/squid.rs crates/trace/src/status.rs crates/trace/src/transform.rs crates/trace/src/types.rs
+
+/root/repo/target/release/deps/libwebcache_trace-26dcd6ee902e1cf6.rmeta: crates/trace/src/lib.rs crates/trace/src/cacheability.rs crates/trace/src/canonical.rs crates/trace/src/clf.rs crates/trace/src/dense.rs crates/trace/src/doctype.rs crates/trace/src/error.rs crates/trace/src/format.rs crates/trace/src/format_bin.rs crates/trace/src/fxhash.rs crates/trace/src/preprocess.rs crates/trace/src/record.rs crates/trace/src/squid.rs crates/trace/src/status.rs crates/trace/src/transform.rs crates/trace/src/types.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/cacheability.rs:
+crates/trace/src/canonical.rs:
+crates/trace/src/clf.rs:
+crates/trace/src/dense.rs:
+crates/trace/src/doctype.rs:
+crates/trace/src/error.rs:
+crates/trace/src/format.rs:
+crates/trace/src/format_bin.rs:
+crates/trace/src/fxhash.rs:
+crates/trace/src/preprocess.rs:
+crates/trace/src/record.rs:
+crates/trace/src/squid.rs:
+crates/trace/src/status.rs:
+crates/trace/src/transform.rs:
+crates/trace/src/types.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/webcache_workload-eca51f4b778e6b6c.d: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/dist/mod.rs crates/workload/src/dist/lognormal.rs crates/workload/src/dist/pareto.rs crates/workload/src/dist/powerlaw.rs crates/workload/src/dist/zipf.rs crates/workload/src/generator.rs crates/workload/src/mix.rs crates/workload/src/profiles.rs crates/workload/src/sizes.rs crates/workload/src/temporal.rs
+
+/root/repo/target/release/deps/libwebcache_workload-eca51f4b778e6b6c.rlib: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/dist/mod.rs crates/workload/src/dist/lognormal.rs crates/workload/src/dist/pareto.rs crates/workload/src/dist/powerlaw.rs crates/workload/src/dist/zipf.rs crates/workload/src/generator.rs crates/workload/src/mix.rs crates/workload/src/profiles.rs crates/workload/src/sizes.rs crates/workload/src/temporal.rs
+
+/root/repo/target/release/deps/libwebcache_workload-eca51f4b778e6b6c.rmeta: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/dist/mod.rs crates/workload/src/dist/lognormal.rs crates/workload/src/dist/pareto.rs crates/workload/src/dist/powerlaw.rs crates/workload/src/dist/zipf.rs crates/workload/src/generator.rs crates/workload/src/mix.rs crates/workload/src/profiles.rs crates/workload/src/sizes.rs crates/workload/src/temporal.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrivals.rs:
+crates/workload/src/dist/mod.rs:
+crates/workload/src/dist/lognormal.rs:
+crates/workload/src/dist/pareto.rs:
+crates/workload/src/dist/powerlaw.rs:
+crates/workload/src/dist/zipf.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/mix.rs:
+crates/workload/src/profiles.rs:
+crates/workload/src/sizes.rs:
+crates/workload/src/temporal.rs:

@@ -16,7 +16,11 @@ fn dfn() -> Trace {
 fn sweep(trace: &Trace, policies: Vec<PolicyKind>) -> SweepReport {
     // A small-but-interesting subset of the paper's cache sizes.
     let overall = trace.overall_size();
-    let capacities = vec![overall.scale(0.01), overall.scale(0.05), overall.scale(0.20)];
+    let capacities = vec![
+        overall.scale(0.01),
+        overall.scale(0.05),
+        overall.scale(0.20),
+    ];
     CacheSizeSweep::new(policies, capacities).run(trace)
 }
 
@@ -191,10 +195,10 @@ fn rtp_shrinks_gdstar_advantage() {
         );
     }
     // ...but the GD*-vs-GDS margin on image HR shrinks on RTP.
-    let margin_dfn =
-        hr(&s_dfn, GDSTAR1, Some(DocumentType::Image), idx) - hr(&s_dfn, GDS1, Some(DocumentType::Image), idx);
-    let margin_rtp =
-        hr(&s_rtp, GDSTAR1, Some(DocumentType::Image), idx) - hr(&s_rtp, GDS1, Some(DocumentType::Image), idx);
+    let margin_dfn = hr(&s_dfn, GDSTAR1, Some(DocumentType::Image), idx)
+        - hr(&s_dfn, GDS1, Some(DocumentType::Image), idx);
+    let margin_rtp = hr(&s_rtp, GDSTAR1, Some(DocumentType::Image), idx)
+        - hr(&s_rtp, GDS1, Some(DocumentType::Image), idx);
     assert!(
         margin_rtp < margin_dfn + 0.005,
         "RTP image-HR margin {margin_rtp:.4} must not exceed DFN margin {margin_dfn:.4}"
@@ -222,8 +226,7 @@ fn gdstar_packet_adapts_cache_composition() {
 
     // Document mix tracks request mix for both (documents are dominated
     // by small types either way)...
-    let image_req_share =
-        trace.requests_by_type()[DocumentType::Image] as f64 / trace.len() as f64;
+    let image_req_share = trace.requests_by_type()[DocumentType::Image] as f64 / trace.len() as f64;
     for report in [&constant, &packet] {
         let mean = report.occupancy.mean_document_fraction(DocumentType::Image);
         assert!(

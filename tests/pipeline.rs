@@ -74,7 +74,7 @@ fn squid_pipeline_end_to_end() {
 fn transforms_compose_with_analysis() {
     let trace = small_trace();
     let html = transform::filter_by_type(&trace, DocumentType::Html);
-    assert!(html.len() > 0);
+    assert!(!html.is_empty());
     let ch = TraceCharacterization::measure(&html);
     assert!((ch.breakdown[DocumentType::Html].total_requests - 1.0).abs() < 1e-9);
 
@@ -88,7 +88,10 @@ fn transforms_compose_with_analysis() {
         SimulationConfig::new(trace.overall_size().scale(0.1)),
     )
     .run(&front);
-    assert_eq!(report.overall().requests as usize, front.len() - front.len() / 10);
+    assert_eq!(
+        report.overall().requests as usize,
+        front.len() - front.len() / 10
+    );
 }
 
 /// Stack-distance prediction agrees with actually simulating LRU on a
@@ -121,12 +124,7 @@ fn stack_distance_predicts_uniform_lru() {
 /// The hierarchy, latency model and profile blending compose.
 #[test]
 fn extensions_compose() {
-    let mid = blend(
-        &WorkloadProfile::dfn(),
-        &WorkloadProfile::rtp(),
-        0.5,
-    )
-    .scaled(1.0 / 1024.0);
+    let mid = blend(&WorkloadProfile::dfn(), &WorkloadProfile::rtp(), 0.5).scaled(1.0 / 1024.0);
     let trace = mid.build_trace(5);
 
     let hierarchy = simulate_hierarchy(
