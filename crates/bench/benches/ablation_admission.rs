@@ -21,8 +21,11 @@ fn bench(c: &mut Criterion) {
         g.bench_function(name, |b| {
             b.iter(|| {
                 Simulator::new(
-                    PolicyKind::Lru.instantiate(),
-                    SimulationConfig::new(capacity).with_admission_rule(rule),
+                    PolicyKind::Lru.build(),
+                    SimulationConfig::builder()
+                        .capacity(capacity)
+                        .admission_rule(rule)
+                        .build(),
                 )
                 .run(&trace)
             })

@@ -18,7 +18,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             Simulator::new(
                 Box::new(GdStar::with_fixed_beta(CostModel::Constant, 1.0)),
-                SimulationConfig::new(capacity),
+                SimulationConfig::builder().capacity(capacity).build(),
             )
             .run(&trace)
         })
@@ -27,7 +27,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             Simulator::new(
                 Box::new(GdStar::new(CostModel::Constant, BetaMode::default())),
-                SimulationConfig::new(capacity),
+                SimulationConfig::builder().capacity(capacity).build(),
             )
             .run(&trace)
         })

@@ -17,8 +17,11 @@ fn bench(c: &mut Criterion) {
         g.bench_function(format!("{rule:?}"), |b| {
             b.iter(|| {
                 Simulator::new(
-                    PolicyKind::Lru.instantiate(),
-                    SimulationConfig::new(capacity).with_modification_rule(rule),
+                    PolicyKind::Lru.build(),
+                    SimulationConfig::builder()
+                        .capacity(capacity)
+                        .modification_rule(rule)
+                        .build(),
                 )
                 .run(&trace)
             })

@@ -17,7 +17,11 @@ fn bench(c: &mut Criterion) {
     for kind in [PolicyKind::Lru, PolicyKind::GdStar(CostModel::Packet)] {
         g.bench_function(kind.label(), |b| {
             b.iter(|| {
-                Simulator::new(kind.instantiate(), SimulationConfig::new(capacity)).run(&trace)
+                Simulator::new(
+                    kind.build(),
+                    SimulationConfig::builder().capacity(capacity).build(),
+                )
+                .run(&trace)
             })
         });
     }

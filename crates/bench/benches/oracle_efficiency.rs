@@ -13,7 +13,12 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("oracle_efficiency");
     g.sample_size(10);
     g.bench_function("clairvoyant", |b| {
-        b.iter(|| clairvoyant_overall(&trace, &SimulationConfig::new(capacity)))
+        b.iter(|| {
+            clairvoyant_overall(
+                &trace,
+                &SimulationConfig::builder().capacity(capacity).build(),
+            )
+        })
     });
     g.finish();
     println!("{}", experiments::oracle_efficiency(scale, 1));

@@ -18,7 +18,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             Simulator::new(
                 Box::new(GdStar::new(CostModel::Constant, BetaMode::default())),
-                SimulationConfig::new(capacity),
+                SimulationConfig::builder().capacity(capacity).build(),
             )
             .run(&trace)
         })
@@ -27,7 +27,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             Simulator::new(
                 Box::new(GdStar::with_per_type_beta(CostModel::Constant)),
-                SimulationConfig::new(capacity),
+                SimulationConfig::builder().capacity(capacity).build(),
             )
             .run(&trace)
         })

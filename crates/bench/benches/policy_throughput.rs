@@ -19,14 +19,20 @@ fn policies(c: &mut Criterion) {
     for kind in PolicyKind::ALL {
         g.bench_function(format!("dense/{}", kind.label()), |b| {
             b.iter(|| {
-                Simulator::new(kind.instantiate(), SimulationConfig::new(capacity))
-                    .run_dense(&dense)
+                Simulator::new(
+                    kind.build(),
+                    SimulationConfig::builder().capacity(capacity).build(),
+                )
+                .run_dense(&dense)
             })
         });
         g.bench_function(format!("hashed/{}", kind.label()), |b| {
             b.iter(|| {
-                Simulator::new(kind.instantiate(), SimulationConfig::new(capacity))
-                    .run_hashed(&trace)
+                Simulator::new(
+                    kind.build(),
+                    SimulationConfig::builder().capacity(capacity).build(),
+                )
+                .run_hashed(&trace)
             })
         });
     }

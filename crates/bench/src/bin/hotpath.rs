@@ -3,15 +3,21 @@
 //! Replays the scaled DFN workload through both simulator paths and
 //! reports requests per second, writing the results to a JSON file
 //! (`BENCH_hotpath.json` by default) so regressions are visible in
-//! review diffs.
+//! review diffs. A third column replays the dense path with a
+//! [`WindowedMetrics`] observer attached, putting a number on what the
+//! observability layer costs when it is actually used (the no-op
+//! observer is the `dense` column itself: `run_dense` monomorphizes
+//! over [`NoopObserver`](webcache_sim::NoopObserver)).
 //!
 //! ```text
-//! hotpath [--scale DENOM] [--seed SEED] [--iters N] [--out PATH]
+//! hotpath [--scale DENOM] [--seed SEED] [--iters N] [--out PATH] [--quick]
 //!
 //! --scale DENOM   run at 1/DENOM of the full trace size (default 256)
 //! --seed SEED     generator seed (default 20020623)
 //! --iters N       timed repetitions per cell; the best is kept (default 5)
 //! --out PATH      output JSON path (default BENCH_hotpath.json)
+//! --quick         CI smoke mode: tiny trace (1/4096), 1 iteration, and no
+//!                 JSON written unless --out is given explicitly
 //! ```
 
 use std::fmt::Write as _;
@@ -20,7 +26,7 @@ use std::time::Instant;
 
 use webcache_bench::{dfn_trace, SEED_DEFAULT};
 use webcache_core::PolicyKind;
-use webcache_sim::{SimulationConfig, Simulator};
+use webcache_sim::{SimulationConfig, Simulator, WindowedMetrics};
 use webcache_trace::{ByteSize, DenseTrace, Trace};
 
 /// Seed-commit GD*(P) throughput (requests/s) on this harness's default
@@ -32,19 +38,21 @@ struct Cell {
     label: String,
     hashed_rps: f64,
     dense_rps: f64,
+    windowed_rps: f64,
 }
 
 fn main() -> ExitCode {
-    let mut scale = 1.0 / 256.0;
+    let mut scale: Option<f64> = None;
     let mut seed = SEED_DEFAULT;
-    let mut iters = 5usize;
-    let mut out = String::from("BENCH_hotpath.json");
+    let mut iters: Option<usize> = None;
+    let mut out: Option<String> = None;
+    let mut quick = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--scale" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
-                Some(denom) if denom >= 1.0 => scale = 1.0 / denom,
+                Some(denom) if denom >= 1.0 => scale = Some(1.0 / denom),
                 _ => return usage("--scale expects a denominator >= 1"),
             },
             "--seed" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
@@ -52,17 +60,27 @@ fn main() -> ExitCode {
                 None => return usage("--seed expects an integer"),
             },
             "--iters" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
-                Some(n) if n >= 1 => iters = n,
+                Some(n) if n >= 1 => iters = Some(n),
                 _ => return usage("--iters expects a positive integer"),
             },
             "--out" => match args.next() {
-                Some(path) => out = path,
+                Some(path) => out = Some(path),
                 None => return usage("--out expects a path"),
             },
+            "--quick" => quick = true,
             "--help" | "-h" => return usage(""),
             other => return usage(&format!("unknown argument `{other}`")),
         }
     }
+    let scale = scale.unwrap_or(if quick { 1.0 / 4096.0 } else { 1.0 / 256.0 });
+    let iters = iters.unwrap_or(if quick { 1 } else { 5 });
+    // Quick mode is a smoke test: never overwrite the recorded baseline
+    // unless a path is asked for explicitly.
+    let out = match (out, quick) {
+        (Some(path), _) => Some(path),
+        (None, true) => None,
+        (None, false) => Some(String::from("BENCH_hotpath.json")),
+    };
 
     let trace = dfn_trace(scale, seed);
     let dense = DenseTrace::build(&trace);
@@ -76,27 +94,33 @@ fn main() -> ExitCode {
 
     let mut cells = Vec::new();
     println!(
-        "{:<10} {:>14} {:>14} {:>9}",
-        "policy", "hashed req/s", "dense req/s", "speedup"
+        "{:<10} {:>14} {:>14} {:>15} {:>9}",
+        "policy", "hashed req/s", "dense req/s", "windowed req/s", "speedup"
     );
     for kind in PolicyKind::ALL {
         let cell = measure(kind, &trace, &dense, capacity, iters);
         println!(
-            "{:<10} {:>14.0} {:>14.0} {:>8.2}x",
+            "{:<10} {:>14.0} {:>14.0} {:>15.0} {:>8.2}x",
             cell.label,
             cell.hashed_rps,
             cell.dense_rps,
+            cell.windowed_rps,
             cell.dense_rps / cell.hashed_rps
         );
         cells.push(cell);
     }
 
-    let json = render_json(&cells, &trace, scale, seed, iters);
-    if let Err(e) = std::fs::write(&out, json) {
-        eprintln!("error: cannot write {out}: {e}");
-        return ExitCode::FAILURE;
+    match out {
+        Some(out) => {
+            let json = render_json(&cells, &trace, scale, seed, iters);
+            if let Err(e) = std::fs::write(&out, json) {
+                eprintln!("error: cannot write {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("# wrote {out}");
+        }
+        None => eprintln!("# quick mode: no JSON written"),
     }
-    eprintln!("# wrote {out}");
     ExitCode::SUCCESS
 }
 
@@ -108,25 +132,34 @@ fn measure(
     iters: usize,
 ) -> Cell {
     let requests = trace.len() as f64;
+    let config = SimulationConfig::builder().capacity(capacity).build();
+    // Fifty windows over the measured region, like a plotting client.
+    let window = ((trace.len() as u64) / 50).max(1);
     let mut best_hashed = f64::INFINITY;
     let mut best_dense = f64::INFINITY;
+    let mut best_windowed = f64::INFINITY;
     for _ in 0..iters {
         let start = Instant::now();
-        std::hint::black_box(
-            Simulator::new(kind.instantiate(), SimulationConfig::new(capacity)).run_hashed(trace),
-        );
+        std::hint::black_box(Simulator::new(kind.build(), config).run_hashed(trace));
         best_hashed = best_hashed.min(start.elapsed().as_secs_f64());
 
         let start = Instant::now();
-        std::hint::black_box(
-            Simulator::new(kind.instantiate(), SimulationConfig::new(capacity)).run_dense(dense),
-        );
+        std::hint::black_box(Simulator::new(kind.build(), config).run_dense(dense));
         best_dense = best_dense.min(start.elapsed().as_secs_f64());
+
+        let mut metrics = WindowedMetrics::per_requests(window);
+        let start = Instant::now();
+        std::hint::black_box(
+            Simulator::new(kind.build(), config).run_dense_observed(dense, &mut metrics),
+        );
+        best_windowed = best_windowed.min(start.elapsed().as_secs_f64());
+        std::hint::black_box(&metrics);
     }
     Cell {
         label: kind.label(),
         hashed_rps: requests / best_hashed,
         dense_rps: requests / best_dense,
+        windowed_rps: requests / best_windowed,
     }
 }
 
@@ -146,10 +179,12 @@ fn render_json(cells: &[Cell], trace: &Trace, scale: f64, seed: u64, iters: usiz
     for (i, cell) in cells.iter().enumerate() {
         let _ = writeln!(
             s,
-            "    {{\"policy\": \"{}\", \"hashed_rps\": {:.0}, \"dense_rps\": {:.0}, \"speedup\": {:.3}}}{}",
+            "    {{\"policy\": \"{}\", \"hashed_rps\": {:.0}, \"dense_rps\": {:.0}, \
+             \"windowed_rps\": {:.0}, \"speedup\": {:.3}}}{}",
             cell.label,
             cell.hashed_rps,
             cell.dense_rps,
+            cell.windowed_rps,
             cell.dense_rps / cell.hashed_rps,
             if i + 1 < cells.len() { "," } else { "" }
         );
@@ -164,11 +199,13 @@ fn usage(error: &str) -> ExitCode {
         eprintln!("error: {error}\n");
     }
     eprintln!(
-        "hotpath [--scale DENOM] [--seed SEED] [--iters N] [--out PATH]\n\
+        "hotpath [--scale DENOM] [--seed SEED] [--iters N] [--out PATH] [--quick]\n\
          \n\
          Times every replacement policy over the scaled DFN workload through\n\
-         the hashed and the dense simulator paths and writes the requests/s\n\
-         comparison to a JSON file (default BENCH_hotpath.json)."
+         the hashed and the dense simulator paths (plus the dense path with a\n\
+         windowed-metrics observer attached) and writes the requests/s\n\
+         comparison to a JSON file (default BENCH_hotpath.json). --quick runs\n\
+         a tiny smoke configuration and skips the JSON unless --out is given."
     );
     if error.is_empty() {
         ExitCode::SUCCESS

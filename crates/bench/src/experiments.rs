@@ -82,7 +82,10 @@ pub fn figure1_capacity(scale: f64) -> ByteSize {
 
 /// Runs one GD\* variant for Figure 1 and returns its report.
 pub fn figure1_run(trace: &Trace, cost: CostModel, capacity: ByteSize) -> SimulationReport {
-    let config = SimulationConfig::new(capacity).with_occupancy_samples(50);
+    let config = SimulationConfig::builder()
+        .capacity(capacity)
+        .occupancy_samples(50)
+        .build();
     Simulator::new(Box::new(GdStar::new(cost, BetaMode::default())), config).run(trace)
 }
 
@@ -174,7 +177,7 @@ pub fn rtp_summary(scale: f64, seed: u64) -> String {
 pub fn ablation_beta(scale: f64, seed: u64) -> String {
     let trace = dfn_trace(scale, seed);
     let capacity = ByteSize::new((trace.overall_size().as_f64() * 0.05).round() as u64);
-    let config = SimulationConfig::new(capacity);
+    let config = SimulationConfig::builder().capacity(capacity).build();
     let mut t = Table::new(vec![
         "beta mode".into(),
         "hit rate".into(),
@@ -225,8 +228,11 @@ pub fn ablation_modification(scale: f64, seed: u64) -> String {
     ));
     for rule in [ModificationRule::SizeDelta, ModificationRule::AnyChange] {
         for kind in [PolicyKind::Lru, PolicyKind::GdStar(CostModel::Constant)] {
-            let config = SimulationConfig::new(capacity).with_modification_rule(rule);
-            let report = Simulator::new(kind.instantiate(), config).run(&trace);
+            let config = SimulationConfig::builder()
+                .capacity(capacity)
+                .modification_rule(rule)
+                .build();
+            let report = Simulator::new(kind.build(), config).run(&trace);
             let overall = report.overall();
             t.push_row(vec![
                 format!("{rule:?}"),
@@ -263,8 +269,11 @@ pub fn ablation_admission(scale: f64, seed: u64) -> String {
         "Ablation A3. Admission control (DFN, cache {capacity})"
     ));
     let mut run = |label: &str, kind: PolicyKind, rule: AdmissionRule| {
-        let config = SimulationConfig::new(capacity).with_admission_rule(rule);
-        let report = Simulator::new(kind.instantiate(), config).run(&trace);
+        let config = SimulationConfig::builder()
+            .capacity(capacity)
+            .admission_rule(rule)
+            .build();
+        let report = Simulator::new(kind.build(), config).run(&trace);
         let overall = report.overall();
         t.push_row(vec![
             label.to_owned(),
@@ -334,8 +343,11 @@ pub fn future_workload(scale: f64, seed: u64) -> String {
             PolicyKind::GdStar(CostModel::Constant),
             PolicyKind::GdStar(CostModel::Packet),
         ] {
-            let report =
-                Simulator::new(kind.instantiate(), SimulationConfig::new(capacity)).run(&trace);
+            let report = Simulator::new(
+                kind.build(),
+                SimulationConfig::builder().capacity(capacity).build(),
+            )
+            .run(&trace);
             rates.push((
                 report.overall().hit_rate(),
                 report.overall().byte_hit_rate(),
@@ -420,7 +432,11 @@ pub fn per_type_beta(scale: f64, seed: u64) -> String {
         let capacity = ByteSize::new((trace.overall_size().as_f64() * 0.05).round() as u64);
         for cost in [CostModel::Constant, CostModel::Packet] {
             let run = |policy: GdStar| {
-                Simulator::new(Box::new(policy), SimulationConfig::new(capacity)).run(&trace)
+                Simulator::new(
+                    Box::new(policy),
+                    SimulationConfig::builder().capacity(capacity).build(),
+                )
+                .run(&trace)
             };
             let global = run(GdStar::new(cost, BetaMode::default()));
             let typed = run(GdStar::with_per_type_beta(cost));
@@ -466,14 +482,14 @@ pub fn oracle_efficiency(scale: f64, seed: u64) -> String {
     );
     for frac in [0.01, 0.05, 0.20] {
         let capacity = ByteSize::new((overall.as_f64() * frac).round() as u64);
-        let config = SimulationConfig::new(capacity);
+        let config = SimulationConfig::builder().capacity(capacity).build();
         let oracle = clairvoyant_overall(&trace, &config).hit_rate();
         let mut row = vec![
             format!("{capacity} ({:.0}%)", frac * 100.0),
             format!("{oracle:.4}"),
         ];
         for kind in PolicyKind::PAPER_CONSTANT {
-            let hr = Simulator::new(kind.instantiate(), config)
+            let hr = Simulator::new(kind.build(), config)
                 .run(&trace)
                 .overall()
                 .hit_rate();

@@ -3,10 +3,12 @@
 use std::fs;
 
 use webcache_core::PolicyKind;
-use webcache_sim::report::{figure_panel, occupancy_csv, sweep_csv, Metric};
+use webcache_sim::report::{
+    figure_panel, occupancy_csv, sweep_csv, window_csv, window_json, Metric,
+};
 use webcache_sim::{
     clairvoyant, simulate_hierarchy, CacheSizeSweep, HierarchyConfig, LatencyModel,
-    SimulationConfig, Simulator,
+    SimulationConfig, Simulator, WindowSpec, WindowedMetrics,
 };
 use webcache_stats::{Table, TraceCharacterization};
 use webcache_trace::{format as trace_format, preprocess, squid, ByteSize, DocumentType, Trace};
@@ -122,12 +124,14 @@ pub fn simulate(args: &Args) -> Result<String, CliError> {
     }
     let occupancy: usize = args.get_parsed("occupancy")?.unwrap_or(0);
 
-    let config = SimulationConfig::new(capacity)
-        .with_warmup_fraction(warmup)
-        .with_occupancy_samples(occupancy);
+    let config = SimulationConfig::builder()
+        .capacity(capacity)
+        .warmup_fraction(warmup)
+        .occupancy_samples(occupancy)
+        .build();
     let (label, by_type, occupancy_series) = match kind {
         Some(kind) => {
-            let report = Simulator::new(kind.instantiate(), config).run(&trace);
+            let report = Simulator::new(kind.build(), config).run(&trace);
             (
                 report.policy.clone(),
                 *report.by_type(),
@@ -268,7 +272,25 @@ pub fn sweep(args: &Args) -> Result<String, CliError> {
         }
     };
 
-    let report = CacheSizeSweep::new(policies, capacities).run(&trace);
+    let sweep = CacheSizeSweep::new(policies, capacities);
+    let report = if args.switch("progress") {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        sweep.run_with_progress(&trace, threads, |p| {
+            eprintln!(
+                "[{}/{}] worker {} finished {} @ {} ({:.0} req/s)",
+                p.completed,
+                p.total,
+                p.worker,
+                p.policy.label(),
+                p.capacity,
+                p.requests_per_sec,
+            );
+        })
+    } else {
+        sweep.run(&trace)
+    };
     if args.switch("csv") {
         return Ok(sweep_csv(&report));
     }
@@ -280,6 +302,67 @@ pub fn sweep(args: &Args) -> Result<String, CliError> {
             out.push_str(&figure_panel(&report, metric, Some(ty)).render());
             out.push('\n');
         }
+    }
+    Ok(out)
+}
+
+/// `webcache stats`.
+pub fn stats(args: &Args) -> Result<String, CliError> {
+    let (trace, _) = input_trace(args)?;
+    let policy_name = args.require("policy")?;
+    let kind = PolicyKind::parse(policy_name)
+        .ok_or_else(|| usage(format!("unknown policy `{policy_name}`")))?;
+    let spec = match args.get("capacity") {
+        Some(raw) => parse_capacity(raw).map_err(usage)?,
+        None => CapacitySpec::FractionOfTrace(0.05),
+    };
+    let capacity = spec.resolve(trace.overall_size());
+    let warmup: f64 = args.get_parsed("warmup")?.unwrap_or(0.10);
+    if !(0.0..1.0).contains(&warmup) {
+        return Err(usage("--warmup expects a fraction in [0, 1)"));
+    }
+
+    let window_spec = match (args.get_parsed::<u64>("window")?, args.get("window-bytes")) {
+        (Some(_), Some(_)) => {
+            return Err(usage("give at most one of --window and --window-bytes"));
+        }
+        (Some(0), None) => return Err(usage("--window must be at least 1 request")),
+        (Some(n), None) => WindowSpec::Requests(n),
+        (None, Some(raw)) => {
+            let bytes = parse_capacity(raw)
+                .map_err(usage)?
+                .resolve(trace.overall_size());
+            if bytes.is_zero() {
+                return Err(usage("--window-bytes must be positive"));
+            }
+            WindowSpec::Bytes(bytes)
+        }
+        (None, None) => {
+            // Default: a tenth of the measured region per window.
+            let warmup_end = ((trace.len() as f64) * warmup).floor() as usize;
+            let measured = trace.len().saturating_sub(warmup_end);
+            WindowSpec::Requests(((measured / 10).max(1)) as u64)
+        }
+    };
+
+    let config = SimulationConfig::builder()
+        .capacity(capacity)
+        .warmup_fraction(warmup)
+        .build();
+    let mut metrics = WindowedMetrics::new(window_spec);
+    Simulator::new(kind.build(), config).run_observed(&trace, &mut metrics);
+
+    let want_json = args.switch("json");
+    let want_csv = args.switch("csv");
+    let mut out = String::new();
+    if want_json || !want_csv {
+        out.push_str(&window_json(&metrics));
+    }
+    if want_csv || !want_json {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&window_csv(&metrics));
     }
     Ok(out)
 }

@@ -10,6 +10,7 @@
 //! webcache characterize --squid access.log
 //! webcache simulate     --trace trace.wct --policy 'gd*(p)' --capacity 64MiB
 //! webcache sweep        --trace trace.wct --policies lru,lfu-da,gds1,gd*1 [--csv]
+//! webcache stats        --trace trace.wct --policy lru --window 5000 --json
 //! webcache convert      --squid access.log --out trace.wct
 //! ```
 
@@ -79,8 +80,15 @@ subcommands:
                [--warmup FRAC] [--occupancy N]
                run one policy over a trace and report per-type rates
   sweep        --trace FILE [--policies a,b,c] [--fractions f1,f2,...]
-               [--csv]
-               policy x cache-size grid (the Figure 2/3 engine)
+               [--csv] [--progress]
+               policy x cache-size grid (the Figure 2/3 engine);
+               --progress reports per-cell completion on stderr
+  stats        --trace FILE --policy NAME [--capacity SIZE|PCT%]
+               [--warmup FRAC] [--window N | --window-bytes SIZE]
+               [--json] [--csv]
+               windowed per-type hit-rate / byte-hit-rate time series
+               plus eviction and admission churn (JSON and CSV;
+               default window: a tenth of the measured region)
   convert      --squid FILE --out FILE [--format text|bin]
                preprocess a Squid access.log into the compact format
   hierarchy    --trace FILE [--leaves N] [--leaf-capacity SIZE|PCT%]
@@ -112,6 +120,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "characterize" => commands::characterize(&Args::parse(rest)?),
         "simulate" => commands::simulate(&Args::parse(rest)?),
         "sweep" => commands::sweep(&Args::parse(rest)?),
+        "stats" => commands::stats(&Args::parse(rest)?),
         "convert" => commands::convert(&Args::parse(rest)?),
         "hierarchy" => commands::hierarchy(&Args::parse(rest)?),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),

@@ -92,6 +92,79 @@ fn sweep_renders_panels_and_csv() {
 }
 
 #[test]
+fn stats_emits_windowed_json_and_csv() {
+    let path = generate_trace("stats.wct");
+    // Default: both JSON and CSV, window = a tenth of the measured region.
+    let both = run(&argv(&format!(
+        "stats --trace {} --policy gd*p --capacity 5% --warmup 0.1",
+        path.display()
+    )))
+    .unwrap();
+    assert!(both.contains("\"windows\": ["), "{both}");
+    assert!(
+        both.contains("window,start_index,end_index,doc_type"),
+        "{both}"
+    );
+    assert!(both.contains("\"Images\""), "per-type JSON series: {both}");
+    assert!(both.contains(",Images,"), "per-type CSV rows: {both}");
+    assert!(both.contains("hit_rate"), "{both}");
+    assert!(both.contains("byte_hit_rate"), "{both}");
+
+    // --json alone drops the CSV; ten windows by default.
+    let json = run(&argv(&format!(
+        "stats --trace {} --policy lru --window 500 --json",
+        path.display()
+    )))
+    .unwrap();
+    assert!(!json.contains("window,start_index"), "{json}");
+    assert!(
+        json.contains("\"kind\":\"requests\",\"size\":500"),
+        "{json}"
+    );
+    assert!(json.contains("\"evictions\""), "{json}");
+
+    // --csv alone drops the JSON; byte windows accept capacity syntax.
+    let csv = run(&argv(&format!(
+        "stats --trace {} --policy lru --window-bytes 64KiB --csv",
+        path.display()
+    )))
+    .unwrap();
+    assert!(csv.starts_with("window,start_index"), "{csv}");
+    assert!(csv.lines().count() > 1, "{csv}");
+    fs::remove_file(path).ok();
+}
+
+#[test]
+fn stats_usage_errors() {
+    let path = generate_trace("stats-err.wct");
+    for bad in [
+        format!("stats --trace {} --policy lru --window 0", path.display()),
+        format!(
+            "stats --trace {} --policy lru --window 5 --window-bytes 1KiB",
+            path.display()
+        ),
+        format!("stats --trace {} --policy nonsense", path.display()),
+        "stats --policy lru".to_owned(),
+    ] {
+        assert!(run(&argv(&bad)).is_err(), "`{bad}` should fail");
+    }
+    fs::remove_file(path).ok();
+}
+
+#[test]
+fn sweep_progress_switch_is_accepted() {
+    let path = generate_trace("prog.wct");
+    let csv = run(&argv(&format!(
+        "sweep --trace {} --policies lru --fractions 0.05 --csv --progress",
+        path.display()
+    )))
+    .unwrap();
+    // Progress goes to stderr; stdout stays machine-readable.
+    assert!(csv.starts_with("policy,capacity_bytes"), "{csv}");
+    fs::remove_file(path).ok();
+}
+
+#[test]
 fn convert_squid_log() {
     let log_path = temp_path("access.log");
     let out_path = temp_path("converted.wct");

@@ -41,14 +41,43 @@ pub struct Occupancy {
     pub bytes: ByteSize,
 }
 
+/// A document removed from the store to make room, with the metadata an
+/// observer needs to account the loss (bytes evicted, per-type churn).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// The document id as the caller knows it.
+    pub doc: DocId,
+    /// Type of the evicted document.
+    pub doc_type: DocumentType,
+    /// Resident size of the evicted document.
+    pub size: ByteSize,
+}
+
+/// How [`Cache::insert`] disposed of the offered document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertDisposition {
+    /// The document is now resident.
+    Inserted,
+    /// The admission rule in front of the store turned it away.
+    RejectedByAdmission,
+    /// The document is larger than the whole cache; nothing was evicted.
+    TooLarge,
+}
+
 /// Result of [`Cache::insert`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EvictionOutcome {
-    /// Whether the document was actually admitted. `false` only when the
-    /// document is larger than the whole cache.
-    pub inserted: bool,
+    /// What happened to the offered document.
+    pub disposition: InsertDisposition,
     /// Documents evicted to make room, in eviction order.
-    pub evicted: Vec<DocId>,
+    pub evicted: Vec<Eviction>,
+}
+
+impl EvictionOutcome {
+    /// Whether the document was actually admitted.
+    pub fn inserted(&self) -> bool {
+        self.disposition == InsertDisposition::Inserted
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -97,10 +126,11 @@ impl SlotIndex {
 /// use webcache_core::{Cache, PolicyKind};
 /// use webcache_trace::{ByteSize, DocId, DocumentType};
 ///
-/// let mut cache = Cache::new(ByteSize::new(100), PolicyKind::Lru.instantiate());
+/// let mut cache = Cache::new(ByteSize::new(100), PolicyKind::Lru.build());
 /// cache.insert(DocId::new(1), DocumentType::Image, ByteSize::new(60));
 /// let outcome = cache.insert(DocId::new(2), DocumentType::Html, ByteSize::new(60));
-/// assert_eq!(outcome.evicted, vec![DocId::new(1)]); // LRU made room
+/// let victims: Vec<DocId> = outcome.evicted.iter().map(|e| e.doc).collect();
+/// assert_eq!(victims, vec![DocId::new(1)]); // LRU made room
 /// assert!(cache.access(DocId::new(2)));
 /// ```
 #[derive(Debug)]
@@ -290,13 +320,13 @@ impl Cache {
         if !self.admission.admit(handle, size) {
             self.rejected_by_admission += 1;
             return EvictionOutcome {
-                inserted: false,
+                disposition: InsertDisposition::RejectedByAdmission,
                 evicted: Vec::new(),
             };
         }
         if size > self.capacity {
             return EvictionOutcome {
-                inserted: false,
+                disposition: InsertDisposition::TooLarge,
                 evicted: Vec::new(),
             };
         }
@@ -310,7 +340,11 @@ impl Cache {
             let vslot = victim.as_u64() as u32;
             let ventry = self.entries[vslot as usize].expect("policy evicted a non-resident slot");
             self.detach(vslot);
-            evicted.push(ventry.doc);
+            evicted.push(Eviction {
+                doc: ventry.doc,
+                doc_type: ventry.doc_type,
+                size: ventry.size,
+            });
         }
 
         self.entries[slot as usize] = Some(Entry {
@@ -325,7 +359,7 @@ impl Cache {
         occ.bytes += size;
         self.policy.on_insert_typed(handle, size, doc_type);
         EvictionOutcome {
-            inserted: true,
+            disposition: InsertDisposition::Inserted,
             evicted,
         }
     }
@@ -407,8 +441,13 @@ mod tests {
         c.insert(doc(1), DocumentType::Image, ByteSize::new(50));
         c.insert(doc(2), DocumentType::Image, ByteSize::new(50));
         let outcome = c.insert(doc(3), DocumentType::Image, ByteSize::new(80));
-        assert!(outcome.inserted);
-        assert_eq!(outcome.evicted, vec![doc(1), doc(2)]);
+        assert!(outcome.inserted());
+        let victims: Vec<DocId> = outcome.evicted.iter().map(|e| e.doc).collect();
+        assert_eq!(victims, vec![doc(1), doc(2)]);
+        assert!(outcome
+            .evicted
+            .iter()
+            .all(|e| e.doc_type == DocumentType::Image && e.size.as_u64() == 50));
         assert_eq!(c.len(), 1);
         assert_eq!(c.used_bytes().as_u64(), 80);
         c.debug_validate();
@@ -419,7 +458,8 @@ mod tests {
         let mut c = lru_cache(100);
         c.insert(doc(1), DocumentType::Html, ByteSize::new(60));
         let outcome = c.insert(doc(2), DocumentType::MultiMedia, ByteSize::new(101));
-        assert!(!outcome.inserted);
+        assert!(!outcome.inserted());
+        assert_eq!(outcome.disposition, InsertDisposition::TooLarge);
         assert!(outcome.evicted.is_empty());
         assert!(c.contains(doc(1)), "rejection must not disturb residents");
         c.debug_validate();
@@ -429,7 +469,7 @@ mod tests {
     fn document_exactly_capacity_fits() {
         let mut c = lru_cache(100);
         let outcome = c.insert(doc(1), DocumentType::MultiMedia, ByteSize::new(100));
-        assert!(outcome.inserted);
+        assert!(outcome.inserted());
         assert_eq!(c.used_bytes().as_u64(), 100);
     }
 
@@ -477,12 +517,12 @@ mod tests {
             PolicyKind::Lru.instantiate(),
             AdmissionRule::MaxSize(ByteSize::new(100)),
         );
-        assert!(
-            c.insert(doc(1), DocumentType::Image, ByteSize::new(100))
-                .inserted
-        );
+        assert!(c
+            .insert(doc(1), DocumentType::Image, ByteSize::new(100))
+            .inserted());
         let outcome = c.insert(doc(2), DocumentType::MultiMedia, ByteSize::new(101));
-        assert!(!outcome.inserted);
+        assert!(!outcome.inserted());
+        assert_eq!(outcome.disposition, InsertDisposition::RejectedByAdmission);
         assert!(outcome.evicted.is_empty(), "rejection must not evict");
         assert_eq!(c.admission_rejections(), 1);
         assert!(c.contains(doc(1)));
@@ -497,16 +537,14 @@ mod tests {
             PolicyKind::Lru.instantiate(),
             AdmissionRule::SecondHit(64),
         );
-        assert!(
-            !c.insert(doc(1), DocumentType::Html, ByteSize::new(10))
-                .inserted
-        );
+        assert!(!c
+            .insert(doc(1), DocumentType::Html, ByteSize::new(10))
+            .inserted());
         assert!(!c.contains(doc(1)));
         // Second fetch of the same document is admitted.
-        assert!(
-            c.insert(doc(1), DocumentType::Html, ByteSize::new(10))
-                .inserted
-        );
+        assert!(c
+            .insert(doc(1), DocumentType::Html, ByteSize::new(10))
+            .inserted());
         assert!(c.contains(doc(1)));
         assert_eq!(c.admission_rejections(), 1);
         c.debug_validate();

@@ -52,7 +52,7 @@ pub mod policy;
 pub mod pqueue;
 
 pub use admission::{AdmissionController, AdmissionRule};
-pub use cache::{Cache, EvictionOutcome, Occupancy};
+pub use cache::{Cache, Eviction, EvictionOutcome, InsertDisposition, Occupancy};
 pub use cost::CostModel;
 pub use float::OrderedF64;
 pub use policy::{BetaMode, PolicyKind, ReplacementPolicy};

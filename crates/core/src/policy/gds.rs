@@ -37,6 +37,13 @@ pub struct Gds {
     seq: u64,
 }
 
+impl Default for Gds {
+    /// GDS(1): the constant cost model, as in the paper's notation.
+    fn default() -> Self {
+        Gds::new(CostModel::Constant)
+    }
+}
+
 impl Gds {
     /// Creates an empty GDS tracker under the given cost model.
     pub fn new(cost_model: CostModel) -> Self {

@@ -29,6 +29,13 @@ pub struct Gdsf {
     seq: u64,
 }
 
+impl Default for Gdsf {
+    /// GDSF(1): the constant cost model, as in the paper's notation.
+    fn default() -> Self {
+        Gdsf::new(CostModel::Constant)
+    }
+}
+
 impl Gdsf {
     /// Creates an empty GDSF tracker under the given cost model.
     pub fn new(cost_model: CostModel) -> Self {

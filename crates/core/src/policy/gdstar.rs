@@ -202,6 +202,13 @@ pub struct GdStar {
     seq: u64,
 }
 
+impl Default for GdStar {
+    /// GD*(1) with the default adaptive β estimation.
+    fn default() -> Self {
+        GdStar::new(CostModel::Constant, BetaMode::default())
+    }
+}
+
 impl GdStar {
     /// Creates an empty GD\* tracker under the given cost model and β mode.
     pub fn new(cost_model: CostModel, mode: BetaMode) -> Self {

@@ -31,6 +31,13 @@ pub struct LruK {
     clock: u64,
 }
 
+impl Default for LruK {
+    /// The classic K = 2 variant ([`LruK::two`]).
+    fn default() -> Self {
+        LruK::two()
+    }
+}
+
 impl LruK {
     /// Creates an LRU-K tracker.
     ///

@@ -146,10 +146,14 @@ impl PriorityKey {
 /// Identifies a replacement scheme; used to configure sweeps and to
 /// construct policies.
 ///
+/// [`PolicyKind::build`] is the single construction entry point — callers
+/// never juggle the per-scheme constructors (`Gds::new(cost_model)`,
+/// `GdStar::new(cost_model, mode)`, `LruK::two()`, …) directly.
+///
 /// ```
 /// use webcache_core::{CostModel, PolicyKind};
 ///
-/// let policy = PolicyKind::GdStar(CostModel::Packet).instantiate();
+/// let policy = PolicyKind::GdStar(CostModel::Packet).build();
 /// assert_eq!(policy.label(), "GD*(P)");
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -214,8 +218,12 @@ impl PolicyKind {
     ];
 
     /// Constructs a fresh policy instance of this kind.
-    pub fn instantiate(self) -> Box<dyn ReplacementPolicy> {
-        match self {
+    ///
+    /// This is the only construction path the rest of the workspace uses;
+    /// the per-scheme constructors remain available for code that needs
+    /// non-default parameters (a fixed β, K ≠ 2, …).
+    pub fn build(&self) -> Box<dyn ReplacementPolicy> {
+        match *self {
             PolicyKind::Lru => Box::new(Lru::new()),
             PolicyKind::Fifo => Box::new(Fifo::new()),
             PolicyKind::Lfu => Box::new(Lfu::new()),
@@ -227,6 +235,14 @@ impl PolicyKind {
             PolicyKind::Gdsf(cost) => Box::new(Gdsf::new(cost)),
             PolicyKind::GdStar(cost) => Box::new(GdStar::new(cost, BetaMode::default())),
         }
+    }
+
+    /// Constructs a fresh policy instance of this kind.
+    ///
+    /// Alias of [`PolicyKind::build`], kept for source compatibility with
+    /// pre-observability callers.
+    pub fn instantiate(self) -> Box<dyn ReplacementPolicy> {
+        self.build()
     }
 
     /// Parses a policy name as used on command lines and in config
@@ -308,10 +324,21 @@ mod tests {
     }
 
     #[test]
-    fn instantiate_labels_agree_with_kind() {
+    fn build_labels_agree_with_kind() {
         for kind in PolicyKind::ALL {
+            assert_eq!(kind.build().label(), kind.label());
             assert_eq!(kind.instantiate().label(), kind.label());
         }
+    }
+
+    #[test]
+    fn default_impls_match_the_paper_defaults() {
+        assert_eq!(Gds::default().label(), "GDS(1)");
+        assert_eq!(Gdsf::default().label(), "GDSF(1)");
+        assert_eq!(GdStar::default().label(), "GD*(1)");
+        assert_eq!(LruK::default().k(), 2);
+        assert_eq!(Lru::default().label(), "LRU");
+        assert_eq!(Slru::default().label(), "SLRU");
     }
 
     /// Trait-contract conformance for every policy: insert/hit/evict/remove

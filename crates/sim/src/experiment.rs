@@ -2,6 +2,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
@@ -130,6 +131,28 @@ impl SweepReport {
     }
 }
 
+/// A progress snapshot, delivered to the [`CacheSizeSweep::run_with_progress`]
+/// callback once per completed grid cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepProgress {
+    /// Grid cells finished so far (including this one).
+    pub completed: usize,
+    /// Total grid cells in the sweep.
+    pub total: usize,
+    /// Index of the worker thread that ran the cell (`0..threads`).
+    pub worker: usize,
+    /// Policy of the finished cell.
+    pub policy: PolicyKind,
+    /// Capacity of the finished cell.
+    pub capacity: ByteSize,
+    /// Requests replayed by the cell (the trace length).
+    pub requests: usize,
+    /// Wall-clock time the cell took.
+    pub elapsed: Duration,
+    /// Replay throughput of the cell, in requests per second.
+    pub requests_per_sec: f64,
+}
+
 /// A grid of simulations: every configured policy at every capacity.
 #[derive(Debug, Clone)]
 pub struct CacheSizeSweep {
@@ -184,6 +207,21 @@ impl CacheSizeSweep {
     /// read-only across the workers; each replays it against its own
     /// cache through the hash-free dense path.
     pub fn run_with_threads(&self, trace: &Trace, threads: usize) -> SweepReport {
+        self.run_with_progress(trace, threads, |_| {})
+    }
+
+    /// Like [`CacheSizeSweep::run_with_threads`], but calls `progress`
+    /// after every finished grid cell with completion counts and the
+    /// cell's replay throughput.
+    ///
+    /// The callback runs on the worker threads (hence `Sync`); keep it
+    /// cheap. Callback ordering across workers is non-deterministic, but
+    /// `completed` is a consistent running count and reaches `total`
+    /// exactly once.
+    pub fn run_with_progress<F>(&self, trace: &Trace, threads: usize, progress: F) -> SweepReport
+    where
+        F: Fn(&SweepProgress) + Sync,
+    {
         let dense = DenseTrace::build(trace);
         let mut tasks: Vec<(PolicyKind, ByteSize)> = Vec::new();
         for &policy in &self.policies {
@@ -192,12 +230,21 @@ impl CacheSizeSweep {
             }
         }
         let next = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
         let results: Mutex<Vec<SweepPoint>> = Mutex::new(Vec::with_capacity(tasks.len()));
         let workers = threads.clamp(1, tasks.len());
+        let total = tasks.len();
+        let requests = trace.len();
 
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
+            for worker in 0..workers {
+                let tasks = &tasks;
+                let next = &next;
+                let done = &done;
+                let results = &results;
+                let progress = &progress;
+                let dense = &dense;
+                scope.spawn(move || loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(&(policy, capacity)) = tasks.get(i) else {
                         break;
@@ -206,7 +253,9 @@ impl CacheSizeSweep {
                         capacity,
                         ..self.template
                     };
-                    let report = Simulator::new(policy.instantiate(), config).run_dense(&dense);
+                    let started = Instant::now();
+                    let report = Simulator::new(policy.build(), config).run_dense(dense);
+                    let elapsed = started.elapsed();
                     results
                         .lock()
                         .expect("no panics hold the lock")
@@ -215,6 +264,17 @@ impl CacheSizeSweep {
                             capacity,
                             report,
                         });
+                    let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    progress(&SweepProgress {
+                        completed,
+                        total,
+                        worker,
+                        policy,
+                        capacity,
+                        requests,
+                        elapsed,
+                        requests_per_sec: requests as f64 / elapsed.as_secs_f64().max(1e-9),
+                    });
                 });
             }
         });
@@ -336,5 +396,48 @@ mod tests {
     #[should_panic(expected = "at least one policy")]
     fn empty_policy_list_rejected() {
         let _ = CacheSizeSweep::new(vec![], vec![ByteSize::new(1)]);
+    }
+
+    #[test]
+    fn progress_callback_fires_once_per_cell() {
+        let trace = tiny_trace();
+        let sweep = CacheSizeSweep::new(
+            vec![PolicyKind::Lru, PolicyKind::Fifo],
+            vec![
+                ByteSize::new(2_000),
+                ByteSize::new(8_000),
+                ByteSize::new(32_000),
+            ],
+        );
+        let seen: Mutex<Vec<SweepProgress>> = Mutex::new(Vec::new());
+        let report = sweep.run_with_progress(&trace, 4, |p| {
+            seen.lock().unwrap().push(*p);
+        });
+        let mut seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), 6, "one callback per grid cell");
+        assert_eq!(report.points().len(), 6);
+        assert!(seen.iter().all(|p| p.total == 6));
+        assert!(seen.iter().all(|p| p.requests == 600));
+        assert!(seen.iter().all(|p| p.requests_per_sec > 0.0));
+        assert!(seen.iter().all(|p| p.worker < 4));
+        let mut completed: Vec<usize> = seen.iter().map(|p| p.completed).collect();
+        completed.sort_unstable();
+        assert_eq!(completed, vec![1, 2, 3, 4, 5, 6]);
+        // Every grid cell appears exactly once.
+        seen.sort_unstable_by_key(|p| {
+            (
+                sweep.policies.iter().position(|&k| k == p.policy),
+                p.capacity,
+            )
+        });
+        let cells: Vec<(PolicyKind, ByteSize)> =
+            seen.iter().map(|p| (p.policy, p.capacity)).collect();
+        let mut expected = Vec::new();
+        for &policy in &sweep.policies {
+            for &capacity in &sweep.capacities {
+                expected.push((policy, capacity));
+            }
+        }
+        assert_eq!(cells, expected);
     }
 }

@@ -45,16 +45,22 @@ pub mod experiment;
 pub mod hierarchy;
 pub mod latency;
 pub mod metrics;
+pub mod observe;
 pub mod occupancy;
 pub mod oracle;
 pub mod report;
 pub mod simulator;
+pub mod windowed;
 
-pub use experiment::{CacheSizeSweep, SweepPoint, SweepReport};
+pub use experiment::{CacheSizeSweep, SweepPoint, SweepProgress, SweepReport};
 pub use hierarchy::{simulate_hierarchy, HierarchyConfig, HierarchyReport};
 pub use latency::{LatencyEstimate, LatencyModel, LinkModel};
 pub use metrics::HitStats;
+pub use observe::{AccessEvent, AccessKind, NoopObserver, Observer, RunMeta};
 pub use occupancy::{OccupancySample, OccupancySeries};
 pub use oracle::{clairvoyant, clairvoyant_overall};
 pub use report::Metric;
-pub use simulator::{ModificationRule, SimulationConfig, SimulationReport, Simulator};
+pub use simulator::{
+    ModificationRule, SimulationConfig, SimulationConfigBuilder, SimulationReport, Simulator,
+};
+pub use windowed::{ChurnCounters, Window, WindowSpec, WindowedMetrics};

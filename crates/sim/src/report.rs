@@ -7,7 +7,9 @@ use webcache_stats::Table;
 use webcache_trace::{DocumentType, TypeMap};
 
 use crate::experiment::SweepReport;
+use crate::metrics::HitStats;
 use crate::occupancy::OccupancySeries;
+use crate::windowed::{WindowSpec, WindowedMetrics};
 
 /// Which performance measure to render.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -139,6 +141,123 @@ pub fn occupancy_csv(series: &OccupancySeries) -> String {
     out
 }
 
+/// Long-format CSV of a windowed time series: one row per window ×
+/// (document type + `Overall`). The churn columns describe the whole
+/// window and are repeated on every row of it.
+pub fn window_csv(metrics: &WindowedMetrics) -> String {
+    let mut out = String::from(
+        "window,start_index,end_index,doc_type,requests,hits,hit_rate,byte_hit_rate,\
+         bytes_requested,bytes_hit,modification_misses,\
+         window_evictions,window_bytes_evicted,window_admission_rejects\n",
+    );
+    for (w, window) in metrics.windows().iter().enumerate() {
+        let mut emit = |scope: &str, stats: &HitStats| {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{:.6},{:.6},{},{},{},{},{},{}\n",
+                w,
+                window.start_index,
+                window.end_index,
+                scope,
+                stats.requests,
+                stats.hits,
+                stats.hit_rate(),
+                stats.byte_hit_rate(),
+                stats.bytes_requested.as_u64(),
+                stats.bytes_hit.as_u64(),
+                stats.modification_misses,
+                window.churn.evictions,
+                window.churn.bytes_evicted.as_u64(),
+                window.churn.admission_rejects,
+            ));
+        };
+        for (ty, stats) in window.by_type.iter() {
+            emit(ty.label(), stats);
+        }
+        emit("Overall", &window.overall());
+    }
+    out
+}
+
+/// JSON document of a windowed time series (hand-rendered; the workspace
+/// is offline and carries no real serde backend).
+///
+/// Shape: `{ spec, warmup_end, total_requests, capacity_bytes,
+/// warmup_churn, windows: [ { start_index, end_index, churn, overall,
+/// by_type: { <label>: stats } } ] }`.
+pub fn window_json(metrics: &WindowedMetrics) -> String {
+    fn stats_json(s: &HitStats) -> String {
+        format!(
+            "{{\"requests\":{},\"hits\":{},\"hit_rate\":{:.6},\"byte_hit_rate\":{:.6},\
+             \"bytes_requested\":{},\"bytes_hit\":{},\"modification_misses\":{}}}",
+            s.requests,
+            s.hits,
+            s.hit_rate(),
+            s.byte_hit_rate(),
+            s.bytes_requested.as_u64(),
+            s.bytes_hit.as_u64(),
+            s.modification_misses,
+        )
+    }
+    fn churn_json(c: &crate::windowed::ChurnCounters) -> String {
+        format!(
+            "{{\"evictions\":{},\"bytes_evicted\":{},\"admission_rejects\":{}}}",
+            c.evictions,
+            c.bytes_evicted.as_u64(),
+            c.admission_rejects,
+        )
+    }
+
+    let mut out = String::from("{\n");
+    let spec = match metrics.spec() {
+        WindowSpec::Requests(n) => format!("{{\"kind\":\"requests\",\"size\":{n}}}"),
+        WindowSpec::Bytes(b) => format!("{{\"kind\":\"bytes\",\"size\":{}}}", b.as_u64()),
+    };
+    out.push_str(&format!("  \"spec\": {spec},\n"));
+    match metrics.meta() {
+        Some(meta) => {
+            out.push_str(&format!("  \"warmup_end\": {},\n", meta.warmup_end));
+            out.push_str(&format!("  \"total_requests\": {},\n", meta.total_requests));
+            out.push_str(&format!(
+                "  \"capacity_bytes\": {},\n",
+                meta.capacity.as_u64()
+            ));
+        }
+        None => {
+            out.push_str("  \"warmup_end\": null,\n");
+            out.push_str("  \"total_requests\": null,\n");
+            out.push_str("  \"capacity_bytes\": null,\n");
+        }
+    }
+    out.push_str(&format!(
+        "  \"warmup_churn\": {},\n",
+        churn_json(&metrics.warmup_churn())
+    ));
+    out.push_str("  \"windows\": [\n");
+    let last = metrics.windows().len().saturating_sub(1);
+    for (i, w) in metrics.windows().iter().enumerate() {
+        out.push_str("    {");
+        out.push_str(&format!(
+            "\"start_index\":{},\"end_index\":{},\"churn\":{},\"overall\":{},\"by_type\":{{",
+            w.start_index,
+            w.end_index,
+            churn_json(&w.churn),
+            stats_json(&w.overall()),
+        ));
+        let mut first = true;
+        for (ty, stats) in w.by_type.iter() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\"{}\":{}", ty.label(), stats_json(stats)));
+        }
+        out.push_str("}}");
+        out.push_str(if i == last { "\n" } else { ",\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,5 +339,65 @@ mod tests {
     fn metric_labels() {
         assert_eq!(Metric::HitRate.label(), "Hit Rate");
         assert_eq!(Metric::ByteHitRate.label(), "Byte Hit Rate");
+    }
+
+    fn windowed() -> WindowedMetrics {
+        use crate::{SimulationConfig, Simulator};
+        let trace: Trace = (0..200u64)
+            .map(|i| {
+                Request::new(
+                    Timestamp::from_millis(i),
+                    DocId::new(i % 13),
+                    DocumentType::Image,
+                    ByteSize::new(400),
+                )
+            })
+            .collect();
+        let config = SimulationConfig::builder()
+            .capacity(ByteSize::new(2_000))
+            .build();
+        let mut metrics = WindowedMetrics::per_requests(60);
+        Simulator::new(PolicyKind::Lru.build(), config).run_observed(&trace, &mut metrics);
+        metrics
+    }
+
+    #[test]
+    fn window_csv_shape() {
+        let metrics = windowed();
+        let csv = window_csv(&metrics);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(lines[0].starts_with("window,start_index,end_index,doc_type"));
+        // 180 measured requests -> 3 windows, 5 types + overall per window.
+        assert_eq!(metrics.windows().len(), 3);
+        assert_eq!(lines.len() - 1, 3 * 6);
+        assert!(csv.contains("Overall"));
+        assert!(csv.contains("Images"));
+    }
+
+    #[test]
+    fn window_json_is_balanced_and_carries_meta() {
+        let metrics = windowed();
+        let json = window_json(&metrics);
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "braces balance:\n{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"warmup_end\": 20"));
+        assert!(json.contains("\"total_requests\": 200"));
+        assert!(json.contains("\"capacity_bytes\": 2000"));
+        assert!(json.contains("\"kind\":\"requests\",\"size\":60"));
+        assert_eq!(json.matches("\"start_index\"").count(), 3);
+        assert!(json.contains("\"Images\""));
+    }
+
+    #[test]
+    fn empty_window_series_renders_null_meta() {
+        let metrics = WindowedMetrics::per_bytes(ByteSize::new(100));
+        let json = window_json(&metrics);
+        assert!(json.contains("\"warmup_end\": null"));
+        assert!(json.contains("\"kind\":\"bytes\",\"size\":100"));
+        assert_eq!(window_csv(&metrics).lines().count(), 1, "header only");
     }
 }

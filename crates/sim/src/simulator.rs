@@ -8,6 +8,7 @@ use webcache_core::{AdmissionRule, Cache, ReplacementPolicy};
 use webcache_trace::{ByteSize, DenseTrace, DocumentType, Trace, TypeMap};
 
 use crate::metrics::HitStats;
+use crate::observe::{AccessEvent, AccessKind, NoopObserver, Observer, RunMeta};
 use crate::occupancy::{OccupancySample, OccupancySeries};
 
 /// How the simulator interprets a size change between two successive
@@ -35,7 +36,13 @@ impl ModificationRule {
         match self {
             ModificationRule::AnyChange => true,
             ModificationRule::SizeDelta => {
-                let rel = (cur as f64 - prev as f64).abs() / prev.max(1) as f64;
+                if prev == 0 {
+                    // A zero-byte previous transfer has no meaningful
+                    // relative delta: any growth reads as a ≥100% change,
+                    // i.e. an interrupted transfer, never a modification.
+                    return false;
+                }
+                let rel = (cur as f64 - prev as f64).abs() / prev as f64;
                 rel < 0.05
             }
         }
@@ -73,6 +80,111 @@ impl SimulationConfig {
         }
     }
 
+    /// Starts a builder pre-loaded with the paper's defaults (10%
+    /// warm-up, [`ModificationRule::SizeDelta`], admit-everything, no
+    /// occupancy sampling). Only the capacity must be supplied.
+    ///
+    /// ```
+    /// use webcache_sim::{ModificationRule, SimulationConfig};
+    /// use webcache_trace::ByteSize;
+    ///
+    /// let config = SimulationConfig::builder()
+    ///     .capacity(ByteSize::from_mib(256))
+    ///     .occupancy_samples(50)
+    ///     .build();
+    /// assert_eq!(config.warmup_fraction, 0.10);
+    /// assert_eq!(config.modification_rule, ModificationRule::SizeDelta);
+    /// ```
+    pub fn builder() -> SimulationConfigBuilder {
+        SimulationConfigBuilder::default()
+    }
+}
+
+/// Builder for [`SimulationConfig`]; see [`SimulationConfig::builder`].
+///
+/// The plain struct stays fully constructible by hand — the builder only
+/// packages the paper's defaults so call sites state nothing but their
+/// deviations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimulationConfigBuilder {
+    capacity: Option<ByteSize>,
+    warmup_fraction: Option<f64>,
+    modification_rule: Option<ModificationRule>,
+    admission_rule: Option<AdmissionRule>,
+    occupancy_samples: Option<usize>,
+}
+
+impl SimulationConfigBuilder {
+    /// Sets the cache capacity (required).
+    #[must_use]
+    pub fn capacity(mut self, capacity: ByteSize) -> Self {
+        self.capacity = Some(capacity);
+        self
+    }
+
+    /// Sets the warm-up fraction (default 0.10).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ fraction < 1`.
+    #[must_use]
+    pub fn warmup_fraction(mut self, fraction: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&fraction),
+            "warm-up fraction must be in [0, 1)"
+        );
+        self.warmup_fraction = Some(fraction);
+        self
+    }
+
+    /// Sets the modification rule (default [`ModificationRule::SizeDelta`]).
+    #[must_use]
+    pub fn modification_rule(mut self, rule: ModificationRule) -> Self {
+        self.modification_rule = Some(rule);
+        self
+    }
+
+    /// Sets the admission rule (default: admit everything).
+    #[must_use]
+    pub fn admission_rule(mut self, rule: AdmissionRule) -> Self {
+        self.admission_rule = Some(rule);
+        self
+    }
+
+    /// Sets the number of occupancy snapshots (default 0 — disabled).
+    #[must_use]
+    pub fn occupancy_samples(mut self, samples: usize) -> Self {
+        self.occupancy_samples = Some(samples);
+        self
+    }
+
+    /// Finalizes the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no capacity was set.
+    pub fn build(self) -> SimulationConfig {
+        let capacity = self
+            .capacity
+            .expect("SimulationConfig::builder() requires .capacity(..)");
+        let mut config = SimulationConfig::new(capacity);
+        if let Some(f) = self.warmup_fraction {
+            config.warmup_fraction = f;
+        }
+        if let Some(r) = self.modification_rule {
+            config.modification_rule = r;
+        }
+        if let Some(r) = self.admission_rule {
+            config.admission_rule = r;
+        }
+        if let Some(s) = self.occupancy_samples {
+            config.occupancy_samples = s;
+        }
+        config
+    }
+}
+
+impl SimulationConfig {
     /// Overrides the admission rule.
     #[must_use]
     pub fn with_admission_rule(mut self, rule: AdmissionRule) -> Self {
@@ -179,8 +291,13 @@ impl Simulator {
     /// trace many times should build the view once and call
     /// [`Simulator::run_dense`] directly.
     pub fn run(self, trace: &Trace) -> SimulationReport {
+        self.run_observed(trace, &mut NoopObserver)
+    }
+
+    /// Like [`Simulator::run`], but streams every event into `observer`.
+    pub fn run_observed<O: Observer>(self, trace: &Trace, observer: &mut O) -> SimulationReport {
         let dense = DenseTrace::build(trace);
-        self.run_dense(&dense)
+        self.run_dense_observed(&dense, observer)
     }
 
     /// Replays a pre-built dense trace view (the sweep hot path).
@@ -188,7 +305,28 @@ impl Simulator {
     /// Per-document simulator state is vector-indexed by the trace's
     /// dense slots; no hash is computed per request.
     pub fn run_dense(self, trace: &DenseTrace) -> SimulationReport {
+        self.run_dense_observed(trace, &mut NoopObserver)
+    }
+
+    /// Like [`Simulator::run_dense`], but streams every event into
+    /// `observer`.
+    ///
+    /// The observer is a generic parameter, so with [`NoopObserver`] this
+    /// monomorphizes to exactly the unobserved loop — the hooks cost
+    /// nothing unless an observer actually uses them. Events carry the
+    /// **dense slot** as the document id (see
+    /// [`AccessEvent`](crate::observe::AccessEvent)).
+    pub fn run_dense_observed<O: Observer>(
+        self,
+        trace: &DenseTrace,
+        observer: &mut O,
+    ) -> SimulationReport {
         let (warmup_end, sample_every) = self.schedule(trace.len());
+        observer.on_run_start(RunMeta {
+            total_requests: trace.len(),
+            warmup_end,
+            capacity: self.config.capacity,
+        });
         let mut cache = Cache::with_dense_slots(
             self.config.capacity,
             self.policy,
@@ -226,8 +364,17 @@ impl Simulator {
             } else {
                 cache.access(doc)
             };
+            let event = AccessEvent {
+                index: index as u64,
+                doc,
+                doc_type,
+                size,
+                warmup: index < warmup_end,
+            };
+            observer.on_access(event, access_kind(hit, modified));
             if !hit {
-                cache.insert(doc, doc_type, size);
+                let outcome = cache.insert(doc, doc_type, size);
+                notify_insert(observer, event, &outcome);
             }
 
             if index >= warmup_end {
@@ -242,6 +389,7 @@ impl Simulator {
                 }
             }
         }
+        observer.on_run_end();
 
         SimulationReport {
             policy: cache.policy_label(),
@@ -257,7 +405,22 @@ impl Simulator {
     /// rewrite stays checkable against the straightforward
     /// implementation (see the `dense_matches_hashed` tests).
     pub fn run_hashed(self, trace: &Trace) -> SimulationReport {
+        self.run_hashed_observed(trace, &mut NoopObserver)
+    }
+
+    /// Like [`Simulator::run_hashed`], but streams every event into
+    /// `observer`. Events carry the caller's sparse document id.
+    pub fn run_hashed_observed<O: Observer>(
+        self,
+        trace: &Trace,
+        observer: &mut O,
+    ) -> SimulationReport {
         let (warmup_end, sample_every) = self.schedule(trace.len());
+        observer.on_run_start(RunMeta {
+            total_requests: trace.len(),
+            warmup_end,
+            capacity: self.config.capacity,
+        });
         let mut cache = Cache::with_admission(
             self.config.capacity,
             self.policy,
@@ -282,8 +445,17 @@ impl Simulator {
             } else {
                 cache.access(doc)
             };
+            let event = AccessEvent {
+                index: index as u64,
+                doc,
+                doc_type: request.doc_type,
+                size: request.size,
+                warmup: index < warmup_end,
+            };
+            observer.on_access(event, access_kind(hit, modified));
             if !hit {
-                cache.insert(doc, request.doc_type, request.size);
+                let outcome = cache.insert(doc, request.doc_type, request.size);
+                notify_insert(observer, event, &outcome);
             }
 
             if index >= warmup_end {
@@ -298,6 +470,7 @@ impl Simulator {
                 }
             }
         }
+        observer.on_run_end();
 
         SimulationReport {
             policy: cache.policy_label(),
@@ -305,6 +478,39 @@ impl Simulator {
             by_type,
             occupancy,
         }
+    }
+}
+
+/// Classifies one request's outcome for the observer.
+#[inline(always)]
+fn access_kind(hit: bool, modified: bool) -> AccessKind {
+    if modified {
+        AccessKind::ModificationMiss
+    } else if hit {
+        AccessKind::Hit
+    } else {
+        AccessKind::Miss
+    }
+}
+
+/// Forwards the insert outcome (disposition + victims) to the observer.
+#[inline(always)]
+fn notify_insert<O: Observer>(
+    observer: &mut O,
+    event: AccessEvent,
+    outcome: &webcache_core::EvictionOutcome,
+) {
+    match outcome.disposition {
+        webcache_core::InsertDisposition::Inserted => observer.on_insert(event),
+        webcache_core::InsertDisposition::RejectedByAdmission => {
+            observer.on_admission_reject(event)
+        }
+        // A document larger than the whole cache is silently skipped by
+        // the store itself; no admission verdict, no insert.
+        webcache_core::InsertDisposition::TooLarge => {}
+    }
+    for &evicted in &outcome.evicted {
+        observer.on_evict(event, evicted);
     }
 }
 
@@ -441,6 +647,74 @@ mod tests {
         );
         assert!(ModificationRule::AnyChange.is_modification(100, 101));
         assert!(!ModificationRule::AnyChange.is_modification(100, 100));
+    }
+
+    #[test]
+    fn zero_byte_previous_transfer_is_never_a_modification() {
+        // A 0 -> N change has no meaningful relative delta; the intended
+        // reading is a ≥100% change, i.e. an interrupted transfer, so the
+        // cached copy stays valid. Pin it explicitly for every rule arm.
+        let rule = ModificationRule::SizeDelta;
+        assert!(!rule.is_modification(0, 1));
+        assert!(!rule.is_modification(0, 1_000_000));
+        assert!(!rule.is_modification(0, 0), "no change is no modification");
+        // AnyChange by definition flags every change, including from 0.
+        assert!(ModificationRule::AnyChange.is_modification(0, 1));
+        assert!(!ModificationRule::AnyChange.is_modification(0, 0));
+    }
+
+    #[test]
+    fn zero_byte_transfers_replay_without_counting_modifications() {
+        // End-to-end: a document first seen as a 0-byte transfer, then
+        // fetched in full, must not be scored as a modification miss.
+        let trace = vec![req(1, 0), req(1, 500), req(1, 500)];
+        let config = SimulationConfig::new(ByteSize::new(1000)).with_warmup_fraction(0.0);
+        let report = run(trace, config);
+        assert_eq!(report.overall().modification_misses, 0);
+        assert_eq!(report.overall().hits, 2, "both follow-ups hit");
+    }
+
+    #[test]
+    fn builder_defaults_match_the_plain_constructor() {
+        let built = SimulationConfig::builder()
+            .capacity(ByteSize::new(4096))
+            .build();
+        assert_eq!(built, SimulationConfig::new(ByteSize::new(4096)));
+        assert_eq!(built.warmup_fraction, 0.10);
+        assert_eq!(built.modification_rule, ModificationRule::SizeDelta);
+        assert_eq!(built.occupancy_samples, 0);
+    }
+
+    #[test]
+    fn builder_overrides_every_field() {
+        use webcache_core::AdmissionRule;
+        let built = SimulationConfig::builder()
+            .capacity(ByteSize::new(10))
+            .warmup_fraction(0.25)
+            .modification_rule(ModificationRule::AnyChange)
+            .admission_rule(AdmissionRule::SecondHit(8))
+            .occupancy_samples(7)
+            .build();
+        let by_hand = SimulationConfig::new(ByteSize::new(10))
+            .with_warmup_fraction(0.25)
+            .with_modification_rule(ModificationRule::AnyChange)
+            .with_admission_rule(AdmissionRule::SecondHit(8))
+            .with_occupancy_samples(7);
+        assert_eq!(built, by_hand);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires .capacity")]
+    fn builder_without_capacity_panics() {
+        let _ = SimulationConfig::builder().build();
+    }
+
+    #[test]
+    #[should_panic(expected = "warm-up fraction")]
+    fn builder_rejects_out_of_range_warmup() {
+        let _ = SimulationConfig::builder()
+            .capacity(ByteSize::new(10))
+            .warmup_fraction(1.0);
     }
 
     #[test]

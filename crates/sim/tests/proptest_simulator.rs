@@ -287,6 +287,124 @@ mod dense_vs_hashed {
     }
 }
 
+mod observer_props {
+    use proptest::prelude::*;
+    use webcache_core::PolicyKind;
+    use webcache_sim::{NoopObserver, SimulationConfig, Simulator, WindowSpec, WindowedMetrics};
+    use webcache_trace::{ByteSize, DocId, DocumentType, Request, Timestamp, Trace};
+
+    fn arb_trace() -> impl Strategy<Value = Trace> {
+        prop::collection::vec((0u64..40, 0u8..5, 1u64..100_000), 1..300).prop_map(|reqs| {
+            reqs.into_iter()
+                .enumerate()
+                .map(|(i, (doc, ty, size))| {
+                    Request::new(
+                        Timestamp::from_millis(i as u64),
+                        DocId::new(doc),
+                        DocumentType::ALL[ty as usize],
+                        ByteSize::new(size),
+                    )
+                })
+                .collect()
+        })
+    }
+
+    fn arb_window() -> impl Strategy<Value = WindowSpec> {
+        prop_oneof![
+            (1u64..80).prop_map(WindowSpec::Requests),
+            (1u64..500_000).prop_map(|b| WindowSpec::Bytes(ByteSize::new(b))),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// Attaching an observer must not change the simulation: the
+        /// no-op run and the windowed run produce identical reports, and
+        /// the window series sums back exactly to the aggregate per-type
+        /// counters.
+        #[test]
+        fn windowed_observer_is_invisible_and_sums_back(
+            trace in arb_trace(),
+            kind in prop::sample::select(PolicyKind::ALL.to_vec()),
+            capacity in 1_000u64..200_000,
+            warmup in 0.0f64..0.5,
+            window in arb_window(),
+        ) {
+            let config = SimulationConfig::builder()
+                .capacity(ByteSize::new(capacity))
+                .warmup_fraction(warmup)
+                .build();
+            let unobserved = Simulator::new(kind.build(), config)
+                .run_observed(&trace, &mut NoopObserver);
+            let mut metrics = WindowedMetrics::new(window);
+            let observed = Simulator::new(kind.build(), config)
+                .run_observed(&trace, &mut metrics);
+            prop_assert_eq!(&unobserved, &observed);
+
+            // The windows partition the measured region and sum back.
+            prop_assert_eq!(&metrics.aggregate_by_type(), observed.by_type());
+            prop_assert_eq!(metrics.aggregate(), observed.overall());
+            let warmup_end = trace.warmup_boundary(warmup) as u64;
+            if observed.overall().requests > 0 {
+                prop_assert_eq!(metrics.windows()[0].start_index, warmup_end);
+                prop_assert_eq!(
+                    metrics.windows().last().unwrap().end_index,
+                    trace.len() as u64
+                );
+                for pair in metrics.windows().windows(2) {
+                    prop_assert_eq!(pair[0].end_index, pair[1].start_index);
+                    prop_assert!(pair[0].overall().requests > 0);
+                }
+            } else {
+                prop_assert!(metrics.windows().is_empty());
+            }
+        }
+
+        /// The dense and hashed replays feed the observer identically:
+        /// windowed series collected on either path are equal.
+        #[test]
+        fn windowed_series_agree_across_replay_paths(
+            trace in arb_trace(),
+            kind in prop::sample::select(PolicyKind::ALL.to_vec()),
+            capacity in 1_000u64..200_000,
+            window in arb_window(),
+        ) {
+            let config = SimulationConfig::builder()
+                .capacity(ByteSize::new(capacity))
+                .build();
+            let mut dense = WindowedMetrics::new(window);
+            Simulator::new(kind.build(), config).run_observed(&trace, &mut dense);
+            let mut hashed = WindowedMetrics::new(window);
+            Simulator::new(kind.build(), config).run_hashed_observed(&trace, &mut hashed);
+            prop_assert_eq!(dense.windows(), hashed.windows());
+            prop_assert_eq!(dense.warmup_churn(), hashed.warmup_churn());
+        }
+
+        /// Eviction accounting balances: everything inserted either
+        /// stays resident or was evicted, so the bytes evicted over the
+        /// whole run can never exceed the bytes offered to the cache.
+        #[test]
+        fn eviction_churn_is_bounded_by_traffic(
+            trace in arb_trace(),
+            kind in prop::sample::select(PolicyKind::ALL.to_vec()),
+            capacity in 1_000u64..50_000,
+        ) {
+            let config = SimulationConfig::builder()
+                .capacity(ByteSize::new(capacity))
+                .warmup_fraction(0.0)
+                .build();
+            let mut metrics = WindowedMetrics::per_requests(25);
+            Simulator::new(kind.build(), config).run_observed(&trace, &mut metrics);
+            let churn = metrics.total_churn();
+            let total = metrics.aggregate();
+            prop_assert!(churn.bytes_evicted <= total.bytes_requested);
+            prop_assert!(churn.evictions <= total.requests);
+            prop_assert_eq!(churn.admission_rejects, 0, "default admits everything");
+        }
+    }
+}
+
 mod hierarchy_props {
     use proptest::prelude::*;
     use webcache_core::PolicyKind;

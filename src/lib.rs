@@ -48,7 +48,10 @@ pub use webcache_workload as workload;
 /// The most commonly used items, importable with one `use`.
 pub mod prelude {
     pub use webcache_core::{Cache, CostModel, PolicyKind, ReplacementPolicy};
-    pub use webcache_sim::{CacheSizeSweep, SimulationConfig, SimulationReport, Simulator};
+    pub use webcache_sim::{
+        CacheSizeSweep, NoopObserver, Observer, SimulationConfig, SimulationReport, Simulator,
+        WindowSpec, WindowedMetrics,
+    };
     pub use webcache_stats::TraceCharacterization;
     pub use webcache_trace::{ByteSize, DocId, DocumentType, Request, Timestamp, Trace, TypeMap};
     pub use webcache_workload::{TraceGenerator, WorkloadProfile};
