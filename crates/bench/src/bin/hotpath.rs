@@ -9,15 +9,28 @@
 //! observer is the `dense` column itself: `run_dense` monomorphizes
 //! over [`NoopObserver`](webcache_sim::NoopObserver)).
 //!
+//! A fourth column (`instr-off`) replays the dense path through
+//! [`PolicyKind::build_instrumented`] with the unit sink `()` — the
+//! generic-instrumentation construction path with instrumentation
+//! compiled away. It must sit within noise of `dense`; that is the
+//! zero-cost claim of the observability layer, checkable in the output.
+//!
 //! ```text
 //! hotpath [--scale DENOM] [--seed SEED] [--iters N] [--out PATH] [--quick]
+//!         [--check-regress] [--tolerance FRAC]
 //!
-//! --scale DENOM   run at 1/DENOM of the full trace size (default 256)
-//! --seed SEED     generator seed (default 20020623)
-//! --iters N       timed repetitions per cell; the best is kept (default 5)
-//! --out PATH      output JSON path (default BENCH_hotpath.json)
-//! --quick         CI smoke mode: tiny trace (1/4096), 1 iteration, and no
-//!                 JSON written unless --out is given explicitly
+//! --scale DENOM     run at 1/DENOM of the full trace size (default 256)
+//! --seed SEED       generator seed (default 20020623)
+//! --iters N         timed repetitions per cell; the best is kept (default 5)
+//! --out PATH        output JSON path (default BENCH_hotpath.json)
+//! --quick           CI smoke mode: tiny trace (1/4096), 1 iteration, and no
+//!                   JSON written unless --out is given explicitly
+//! --check-regress   before writing, compare dense req/s per policy against
+//!                   the committed JSON at the output path; exit non-zero
+//!                   (and leave the file untouched) if any policy regressed
+//!                   by more than the tolerance
+//! --tolerance FRAC  allowed relative dense-path regression for
+//!                   --check-regress (default 0.05)
 //! ```
 
 use std::fmt::Write as _;
@@ -38,6 +51,7 @@ struct Cell {
     label: String,
     hashed_rps: f64,
     dense_rps: f64,
+    instr_off_rps: f64,
     windowed_rps: f64,
 }
 
@@ -47,6 +61,8 @@ fn main() -> ExitCode {
     let mut iters: Option<usize> = None;
     let mut out: Option<String> = None;
     let mut quick = false;
+    let mut check_regress = false;
+    let mut tolerance = 0.05;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -68,6 +84,11 @@ fn main() -> ExitCode {
                 None => return usage("--out expects a path"),
             },
             "--quick" => quick = true,
+            "--check-regress" => check_regress = true,
+            "--tolerance" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(t) if (0.0..1.0).contains(&t) => tolerance = t,
+                _ => return usage("--tolerance expects a fraction in [0, 1)"),
+            },
             "--help" | "-h" => return usage(""),
             other => return usage(&format!("unknown argument `{other}`")),
         }
@@ -94,20 +115,35 @@ fn main() -> ExitCode {
 
     let mut cells = Vec::new();
     println!(
-        "{:<10} {:>14} {:>14} {:>15} {:>9}",
-        "policy", "hashed req/s", "dense req/s", "windowed req/s", "speedup"
+        "{:<10} {:>14} {:>14} {:>16} {:>15} {:>9}",
+        "policy", "hashed req/s", "dense req/s", "instr-off req/s", "windowed req/s", "speedup"
     );
     for kind in PolicyKind::ALL {
         let cell = measure(kind, &trace, &dense, capacity, iters);
         println!(
-            "{:<10} {:>14.0} {:>14.0} {:>15.0} {:>8.2}x",
+            "{:<10} {:>14.0} {:>14.0} {:>16.0} {:>15.0} {:>8.2}x",
             cell.label,
             cell.hashed_rps,
             cell.dense_rps,
+            cell.instr_off_rps,
             cell.windowed_rps,
             cell.dense_rps / cell.hashed_rps
         );
         cells.push(cell);
+    }
+
+    if check_regress {
+        let baseline_path = out.as_deref().unwrap_or("BENCH_hotpath.json");
+        match check_against_baseline(&cells, baseline_path, tolerance) {
+            Ok(()) => eprintln!(
+                "# no dense-path regression beyond {:.0}% vs {baseline_path}",
+                tolerance * 100.0
+            ),
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
 
     match out {
@@ -137,6 +173,7 @@ fn measure(
     let window = ((trace.len() as u64) / 50).max(1);
     let mut best_hashed = f64::INFINITY;
     let mut best_dense = f64::INFINITY;
+    let mut best_instr_off = f64::INFINITY;
     let mut best_windowed = f64::INFINITY;
     for _ in 0..iters {
         let start = Instant::now();
@@ -146,6 +183,13 @@ fn measure(
         let start = Instant::now();
         std::hint::black_box(Simulator::new(kind.build(), config).run_dense(dense));
         best_dense = best_dense.min(start.elapsed().as_secs_f64());
+
+        // The unit-sink instrumented build: same dense replay through the
+        // explicit generic construction path. Within noise of `dense` or
+        // the instrumentation is not free.
+        let start = Instant::now();
+        std::hint::black_box(Simulator::new(kind.build_instrumented(()), config).run_dense(dense));
+        best_instr_off = best_instr_off.min(start.elapsed().as_secs_f64());
 
         let mut metrics = WindowedMetrics::per_requests(window);
         let start = Instant::now();
@@ -159,7 +203,58 @@ fn measure(
         label: kind.label(),
         hashed_rps: requests / best_hashed,
         dense_rps: requests / best_dense,
+        instr_off_rps: requests / best_instr_off,
         windowed_rps: requests / best_windowed,
+    }
+}
+
+/// Compares the freshly measured dense-path throughput against the
+/// committed JSON at `path`, failing on any policy slower by more than
+/// `tolerance` (relative).
+fn check_against_baseline(cells: &[Cell], path: &str, tolerance: f64) -> Result<(), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("--check-regress: cannot read baseline {path}: {e}"))?;
+    let value = webcache_obs::json::parse(&text)
+        .map_err(|e| format!("--check-regress: {path} is not valid JSON: {e}"))?;
+    let policies = value
+        .get("policies")
+        .and_then(|v| v.as_array())
+        .ok_or_else(|| format!("--check-regress: {path} has no `policies` array"))?;
+    let mut failures = Vec::new();
+    for cell in cells {
+        let baseline = policies.iter().find_map(|p| {
+            (p.get("policy")?.as_str()? == cell.label).then(|| p.get("dense_rps")?.as_f64())?
+        });
+        let Some(baseline) = baseline else {
+            eprintln!("# check-regress: no baseline for {} (skipped)", cell.label);
+            continue;
+        };
+        let floor = baseline * (1.0 - tolerance);
+        let ratio = cell.dense_rps / baseline;
+        if cell.dense_rps < floor {
+            failures.push(format!(
+                "{}: dense {:.0} req/s is {:.1}% of baseline {:.0}",
+                cell.label,
+                cell.dense_rps,
+                ratio * 100.0,
+                baseline
+            ));
+        } else {
+            eprintln!(
+                "# check-regress: {:<10} {:.1}% of baseline",
+                cell.label,
+                ratio * 100.0
+            );
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "dense path regressed beyond {:.0}% on: {}",
+            tolerance * 100.0,
+            failures.join("; ")
+        ))
     }
 }
 
@@ -180,10 +275,11 @@ fn render_json(cells: &[Cell], trace: &Trace, scale: f64, seed: u64, iters: usiz
         let _ = writeln!(
             s,
             "    {{\"policy\": \"{}\", \"hashed_rps\": {:.0}, \"dense_rps\": {:.0}, \
-             \"windowed_rps\": {:.0}, \"speedup\": {:.3}}}{}",
+             \"instr_off_rps\": {:.0}, \"windowed_rps\": {:.0}, \"speedup\": {:.3}}}{}",
             cell.label,
             cell.hashed_rps,
             cell.dense_rps,
+            cell.instr_off_rps,
             cell.windowed_rps,
             cell.dense_rps / cell.hashed_rps,
             if i + 1 < cells.len() { "," } else { "" }
@@ -200,12 +296,16 @@ fn usage(error: &str) -> ExitCode {
     }
     eprintln!(
         "hotpath [--scale DENOM] [--seed SEED] [--iters N] [--out PATH] [--quick]\n\
+         \x20       [--check-regress] [--tolerance FRAC]\n\
          \n\
          Times every replacement policy over the scaled DFN workload through\n\
-         the hashed and the dense simulator paths (plus the dense path with a\n\
-         windowed-metrics observer attached) and writes the requests/s\n\
-         comparison to a JSON file (default BENCH_hotpath.json). --quick runs\n\
-         a tiny smoke configuration and skips the JSON unless --out is given."
+         the hashed and the dense simulator paths (plus the unit-sink\n\
+         instrumented build and the dense path with a windowed-metrics\n\
+         observer attached) and writes the requests/s comparison to a JSON\n\
+         file (default BENCH_hotpath.json). --quick runs a tiny smoke\n\
+         configuration and skips the JSON unless --out is given.\n\
+         --check-regress compares the dense column against the committed\n\
+         JSON first and fails beyond --tolerance (default 0.05)."
     );
     if error.is_empty() {
         ExitCode::SUCCESS

@@ -48,7 +48,7 @@ impl fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// The switches that take no value.
-const SWITCHES: [&str; 4] = ["csv", "markdown", "json", "progress"];
+const SWITCHES: [&str; 5] = ["csv", "markdown", "json", "progress", "quick"];
 
 impl Args {
     /// Parses a token list.

@@ -3,12 +3,13 @@
 use std::fs;
 
 use webcache_core::PolicyKind;
+use webcache_obs::{chrome_trace_json, PolicyProbe, Registry, TraceClock, TraceRecorder};
 use webcache_sim::report::{
     figure_panel, occupancy_csv, sweep_csv, window_csv, window_json, Metric,
 };
 use webcache_sim::{
     clairvoyant, simulate_hierarchy, CacheSizeSweep, HierarchyConfig, LatencyModel,
-    SimulationConfig, Simulator, WindowSpec, WindowedMetrics,
+    ProfileObserver, SimulationConfig, Simulator, WindowSpec, WindowedMetrics,
 };
 use webcache_stats::{Table, TraceCharacterization};
 use webcache_trace::{format as trace_format, preprocess, squid, ByteSize, DocumentType, Trace};
@@ -241,16 +242,7 @@ pub fn hierarchy(args: &Args) -> Result<String, CliError> {
 /// `webcache sweep`.
 pub fn sweep(args: &Args) -> Result<String, CliError> {
     let (trace, _) = input_trace(args)?;
-    let policies: Vec<PolicyKind> = match args.get("policies") {
-        None => PolicyKind::PAPER_CONSTANT.to_vec(),
-        Some(list) => list
-            .split(',')
-            .map(|name| {
-                PolicyKind::parse(name.trim())
-                    .ok_or_else(|| usage(format!("unknown policy `{name}`")))
-            })
-            .collect::<Result<_, _>>()?,
-    };
+    let policies = parse_policies(args)?;
     let capacities: Vec<ByteSize> = match args.get("fractions") {
         None => CacheSizeSweep::paper_capacities(&trace),
         Some(list) => {
@@ -365,6 +357,143 @@ pub fn stats(args: &Args) -> Result<String, CliError> {
         out.push_str(&window_csv(&metrics));
     }
     Ok(out)
+}
+
+/// Parses `--policies a,b,c`, defaulting to the paper's constant-cost
+/// four.
+fn parse_policies(args: &Args) -> Result<Vec<PolicyKind>, CliError> {
+    match args.get("policies") {
+        None => Ok(PolicyKind::PAPER_CONSTANT.to_vec()),
+        Some(list) => list
+            .split(',')
+            .map(|name| {
+                PolicyKind::parse(name.trim())
+                    .ok_or_else(|| usage(format!("unknown policy `{name}`")))
+            })
+            .collect(),
+    }
+}
+
+/// `webcache profile`.
+///
+/// Runs an instrumented replay (policy-internal heap costs and inflation
+/// via [`PolicyProbe`], request outcomes via [`ProfileObserver`]) plus a
+/// span-timed capacity sweep, then writes three artifacts to `--out-dir`:
+/// `trace.json` (chrome://tracing / Perfetto), `metrics.prom` (Prometheus
+/// text exposition) and `metrics.json` (the same registry as JSON).
+pub fn profile(args: &Args) -> Result<String, CliError> {
+    let out_dir = std::path::Path::new(args.get("out-dir").unwrap_or("profile-out"));
+    let quick = args.switch("quick");
+
+    let clock = TraceClock::new();
+    let mut main = TraceRecorder::new(&clock, 0, "main");
+
+    // Input: an explicit trace, or a synthetic DFN workload.
+    let trace = match (args.get("trace"), args.get("squid")) {
+        (None, None) => {
+            let denom: f64 =
+                args.get_parsed("scale")?
+                    .unwrap_or(if quick { 4096.0 } else { 256.0 });
+            if denom < 1.0 {
+                return Err(usage("--scale expects a denominator ≥ 1"));
+            }
+            let seed: u64 = args.get_parsed("seed")?.unwrap_or(1);
+            main.span("generate-trace", |_| {
+                WorkloadProfile::dfn().scaled(1.0 / denom).build_trace(seed)
+            })
+        }
+        _ => main.span("load-trace", |_| input_trace(args))?.0,
+    };
+
+    let policies = parse_policies(args)?;
+    let spec = match args.get("capacity") {
+        Some(raw) => parse_capacity(raw).map_err(usage)?,
+        None => CapacitySpec::FractionOfTrace(0.05),
+    };
+    let capacity = spec.resolve(trace.overall_size());
+    let config = SimulationConfig::builder()
+        .capacity(capacity)
+        .warmup_fraction(0.10)
+        .build();
+
+    // Instrumented replay: the probe sees each policy from the inside
+    // (heap costs, inflation), the observer from the outside (hits,
+    // misses, eviction pressure); both export through one registry.
+    let registry = Registry::new();
+    main.span("replay", |main| {
+        for &kind in &policies {
+            let label = kind.label();
+            main.span(label.clone(), |_| {
+                let probe = PolicyProbe::register(&registry, &label);
+                let mut obs = ProfileObserver::register(&registry, &label);
+                Simulator::new(kind.build_instrumented(probe), config)
+                    .run_observed(&trace, &mut obs);
+            });
+        }
+    });
+
+    // Span-timed sweep: one chrome-trace track per worker, one span per
+    // policy × capacity cell.
+    let overall = trace.overall_size();
+    let fractions: &[f64] = if quick {
+        &[0.01, 0.05]
+    } else {
+        &[0.01, 0.05, 0.20]
+    };
+    let capacities: Vec<ByteSize> = fractions
+        .iter()
+        .map(|f| ByteSize::new((overall.as_f64() * f).round().max(1.0) as u64))
+        .collect();
+    let cells = policies.len() * capacities.len();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(4);
+    let workers = threads.clamp(1, cells);
+    let mut worker_recorders: Vec<TraceRecorder> = (0..workers)
+        .map(|i| TraceRecorder::new(&clock, i as u32 + 1, format!("sweep-worker-{i}")))
+        .collect();
+    main.begin("sweep");
+    // The sweep's *timing* is the product here; its report is discarded
+    // (`webcache sweep` renders it).
+    let _ = CacheSizeSweep::new(policies.clone(), capacities).run_with_progress_recorded(
+        &trace,
+        threads,
+        |_| {},
+        &mut worker_recorders,
+    );
+    main.end();
+
+    let (prom, metrics_json) = main.span("export", |_| {
+        (registry.prometheus_text(), registry.json_snapshot())
+    });
+
+    let mut recorders = vec![main];
+    recorders.extend(worker_recorders);
+    let trace_json = chrome_trace_json(&recorders);
+
+    fs::create_dir_all(out_dir)?;
+    let trace_path = out_dir.join("trace.json");
+    let prom_path = out_dir.join("metrics.prom");
+    let json_path = out_dir.join("metrics.json");
+    fs::write(&trace_path, &trace_json)?;
+    fs::write(&prom_path, &prom)?;
+    fs::write(&json_path, &metrics_json)?;
+
+    let spans: usize = recorders.iter().map(|r| r.events().len()).sum();
+    Ok(format!(
+        "profiled {} requests @ {capacity}: {} policies replayed instrumented, \
+         {cells} sweep cells on {workers} workers\n\
+         {} spans -> {}\n\
+         {} metric series -> {} / {}\n",
+        trace.len(),
+        policies.len(),
+        spans,
+        trace_path.display(),
+        registry.len(),
+        prom_path.display(),
+        json_path.display(),
+    ))
 }
 
 /// `webcache convert`.

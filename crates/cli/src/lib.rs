@@ -91,6 +91,14 @@ subcommands:
                default window: a tenth of the measured region)
   convert      --squid FILE --out FILE [--format text|bin]
                preprocess a Squid access.log into the compact format
+  profile      [--trace FILE | --squid FILE] [--policies a,b,c]
+               [--capacity SIZE|PCT%] [--scale DENOM] [--seed N]
+               [--out-dir DIR] [--quick]
+               instrumented replay + span-timed sweep; writes
+               trace.json (chrome://tracing / Perfetto), metrics.prom
+               (Prometheus text) and metrics.json to --out-dir
+               (default profile-out); with no input trace a synthetic
+               DFN workload is generated (--quick: a smaller one)
   hierarchy    --trace FILE [--leaves N] [--leaf-capacity SIZE|PCT%]
                [--parent-capacity SIZE|PCT%] [--leaf-policy P]
                [--parent-policy P]
@@ -123,6 +131,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "stats" => commands::stats(&Args::parse(rest)?),
         "convert" => commands::convert(&Args::parse(rest)?),
         "hierarchy" => commands::hierarchy(&Args::parse(rest)?),
+        "profile" => commands::profile(&Args::parse(rest)?),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(CliError::Usage(format!("unknown subcommand `{other}`"))),
     }

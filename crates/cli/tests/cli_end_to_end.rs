@@ -303,6 +303,96 @@ fn oracle_policy_in_simulate() {
 }
 
 #[test]
+fn profile_writes_valid_artifacts() {
+    let dir = temp_path("profile-out");
+    let out = run(&argv(&format!(
+        "profile --quick --seed 11 --out-dir {}",
+        dir.display()
+    )))
+    .unwrap();
+    assert!(out.contains("profiled"), "{out}");
+
+    // Chrome-trace artifact: valid JSON in the Trace Event Format.
+    let trace_text = fs::read_to_string(dir.join("trace.json")).unwrap();
+    let trace = webcache_obs::json::parse(&trace_text).expect("trace.json parses");
+    let events = trace
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+    assert!(!events.is_empty(), "spans were recorded");
+    let mut begins = 0usize;
+    let mut ends = 0usize;
+    let mut completes = 0usize;
+    for ev in events {
+        let ph = ev.get("ph").and_then(|v| v.as_str()).expect("ph");
+        match ph {
+            "B" => begins += 1,
+            "E" => ends += 1,
+            "X" => {
+                // Complete events carry name, timestamp, duration, track.
+                assert!(ev.get("name").and_then(|v| v.as_str()).is_some());
+                assert!(ev.get("ts").and_then(|v| v.as_f64()).is_some());
+                assert!(ev.get("dur").and_then(|v| v.as_f64()).is_some());
+                assert!(ev.get("tid").and_then(|v| v.as_f64()).is_some());
+                completes += 1;
+            }
+            "M" => {} // track-name metadata
+            other => panic!("unexpected event phase {other:?}"),
+        }
+    }
+    assert_eq!(begins, ends, "every B span has a matching E");
+    assert!(completes >= 4, "replay + sweep spans present");
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(|v| v.as_str()))
+        .collect();
+    assert!(names.contains(&"replay"), "{names:?}");
+    assert!(names.contains(&"sweep"), "{names:?}");
+    let tracks: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|v| v.as_str()) == Some("M"))
+        .filter_map(|e| e.get("args")?.get("name")?.as_str())
+        .collect();
+    assert!(tracks.contains(&"main"), "{tracks:?}");
+    assert!(tracks.contains(&"sweep-worker-0"), "{tracks:?}");
+
+    // Prometheus artifact: policy internals for the instrumented schemes.
+    let prom = fs::read_to_string(dir.join("metrics.prom")).unwrap();
+    assert!(
+        prom.contains("# TYPE webcache_heap_ops_total counter"),
+        "{prom}"
+    );
+    assert!(
+        prom.contains("webcache_heap_sift_steps"),
+        "heap-op histograms"
+    );
+    assert!(
+        prom.contains("webcache_policy_inflation_l_trajectory{policy=\"GD*(1)\""),
+        "GD* L trajectory exported"
+    );
+    assert!(
+        prom.contains("webcache_sim_evict_scan_length_bucket"),
+        "{prom}"
+    );
+    assert!(
+        prom.contains("webcache_sim_hits_total{policy=\"LRU\"}"),
+        "{prom}"
+    );
+
+    // JSON snapshot parses and mirrors the registry.
+    let metrics_text = fs::read_to_string(dir.join("metrics.json")).unwrap();
+    let metrics = webcache_obs::json::parse(&metrics_text).expect("metrics.json parses");
+    for section in ["counters", "gauges", "histograms", "series"] {
+        assert!(
+            metrics.get(section).and_then(|v| v.as_array()).is_some(),
+            "{section} section present"
+        );
+    }
+
+    fs::remove_dir_all(dir).ok();
+}
+
+#[test]
 fn markdown_switch_renders_pipes() {
     let path = generate_trace("md.wct");
     let out = run(&argv(&format!(

@@ -17,6 +17,7 @@
 //! GDS is online-optimal with respect to its cost function but ignores how
 //! *often* a document was used — the gap GreedyDual\* fills.
 
+use webcache_obs::{HeapOp, MetricsSink};
 use webcache_trace::{ByteSize, DocId};
 
 use super::{PriorityKey, ReplacementPolicy};
@@ -28,13 +29,17 @@ use crate::pqueue::DenseIndexedHeap;
 /// GDS recomputes `H` from the request's size on every touch, so the heap
 /// itself is the only per-document state — membership doubles as the
 /// presence check.
+///
+/// `M` is the [`MetricsSink`] receiving heap-cost and inflation events;
+/// the default `()` compiles the instrumentation away entirely.
 #[derive(Debug)]
-pub struct Gds {
+pub struct Gds<M: MetricsSink = ()> {
     cost_model: CostModel,
     heap: DenseIndexedHeap<DocId, PriorityKey>,
     /// Inflation value `L`.
     inflation: f64,
     seq: u64,
+    sink: M,
 }
 
 impl Default for Gds {
@@ -47,11 +52,19 @@ impl Default for Gds {
 impl Gds {
     /// Creates an empty GDS tracker under the given cost model.
     pub fn new(cost_model: CostModel) -> Self {
+        Gds::with_sink(cost_model, ())
+    }
+}
+
+impl<M: MetricsSink> Gds<M> {
+    /// Like [`Gds::new`], but routing internal events into `sink`.
+    pub fn with_sink(cost_model: CostModel, sink: M) -> Self {
         Gds {
             cost_model,
             heap: DenseIndexedHeap::new(),
             inflation: 0.0,
             seq: 0,
+            sink,
         }
     }
 
@@ -73,37 +86,42 @@ impl Gds {
         self.cost_model.cost(size) / s
     }
 
-    fn touch(&mut self, doc: DocId, size: ByteSize) {
+    fn touch(&mut self, doc: DocId, size: ByteSize, op: HeapOp) {
         self.seq += 1;
         let key = PriorityKey::new(self.inflation + self.value(size), self.seq);
-        self.heap.upsert(doc, key);
+        let cost = self.heap.upsert(doc, key);
+        self.sink.heap_op(op, cost);
     }
 }
 
-impl ReplacementPolicy for Gds {
+impl<M: MetricsSink> ReplacementPolicy for Gds<M> {
     fn label(&self) -> String {
         format!("GDS({})", self.cost_model.tag())
     }
 
     fn on_insert(&mut self, doc: DocId, size: ByteSize) {
         debug_assert!(!self.heap.contains(doc), "double insert of {doc}");
-        self.touch(doc, size);
+        self.touch(doc, size, HeapOp::Insert);
     }
 
     fn on_hit(&mut self, doc: DocId, size: ByteSize) {
         if self.heap.contains(doc) {
-            self.touch(doc, size);
+            self.touch(doc, size, HeapOp::Update);
         }
     }
 
     fn evict(&mut self) -> Option<DocId> {
-        let (doc, key) = self.heap.pop_min()?;
+        let (doc, key, cost) = self.heap.pop_min_counted()?;
+        self.sink.heap_op(HeapOp::PopMin, cost);
         self.inflation = key.value.get();
+        self.sink.inflation(self.inflation);
         Some(doc)
     }
 
     fn remove(&mut self, doc: DocId) {
-        self.heap.remove(doc);
+        if let Some((_, cost)) = self.heap.remove_counted(doc) {
+            self.sink.heap_op(HeapOp::Remove, cost);
+        }
     }
 
     fn len(&self) -> usize {

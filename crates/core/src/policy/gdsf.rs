@@ -12,6 +12,7 @@
 //! both as a baseline in its own right and as the anchor point of the β
 //! ablation (`GdStar::with_fixed_beta(cost, 1.0)` must agree with it).
 
+use webcache_obs::{HeapOp, MetricsSink};
 use webcache_trace::{ByteSize, DocId};
 
 use super::{slot_entry, slot_of, PriorityKey, ReplacementPolicy};
@@ -19,14 +20,18 @@ use crate::cost::CostModel;
 use crate::pqueue::DenseIndexedHeap;
 
 /// GDSF replacement state. See the module-level documentation above.
+///
+/// `M` is the [`MetricsSink`] receiving heap-cost and inflation events;
+/// the default `()` compiles the instrumentation away entirely.
 #[derive(Debug)]
-pub struct Gdsf {
+pub struct Gdsf<M: MetricsSink = ()> {
     cost_model: CostModel,
     heap: DenseIndexedHeap<DocId, PriorityKey>,
     /// Per-slot `(size, frequency)`; frequency 0 = not tracked.
     docs: Vec<(ByteSize, u64)>,
     inflation: f64,
     seq: u64,
+    sink: M,
 }
 
 impl Default for Gdsf {
@@ -39,12 +44,20 @@ impl Default for Gdsf {
 impl Gdsf {
     /// Creates an empty GDSF tracker under the given cost model.
     pub fn new(cost_model: CostModel) -> Self {
+        Gdsf::with_sink(cost_model, ())
+    }
+}
+
+impl<M: MetricsSink> Gdsf<M> {
+    /// Like [`Gdsf::new`], but routing internal events into `sink`.
+    pub fn with_sink(cost_model: CostModel, sink: M) -> Self {
         Gdsf {
             cost_model,
             heap: DenseIndexedHeap::new(),
             docs: Vec::new(),
             inflation: 0.0,
             seq: 0,
+            sink,
         }
     }
 
@@ -58,16 +71,18 @@ impl Gdsf {
         self.heap.key_of(doc).map(|k| k.value.get())
     }
 
-    fn push_key(&mut self, doc: DocId, freq: u64, size: ByteSize) {
+    fn push_key(&mut self, doc: DocId, freq: u64, size: ByteSize, op: HeapOp) {
         let s = size.as_f64().max(1.0);
         let value = freq as f64 * self.cost_model.cost(size) / s;
         self.seq += 1;
-        self.heap
+        let cost = self
+            .heap
             .upsert(doc, PriorityKey::new(self.inflation + value, self.seq));
+        self.sink.heap_op(op, cost);
     }
 }
 
-impl ReplacementPolicy for Gdsf {
+impl<M: MetricsSink> ReplacementPolicy for Gdsf<M> {
     fn label(&self) -> String {
         format!("GDSF({})", self.cost_model.tag())
     }
@@ -76,7 +91,7 @@ impl ReplacementPolicy for Gdsf {
         let state = slot_entry(&mut self.docs, slot_of(doc), (ByteSize::ZERO, 0));
         debug_assert!(state.1 == 0, "double insert of {doc}");
         *state = (size, 1);
-        self.push_key(doc, 1, size);
+        self.push_key(doc, 1, size, HeapOp::Insert);
     }
 
     fn on_hit(&mut self, doc: DocId, size: ByteSize) {
@@ -86,20 +101,24 @@ impl ReplacementPolicy for Gdsf {
         state.0 = size;
         state.1 += 1;
         let (size, freq) = *state;
-        self.push_key(doc, freq, size);
+        self.push_key(doc, freq, size, HeapOp::Update);
     }
 
     fn evict(&mut self) -> Option<DocId> {
-        let (doc, key) = self.heap.pop_min()?;
+        let (doc, key, cost) = self.heap.pop_min_counted()?;
+        self.sink.heap_op(HeapOp::PopMin, cost);
         self.docs[slot_of(doc)] = (ByteSize::ZERO, 0);
         self.inflation = key.value.get();
+        self.sink.inflation(self.inflation);
         Some(doc)
     }
 
     fn remove(&mut self, doc: DocId) {
         if let Some(state) = self.docs.get_mut(slot_of(doc)).filter(|s| s.1 > 0) {
             *state = (ByteSize::ZERO, 0);
-            self.heap.remove(doc);
+            if let Some((_, cost)) = self.heap.remove_counted(doc) {
+                self.sink.heap_op(HeapOp::Remove, cost);
+            }
         }
     }
 

@@ -24,6 +24,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use webcache_obs::{HeapOp, MetricsSink};
 use webcache_trace::{ByteSize, DocId, DocumentType, TypeMap};
 
 use super::{slot_entry, slot_of, PriorityKey, ReplacementPolicy};
@@ -182,8 +183,11 @@ struct DocState {
 }
 
 /// GreedyDual\* replacement state. See the module-level documentation above.
+///
+/// `M` is the [`MetricsSink`] receiving heap-cost and inflation events;
+/// the default `()` compiles the instrumentation away entirely.
 #[derive(Debug)]
-pub struct GdStar {
+pub struct GdStar<M: MetricsSink = ()> {
     cost_model: CostModel,
     mode: BetaMode,
     beta: f64,
@@ -200,6 +204,7 @@ pub struct GdStar {
     /// clock; gaps are measured in these units.
     clock: u64,
     seq: u64,
+    sink: M,
 }
 
 impl Default for GdStar {
@@ -212,6 +217,30 @@ impl Default for GdStar {
 impl GdStar {
     /// Creates an empty GD\* tracker under the given cost model and β mode.
     pub fn new(cost_model: CostModel, mode: BetaMode) -> Self {
+        GdStar::with_sink(cost_model, mode, ())
+    }
+
+    /// Convenience constructor for a fixed β.
+    pub fn with_fixed_beta(cost_model: CostModel, beta: f64) -> Self {
+        GdStar::new(cost_model, BetaMode::Fixed(beta))
+    }
+
+    /// Convenience constructor for the per-type adaptive mode with the
+    /// default initial β and refresh interval.
+    pub fn with_per_type_beta(cost_model: CostModel) -> Self {
+        GdStar::new(
+            cost_model,
+            BetaMode::AdaptivePerType {
+                initial: 1.0,
+                refresh_interval: 2_000,
+            },
+        )
+    }
+}
+
+impl<M: MetricsSink> GdStar<M> {
+    /// Like [`GdStar::new`], but routing internal events into `sink`.
+    pub fn with_sink(cost_model: CostModel, mode: BetaMode, sink: M) -> Self {
         let beta = match mode {
             BetaMode::Fixed(beta) => beta,
             BetaMode::Adaptive { initial, .. } | BetaMode::AdaptivePerType { initial, .. } => {
@@ -236,24 +265,8 @@ impl GdStar {
             inflation: 0.0,
             clock: 0,
             seq: 0,
+            sink,
         }
-    }
-
-    /// Convenience constructor for a fixed β.
-    pub fn with_fixed_beta(cost_model: CostModel, beta: f64) -> Self {
-        GdStar::new(cost_model, BetaMode::Fixed(beta))
-    }
-
-    /// Convenience constructor for the per-type adaptive mode with the
-    /// default initial β and refresh interval.
-    pub fn with_per_type_beta(cost_model: CostModel) -> Self {
-        GdStar::new(
-            cost_model,
-            BetaMode::AdaptivePerType {
-                initial: 1.0,
-                refresh_interval: 2_000,
-            },
-        )
     }
 
     /// The β currently in effect (the global estimate; per-type mode
@@ -324,14 +337,15 @@ impl GdStar {
         value.powf(1.0 / self.beta_for(ty))
     }
 
-    fn push_key(&mut self, doc: DocId, freq: u64, size: ByteSize, ty: DocumentType) {
+    fn push_key(&mut self, doc: DocId, freq: u64, size: ByteSize, ty: DocumentType, op: HeapOp) {
         self.seq += 1;
         let key = PriorityKey::new(self.inflation + self.h_base(freq, size, ty), self.seq);
-        self.heap.upsert(doc, key);
+        let cost = self.heap.upsert(doc, key);
+        self.sink.heap_op(op, cost);
     }
 }
 
-impl ReplacementPolicy for GdStar {
+impl<M: MetricsSink> ReplacementPolicy for GdStar<M> {
     fn label(&self) -> String {
         format!("GD*({})", self.cost_model.tag())
     }
@@ -361,7 +375,7 @@ impl ReplacementPolicy for GdStar {
             freq: 1,
             last_access: self.clock,
         });
-        self.push_key(doc, 1, size, doc_type);
+        self.push_key(doc, 1, size, doc_type, HeapOp::Insert);
     }
 
     fn on_hit_typed(&mut self, doc: DocId, size: ByteSize, doc_type: DocumentType) {
@@ -378,20 +392,24 @@ impl ReplacementPolicy for GdStar {
         self.estimator.sample(gap);
         self.per_type_estimators[doc_type].sample(gap);
         self.maybe_refresh_beta(doc_type);
-        self.push_key(doc, freq, size, doc_type);
+        self.push_key(doc, freq, size, doc_type, HeapOp::Update);
     }
 
     fn evict(&mut self) -> Option<DocId> {
-        let (doc, key) = self.heap.pop_min()?;
+        let (doc, key, cost) = self.heap.pop_min_counted()?;
+        self.sink.heap_op(HeapOp::PopMin, cost);
         self.docs[slot_of(doc)] = None;
         self.inflation = key.value.get();
+        self.sink.inflation(self.inflation);
         Some(doc)
     }
 
     fn remove(&mut self, doc: DocId) {
         if let Some(state) = self.docs.get_mut(slot_of(doc)) {
             if state.take().is_some() {
-                self.heap.remove(doc);
+                if let Some((_, cost)) = self.heap.remove_counted(doc) {
+                    self.sink.heap_op(HeapOp::Remove, cost);
+                }
             }
         }
     }

@@ -6,24 +6,41 @@
 //! never evicted — the defect that LFU-DA's dynamic aging repairs. Included
 //! as a baseline for the aging ablation.
 
+use webcache_obs::{HeapOp, MetricsSink};
 use webcache_trace::{ByteSize, DocId};
 
 use super::{slot_entry, slot_of, PriorityKey, ReplacementPolicy};
 use crate::pqueue::DenseIndexedHeap;
 
 /// LFU replacement state. See the module-level documentation above.
+///
+/// `M` is the [`MetricsSink`] receiving heap-cost events; the default
+/// `()` compiles the instrumentation away entirely.
 #[derive(Debug, Default)]
-pub struct Lfu {
+pub struct Lfu<M: MetricsSink = ()> {
     heap: DenseIndexedHeap<DocId, PriorityKey>,
     /// Per-slot reference count; 0 = not tracked.
     counts: Vec<u64>,
     seq: u64,
+    sink: M,
 }
 
 impl Lfu {
     /// Creates an empty LFU tracker.
     pub fn new() -> Self {
         Lfu::default()
+    }
+}
+
+impl<M: MetricsSink> Lfu<M> {
+    /// Like [`Lfu::new`], but routing internal events into `sink`.
+    pub fn with_sink(sink: M) -> Self {
+        Lfu {
+            heap: DenseIndexedHeap::new(),
+            counts: Vec::new(),
+            seq: 0,
+            sink,
+        }
     }
 
     /// The in-cache reference count of `doc`, if tracked.
@@ -34,17 +51,19 @@ impl Lfu {
         }
     }
 
-    fn touch(&mut self, doc: DocId) {
+    fn touch(&mut self, doc: DocId, op: HeapOp) {
         let count = slot_entry(&mut self.counts, slot_of(doc), 0);
         *count += 1;
         let count = *count;
         self.seq += 1;
-        self.heap
+        let cost = self
+            .heap
             .upsert(doc, PriorityKey::new(count as f64, self.seq));
+        self.sink.heap_op(op, cost);
     }
 }
 
-impl ReplacementPolicy for Lfu {
+impl<M: MetricsSink> ReplacementPolicy for Lfu<M> {
     fn label(&self) -> String {
         "LFU".to_owned()
     }
@@ -54,17 +73,18 @@ impl ReplacementPolicy for Lfu {
             self.reference_count(doc).is_none(),
             "double insert of {doc}"
         );
-        self.touch(doc);
+        self.touch(doc, HeapOp::Insert);
     }
 
     fn on_hit(&mut self, doc: DocId, _size: ByteSize) {
         if self.reference_count(doc).is_some() {
-            self.touch(doc);
+            self.touch(doc, HeapOp::Update);
         }
     }
 
     fn evict(&mut self) -> Option<DocId> {
-        let (doc, _) = self.heap.pop_min()?;
+        let (doc, _, cost) = self.heap.pop_min_counted()?;
+        self.sink.heap_op(HeapOp::PopMin, cost);
         self.counts[slot_of(doc)] = 0;
         Some(doc)
     }
@@ -72,7 +92,9 @@ impl ReplacementPolicy for Lfu {
     fn remove(&mut self, doc: DocId) {
         if self.reference_count(doc).is_some() {
             self.counts[slot_of(doc)] = 0;
-            self.heap.remove(doc);
+            if let Some((_, cost)) = self.heap.remove_counted(doc) {
+                self.sink.heap_op(HeapOp::Remove, cost);
+            }
         }
     }
 

@@ -15,26 +15,44 @@
 //! pollution of plain LFU. LFU-DA achieves high byte hit rates because it
 //! does not discriminate against large documents.
 
+use webcache_obs::{HeapOp, MetricsSink};
 use webcache_trace::{ByteSize, DocId};
 
 use super::{slot_entry, slot_of, PriorityKey, ReplacementPolicy};
 use crate::pqueue::DenseIndexedHeap;
 
 /// LFU-DA replacement state. See the module-level documentation above.
+///
+/// `M` is the [`MetricsSink`] receiving heap-cost and aging events; the
+/// default `()` compiles the instrumentation away entirely.
 #[derive(Debug, Default)]
-pub struct LfuDa {
+pub struct LfuDa<M: MetricsSink = ()> {
     heap: DenseIndexedHeap<DocId, PriorityKey>,
     /// Per-slot reference count; 0 = not tracked.
     counts: Vec<u64>,
     /// Cache age `L`: the key value of the last evicted document.
     age: f64,
     seq: u64,
+    sink: M,
 }
 
 impl LfuDa {
     /// Creates an empty LFU-DA tracker.
     pub fn new() -> Self {
         LfuDa::default()
+    }
+}
+
+impl<M: MetricsSink> LfuDa<M> {
+    /// Like [`LfuDa::new`], but routing internal events into `sink`.
+    pub fn with_sink(sink: M) -> Self {
+        LfuDa {
+            heap: DenseIndexedHeap::new(),
+            counts: Vec::new(),
+            age: 0.0,
+            seq: 0,
+            sink,
+        }
     }
 
     /// The current cache age `L`.
@@ -51,44 +69,49 @@ impl LfuDa {
         self.counts.get(slot_of(doc)).copied().unwrap_or(0) > 0
     }
 
-    fn touch(&mut self, doc: DocId) {
+    fn touch(&mut self, doc: DocId, op: HeapOp) {
         let count = slot_entry(&mut self.counts, slot_of(doc), 0);
         *count += 1;
         let count = *count;
         self.seq += 1;
         let key = PriorityKey::new(count as f64 + self.age, self.seq);
-        self.heap.upsert(doc, key);
+        let cost = self.heap.upsert(doc, key);
+        self.sink.heap_op(op, cost);
     }
 }
 
-impl ReplacementPolicy for LfuDa {
+impl<M: MetricsSink> ReplacementPolicy for LfuDa<M> {
     fn label(&self) -> String {
         "LFU-DA".to_owned()
     }
 
     fn on_insert(&mut self, doc: DocId, _size: ByteSize) {
         debug_assert!(!self.tracked(doc), "double insert of {doc}");
-        self.touch(doc);
+        self.touch(doc, HeapOp::Insert);
     }
 
     fn on_hit(&mut self, doc: DocId, _size: ByteSize) {
         if self.tracked(doc) {
-            self.touch(doc);
+            self.touch(doc, HeapOp::Update);
         }
     }
 
     fn evict(&mut self) -> Option<DocId> {
-        let (doc, key) = self.heap.pop_min()?;
+        let (doc, key, cost) = self.heap.pop_min_counted()?;
+        self.sink.heap_op(HeapOp::PopMin, cost);
         self.counts[slot_of(doc)] = 0;
         // Dynamic aging: the cache age inflates to the victim's key.
         self.age = key.value.get();
+        self.sink.inflation(self.age);
         Some(doc)
     }
 
     fn remove(&mut self, doc: DocId) {
         if self.tracked(doc) {
             self.counts[slot_of(doc)] = 0;
-            self.heap.remove(doc);
+            if let Some((_, cost)) = self.heap.remove_counted(doc) {
+                self.sink.heap_op(HeapOp::Remove, cost);
+            }
         }
     }
 

@@ -223,17 +223,32 @@ impl PolicyKind {
     /// the per-scheme constructors remain available for code that needs
     /// non-default parameters (a fixed β, K ≠ 2, …).
     pub fn build(&self) -> Box<dyn ReplacementPolicy> {
+        self.build_instrumented(())
+    }
+
+    /// Constructs a fresh policy instance routing internal events
+    /// (heap-operation costs, inflation steps) into `sink`.
+    ///
+    /// The list-based schemes (LRU, FIFO, SLRU, LRU-2) maintain no
+    /// priority heap and report no events — the sink is dropped for them.
+    /// `build_instrumented(())` is exactly [`PolicyKind::build`].
+    pub fn build_instrumented<M: webcache_obs::MetricsSink>(
+        &self,
+        sink: M,
+    ) -> Box<dyn ReplacementPolicy> {
         match *self {
             PolicyKind::Lru => Box::new(Lru::new()),
             PolicyKind::Fifo => Box::new(Fifo::new()),
-            PolicyKind::Lfu => Box::new(Lfu::new()),
-            PolicyKind::SizeBased => Box::new(SizeBased::new()),
-            PolicyKind::LfuDa => Box::new(LfuDa::new()),
+            PolicyKind::Lfu => Box::new(Lfu::with_sink(sink)),
+            PolicyKind::SizeBased => Box::new(SizeBased::with_sink(sink)),
+            PolicyKind::LfuDa => Box::new(LfuDa::with_sink(sink)),
             PolicyKind::Slru => Box::new(Slru::new()),
             PolicyKind::LruTwo => Box::new(LruK::two()),
-            PolicyKind::Gds(cost) => Box::new(Gds::new(cost)),
-            PolicyKind::Gdsf(cost) => Box::new(Gdsf::new(cost)),
-            PolicyKind::GdStar(cost) => Box::new(GdStar::new(cost, BetaMode::default())),
+            PolicyKind::Gds(cost) => Box::new(Gds::with_sink(cost, sink)),
+            PolicyKind::Gdsf(cost) => Box::new(Gdsf::with_sink(cost, sink)),
+            PolicyKind::GdStar(cost) => {
+                Box::new(GdStar::with_sink(cost, BetaMode::default(), sink))
+            }
         }
     }
 
@@ -400,5 +415,58 @@ mod tests {
         let b = PriorityKey::new(1.0, 6);
         let c = PriorityKey::new(2.0, 0);
         assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn instrumented_build_matches_plain_build_and_records_events() {
+        use std::collections::HashSet;
+        use webcache_obs::{PolicyProbe, Registry};
+        use webcache_trace::ByteSize;
+
+        for kind in PolicyKind::ALL {
+            let registry = Registry::new();
+            let probe = PolicyProbe::register(&registry, &kind.label());
+            let mut plain = kind.build();
+            let mut probed = kind.build_instrumented(probe);
+            // Drive both instances with the same access sequence: the sink
+            // must not perturb policy decisions.
+            let mut tracked: HashSet<u64> = HashSet::new();
+            for i in 0u64..400 {
+                let slot = (i * 31) % 40;
+                let d = webcache_trace::DocId::new(slot);
+                let s = ByteSize::new(64 + (i * 97) % 4096);
+                if tracked.insert(slot) {
+                    plain.on_insert(d, s);
+                    probed.on_insert(d, s);
+                } else {
+                    plain.on_hit(d, s);
+                    probed.on_hit(d, s);
+                }
+                if i % 9 == 0 {
+                    let a = plain.evict();
+                    let b = probed.evict();
+                    assert_eq!(a, b, "{kind} diverged at step {i}");
+                    if let Some(v) = a {
+                        tracked.remove(&v.as_u64());
+                    }
+                }
+                assert_eq!(plain.len(), probed.len(), "{kind} at step {i}");
+            }
+            // Heap-backed policies must have reported operations; the
+            // list-based ones drop the sink and report nothing.
+            let heap_backed = !matches!(
+                kind,
+                PolicyKind::Lru | PolicyKind::Fifo | PolicyKind::Slru | PolicyKind::LruTwo
+            );
+            let text = registry.prometheus_text();
+            let ops_reported = text
+                .lines()
+                .filter(|l| l.starts_with("webcache_heap_ops_total{"))
+                .any(|l| !l.ends_with(" 0"));
+            assert_eq!(
+                ops_reported, heap_backed,
+                "{kind}: heap-op metrics mismatch\n{text}"
+            );
+        }
     }
 }

@@ -5,16 +5,21 @@
 //! rate. Ties between equally sized documents break towards the least
 //! recently used.
 
+use webcache_obs::{HeapOp, MetricsSink};
 use webcache_trace::{ByteSize, DocId};
 
 use super::{PriorityKey, ReplacementPolicy};
 use crate::pqueue::DenseIndexedHeap;
 
 /// SIZE replacement state. See the module-level documentation above.
+///
+/// `M` is the [`MetricsSink`] receiving heap-cost events; the default
+/// `()` compiles the instrumentation away entirely.
 #[derive(Debug, Default)]
-pub struct SizeBased {
+pub struct SizeBased<M: MetricsSink = ()> {
     heap: DenseIndexedHeap<DocId, PriorityKey>,
     seq: u64,
+    sink: M,
 }
 
 impl SizeBased {
@@ -24,7 +29,18 @@ impl SizeBased {
     }
 }
 
-impl ReplacementPolicy for SizeBased {
+impl<M: MetricsSink> SizeBased<M> {
+    /// Like [`SizeBased::new`], but routing internal events into `sink`.
+    pub fn with_sink(sink: M) -> Self {
+        SizeBased {
+            heap: DenseIndexedHeap::new(),
+            seq: 0,
+            sink,
+        }
+    }
+}
+
+impl<M: MetricsSink> ReplacementPolicy for SizeBased<M> {
     fn label(&self) -> String {
         "SIZE".to_owned()
     }
@@ -33,8 +49,10 @@ impl ReplacementPolicy for SizeBased {
         self.seq += 1;
         // The heap pops the minimum key; negate the size so the largest
         // document has the smallest key.
-        self.heap
+        let cost = self
+            .heap
             .insert(doc, PriorityKey::new(-size.as_f64(), self.seq));
+        self.sink.heap_op(HeapOp::Insert, cost);
     }
 
     fn on_hit(&mut self, doc: DocId, _size: ByteSize) {
@@ -42,22 +60,27 @@ impl ReplacementPolicy for SizeBased {
             // Refresh the tie-breaker so equal-size ties follow recency.
             let key = self.heap.key_of(doc).expect("contains checked");
             self.seq += 1;
-            self.heap.update(
+            let cost = self.heap.update(
                 doc,
                 PriorityKey {
                     tie: self.seq,
                     ..key
                 },
             );
+            self.sink.heap_op(HeapOp::Update, cost);
         }
     }
 
     fn evict(&mut self) -> Option<DocId> {
-        self.heap.pop_min().map(|(doc, _)| doc)
+        let (doc, _, cost) = self.heap.pop_min_counted()?;
+        self.sink.heap_op(HeapOp::PopMin, cost);
+        Some(doc)
     }
 
     fn remove(&mut self, doc: DocId) {
-        self.heap.remove(doc);
+        if let Some((_, cost)) = self.heap.remove_counted(doc) {
+            self.sink.heap_op(HeapOp::Remove, cost);
+        }
     }
 
     fn len(&self) -> usize {

@@ -16,6 +16,7 @@
 use std::fmt::Debug;
 use std::hash::Hash;
 
+use webcache_obs::HeapCost;
 use webcache_trace::fxhash::FxHashMap;
 use webcache_trace::DocId;
 
@@ -260,14 +261,17 @@ where
         self.positions.get(item).map(|i| self.slots[i].0)
     }
 
-    /// Inserts a new item.
+    /// Inserts a new item, returning the measured sift cost.
+    ///
+    /// The [`HeapCost`] is deliberately not `#[must_use]`: statement-position
+    /// callers drop it and the accounting code is eliminated.
     ///
     /// # Panics
     ///
     /// Panics if `item` is already present — use [`IndexedHeap::update`] to
     /// change an existing key, or [`IndexedHeap::upsert`] when presence is
     /// unknown.
-    pub fn insert(&mut self, item: I, key: K) {
+    pub fn insert(&mut self, item: I, key: K) -> HeapCost {
         assert!(
             self.positions.get(item).is_none(),
             "item already present; use update/upsert"
@@ -275,15 +279,15 @@ where
         let idx = self.slots.len();
         self.slots.push((key, item));
         self.positions.set(item, idx);
-        self.sift_up(idx);
+        self.sift_up(idx)
     }
 
-    /// Changes the key of an existing item.
+    /// Changes the key of an existing item, returning the sift cost.
     ///
     /// # Panics
     ///
     /// Panics if `item` is not present.
-    pub fn update(&mut self, item: I, key: K) {
+    pub fn update(&mut self, item: I, key: K) -> HeapCost {
         let idx = self
             .positions
             .get(item)
@@ -291,18 +295,21 @@ where
         let old = self.slots[idx].0;
         self.slots[idx].0 = key;
         if key < old {
-            self.sift_up(idx);
+            self.sift_up(idx)
         } else if key > old {
-            self.sift_down(idx);
+            self.sift_down(idx)
+        } else {
+            HeapCost::ZERO
         }
     }
 
-    /// Inserts `item` or updates its key if already present.
-    pub fn upsert(&mut self, item: I, key: K) {
+    /// Inserts `item` or updates its key if already present, returning the
+    /// sift cost.
+    pub fn upsert(&mut self, item: I, key: K) -> HeapCost {
         if self.contains(item) {
-            self.update(item, key);
+            self.update(item, key)
         } else {
-            self.insert(item, key);
+            self.insert(item, key)
         }
     }
 
@@ -313,17 +320,27 @@ where
 
     /// Removes and returns the minimum `(item, key)`.
     pub fn pop_min(&mut self) -> Option<(I, K)> {
+        self.pop_min_counted().map(|(item, key, _)| (item, key))
+    }
+
+    /// [`IndexedHeap::pop_min`], also returning the measured sift cost.
+    pub fn pop_min_counted(&mut self) -> Option<(I, K, HeapCost)> {
         let (key, item) = *self.slots.first()?;
-        self.remove_at(0);
-        Some((item, key))
+        let cost = self.remove_at(0);
+        Some((item, key, cost))
     }
 
     /// Removes `item`, returning its key if it was present.
     pub fn remove(&mut self, item: I) -> Option<K> {
+        self.remove_counted(item).map(|(key, _)| key)
+    }
+
+    /// [`IndexedHeap::remove`], also returning the measured sift cost.
+    pub fn remove_counted(&mut self, item: I) -> Option<(K, HeapCost)> {
         let idx = self.positions.get(item)?;
         let key = self.slots[idx].0;
-        self.remove_at(idx);
-        Some(key)
+        let cost = self.remove_at(idx);
+        Some((key, cost))
     }
 
     /// Removes every item, keeping allocations.
@@ -332,7 +349,7 @@ where
         self.positions.clear();
     }
 
-    fn remove_at(&mut self, idx: usize) {
+    fn remove_at(&mut self, idx: usize) -> HeapCost {
         let last = self.slots.len() - 1;
         self.slots.swap(idx, last);
         let (_, removed) = self.slots.pop().expect("slot exists");
@@ -340,39 +357,53 @@ where
         if idx < self.slots.len() {
             self.positions.set(self.slots[idx].1, idx);
             // The swapped-in element may need to move either way.
-            self.sift_up(idx);
-            self.sift_down(idx);
+            self.sift_up(idx) + self.sift_down(idx)
+        } else {
+            HeapCost::ZERO
         }
     }
 
-    fn sift_up(&mut self, mut idx: usize) {
+    fn sift_up(&mut self, mut idx: usize) -> HeapCost {
+        let mut cost = HeapCost::ZERO;
         while idx > 0 {
             let parent = (idx - 1) / 2;
+            cost.comparisons += 1;
             if self.slots[idx].0 >= self.slots[parent].0 {
                 break;
             }
             self.swap(idx, parent);
+            cost.sift_steps += 1;
             idx = parent;
         }
+        cost
     }
 
-    fn sift_down(&mut self, mut idx: usize) {
+    fn sift_down(&mut self, mut idx: usize) -> HeapCost {
+        let mut cost = HeapCost::ZERO;
         loop {
             let left = 2 * idx + 1;
             let right = left + 1;
             let mut smallest = idx;
-            if left < self.slots.len() && self.slots[left].0 < self.slots[smallest].0 {
-                smallest = left;
+            if left < self.slots.len() {
+                cost.comparisons += 1;
+                if self.slots[left].0 < self.slots[smallest].0 {
+                    smallest = left;
+                }
             }
-            if right < self.slots.len() && self.slots[right].0 < self.slots[smallest].0 {
-                smallest = right;
+            if right < self.slots.len() {
+                cost.comparisons += 1;
+                if self.slots[right].0 < self.slots[smallest].0 {
+                    smallest = right;
+                }
             }
             if smallest == idx {
                 break;
             }
             self.swap(idx, smallest);
+            cost.sift_steps += 1;
             idx = smallest;
         }
+        cost
     }
 
     fn swap(&mut self, a: usize, b: usize) {
@@ -497,6 +528,38 @@ mod tests {
         h.check_invariants();
         assert_eq!(h.pop_min(), Some((0, 0)));
         assert_eq!(h.len(), 7);
+    }
+
+    #[test]
+    fn sift_costs_are_measured() {
+        let mut h: IndexedHeap<u32, u32> = IndexedHeap::new();
+        // First insert lands at the root: no parent to compare against.
+        assert_eq!(h.insert(0, 10), HeapCost::ZERO);
+        // 5 beats the root: one comparison, one swap.
+        assert_eq!(
+            h.insert(1, 5),
+            HeapCost {
+                sift_steps: 1,
+                comparisons: 1
+            }
+        );
+        // 20 stays put: one (failed) comparison, no swap.
+        assert_eq!(
+            h.insert(2, 20),
+            HeapCost {
+                sift_steps: 0,
+                comparisons: 1
+            }
+        );
+        let (item, key, cost) = h.pop_min_counted().unwrap();
+        assert_eq!((item, key), (1, 5));
+        assert!(cost.comparisons >= 1, "{cost:?}");
+        // An equal-key update does not sift at all.
+        assert_eq!(h.update(0, 10), HeapCost::ZERO);
+        let (_, cost) = h.remove_counted(2).unwrap();
+        assert_eq!(h.remove_counted(2), None);
+        let _ = cost;
+        h.check_invariants();
     }
 
     /// Randomized differential test against a sorted-map reference model,

@@ -1,0 +1,34 @@
+//! # webcache-obs
+//!
+//! Observability primitives for the `webcache` workspace, dependency-free
+//! and usable from every layer (it sits below `webcache-core` in the
+//! crate graph):
+//!
+//! * [`registry`] — a lightweight metrics registry: [`Counter`],
+//!   [`Gauge`], fixed-log2-bucket [`Histogram`] and bounded [`Series`]
+//!   handles behind `Arc`s, with Prometheus text exposition
+//!   ([`Registry::prometheus_text`]) and a JSON snapshot
+//!   ([`Registry::json_snapshot`]).
+//! * [`span`] — a span-based [`TraceRecorder`]: named, nested timing
+//!   spans on one track per thread, exported as chrome://tracing
+//!   "Trace Event Format" JSON ([`chrome_trace_json`]) loadable in
+//!   Perfetto.
+//! * [`sink`] — the [`MetricsSink`] seam the replacement policies are
+//!   generic over. The unit type `()` implements it with empty inline
+//!   methods, so un-instrumented policies monomorphize to exactly the
+//!   code they had before the seam existed — the same discipline as the
+//!   simulator's `Observer`/`NoopObserver` pair.
+//! * [`json`] — a minimal JSON value parser, used by the schema-validity
+//!   tests and the hotpath bench's `--check-regress` mode.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod json;
+pub mod registry;
+pub mod sink;
+pub mod span;
+
+pub use registry::{Counter, Gauge, Histogram, Registry, Series};
+pub use sink::{HeapCost, HeapOp, MetricsSink, PolicyProbe};
+pub use span::{chrome_trace_json, SpanEvent, TraceClock, TraceRecorder};

@@ -1,0 +1,291 @@
+//! The zero-cost policy instrumentation seam.
+//!
+//! Replacement policies that maintain a priority heap are generic over a
+//! [`MetricsSink`] with a default of `()`. The unit implementation has
+//! empty `#[inline(always)]` methods, so the un-instrumented
+//! monomorphization compiles to exactly the pre-seam code — the same
+//! discipline as the simulator's `Observer` / `NoopObserver` pair. The
+//! `webcache profile` command swaps in a [`PolicyProbe`], which routes
+//! every event into [`Registry`] handles.
+
+use crate::registry::{Counter, Gauge, Histogram, Registry, Series};
+
+/// The heap operations a policy reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeapOp {
+    /// A new key entered the heap.
+    Insert,
+    /// An existing key's priority changed in place.
+    Update,
+    /// The minimum was removed (an eviction).
+    PopMin,
+    /// An arbitrary key was removed (invalidation / modification miss).
+    Remove,
+}
+
+impl HeapOp {
+    /// All operations, in label order.
+    pub const ALL: [HeapOp; 4] = [
+        HeapOp::Insert,
+        HeapOp::Update,
+        HeapOp::PopMin,
+        HeapOp::Remove,
+    ];
+
+    /// The stable label used in metric label values.
+    pub fn label(self) -> &'static str {
+        match self {
+            HeapOp::Insert => "insert",
+            HeapOp::Update => "update",
+            HeapOp::PopMin => "pop_min",
+            HeapOp::Remove => "remove",
+        }
+    }
+
+    #[inline]
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// The cost of one heap operation, measured inside the sift loops.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HeapCost {
+    /// Number of element swaps performed while sifting (the depth the
+    /// key travelled).
+    pub sift_steps: u32,
+    /// Number of key comparisons evaluated.
+    pub comparisons: u32,
+}
+
+impl HeapCost {
+    /// A zero cost (no sift, no comparison).
+    pub const ZERO: HeapCost = HeapCost {
+        sift_steps: 0,
+        comparisons: 0,
+    };
+}
+
+impl std::ops::AddAssign for HeapCost {
+    #[inline]
+    fn add_assign(&mut self, rhs: HeapCost) {
+        self.sift_steps += rhs.sift_steps;
+        self.comparisons += rhs.comparisons;
+    }
+}
+
+impl std::ops::Add for HeapCost {
+    type Output = HeapCost;
+
+    #[inline]
+    fn add(mut self, rhs: HeapCost) -> HeapCost {
+        self += rhs;
+        self
+    }
+}
+
+/// Receives policy-internal events.
+///
+/// Every method has an empty `#[inline(always)]` default, and the unit
+/// type implements the trait with those defaults, so a policy
+/// instantiated with `M = ()` pays nothing — the calls vanish at
+/// monomorphization. (The hotpath bench's `instr-off` column holds this
+/// to within noise of the pre-seam baseline.)
+pub trait MetricsSink: std::fmt::Debug + Send + 'static {
+    /// A heap operation completed with the given measured cost.
+    #[inline(always)]
+    fn heap_op(&mut self, op: HeapOp, cost: HeapCost) {
+        let _ = (op, cost);
+    }
+
+    /// The policy's inflation value (GreedyDual `L`, LFU-DA cache age)
+    /// advanced to `l` on an eviction.
+    #[inline(always)]
+    fn inflation(&mut self, l: f64) {
+        let _ = l;
+    }
+}
+
+/// The no-op sink: the default for every policy.
+impl MetricsSink for () {}
+
+/// A [`MetricsSink`] backed by [`Registry`] handles.
+///
+/// Registers, per policy label:
+///
+/// * `webcache_heap_ops_total{policy, op}` — operation counts;
+/// * `webcache_heap_sift_steps{policy, op}` — sift-depth histograms;
+/// * `webcache_heap_comparisons_total{policy, op}` — key comparisons;
+/// * `webcache_policy_inflation_events_total{policy}` — inflation steps;
+/// * `webcache_policy_inflation_l{policy}` — the latest `L` value;
+/// * `webcache_policy_inflation_l_trajectory{policy}` — a bounded
+///   [`Series`] of `L` over the run.
+#[derive(Debug, Clone)]
+pub struct PolicyProbe {
+    ops: [Counter; 4],
+    sift_steps: [Histogram; 4],
+    comparisons: [Counter; 4],
+    inflation_events: Counter,
+    inflation_l: Gauge,
+    inflation_trajectory: Series,
+}
+
+impl PolicyProbe {
+    /// Registers the probe's metric families for `policy_label`.
+    pub fn register(registry: &Registry, policy_label: &str) -> Self {
+        let ops = HeapOp::ALL.map(|op| {
+            registry.counter(
+                "webcache_heap_ops_total",
+                "Priority-heap operations performed by the policy.",
+                &[("policy", policy_label), ("op", op.label())],
+            )
+        });
+        let sift_steps = HeapOp::ALL.map(|op| {
+            registry.histogram(
+                "webcache_heap_sift_steps",
+                "Sift depth (element swaps) per heap operation.",
+                &[("policy", policy_label), ("op", op.label())],
+            )
+        });
+        let comparisons = HeapOp::ALL.map(|op| {
+            registry.counter(
+                "webcache_heap_comparisons_total",
+                "Key comparisons evaluated inside heap sift loops.",
+                &[("policy", policy_label), ("op", op.label())],
+            )
+        });
+        let policy = [("policy", policy_label)];
+        PolicyProbe {
+            ops,
+            sift_steps,
+            comparisons,
+            inflation_events: registry.counter(
+                "webcache_policy_inflation_events_total",
+                "Evictions that advanced the policy's inflation value.",
+                &policy,
+            ),
+            inflation_l: registry.gauge(
+                "webcache_policy_inflation_l",
+                "Latest inflation value (GreedyDual L / LFU-DA cache age).",
+                &policy,
+            ),
+            inflation_trajectory: registry.series(
+                "webcache_policy_inflation_l_trajectory",
+                "Inflation value sampled at each eviction (bounded, stride-thinned).",
+                &policy,
+            ),
+        }
+    }
+}
+
+impl MetricsSink for PolicyProbe {
+    #[inline]
+    fn heap_op(&mut self, op: HeapOp, cost: HeapCost) {
+        let i = op.index();
+        self.ops[i].inc();
+        self.sift_steps[i].observe(u64::from(cost.sift_steps));
+        self.comparisons[i].add(u64::from(cost.comparisons));
+    }
+
+    #[inline]
+    fn inflation(&mut self, l: f64) {
+        self.inflation_events.inc();
+        self.inflation_l.set(l);
+        self.inflation_trajectory.push(l);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_cost_adds_componentwise() {
+        let mut a = HeapCost {
+            sift_steps: 2,
+            comparisons: 5,
+        };
+        a += HeapCost {
+            sift_steps: 1,
+            comparisons: 3,
+        };
+        assert_eq!(
+            a,
+            HeapCost {
+                sift_steps: 3,
+                comparisons: 8
+            }
+        );
+        assert_eq!(HeapCost::ZERO + a, a);
+    }
+
+    #[test]
+    fn unit_sink_is_a_noop() {
+        let mut sink = ();
+        sink.heap_op(HeapOp::Insert, HeapCost::ZERO);
+        sink.inflation(1.5);
+    }
+
+    #[test]
+    fn probe_routes_events_into_the_registry() {
+        let registry = Registry::new();
+        let mut probe = PolicyProbe::register(&registry, "GD*(P)");
+        probe.heap_op(
+            HeapOp::Insert,
+            HeapCost {
+                sift_steps: 3,
+                comparisons: 4,
+            },
+        );
+        probe.heap_op(
+            HeapOp::Insert,
+            HeapCost {
+                sift_steps: 1,
+                comparisons: 2,
+            },
+        );
+        probe.heap_op(HeapOp::PopMin, HeapCost::ZERO);
+        probe.inflation(0.5);
+        probe.inflation(0.75);
+        let text = registry.prometheus_text();
+        assert!(
+            text.contains("webcache_heap_ops_total{policy=\"GD*(P)\",op=\"insert\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("webcache_heap_ops_total{policy=\"GD*(P)\",op=\"pop_min\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("webcache_heap_comparisons_total{policy=\"GD*(P)\",op=\"insert\"} 6"),
+            "{text}"
+        );
+        assert!(
+            text.contains("webcache_heap_sift_steps_count{policy=\"GD*(P)\",op=\"insert\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("webcache_policy_inflation_events_total{policy=\"GD*(P)\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("webcache_policy_inflation_l{policy=\"GD*(P)\"} 0.75"),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "webcache_policy_inflation_l_trajectory{policy=\"GD*(P)\",sample=\"0\"} 0.5"
+            ),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn op_labels_are_stable() {
+        let labels: Vec<_> = HeapOp::ALL.iter().map(|op| op.label()).collect();
+        assert_eq!(labels, ["insert", "update", "pop_min", "remove"]);
+        for op in HeapOp::ALL {
+            assert_eq!(HeapOp::ALL[op.index()], op);
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Span-based timing and chrome-trace export.
+//!
+//! A [`TraceRecorder`] records named, nested timing spans on one *track*
+//! (a thread lane in the viewer). All recorders of a profiling session
+//! share a [`TraceClock`] so their timestamps are comparable, and
+//! [`chrome_trace_json`] renders them as Chrome "Trace Event Format"
+//! JSON — complete (`"ph": "X"`) duration events plus `thread_name`
+//! metadata — which loads directly in Perfetto (<https://ui.perfetto.dev>)
+//! or `chrome://tracing`.
+//!
+//! ```
+//! use webcache_obs::{chrome_trace_json, TraceClock, TraceRecorder};
+//!
+//! let clock = TraceClock::new();
+//! let mut rec = TraceRecorder::new(&clock, 0, "main");
+//! rec.begin("replay");
+//! rec.begin("warmup");
+//! rec.end();
+//! rec.end();
+//! let json = chrome_trace_json(&[rec]);
+//! assert!(json.contains("\"ph\": \"X\""));
+//! assert!(json.contains("\"name\": \"warmup\""));
+//! ```
+
+use std::time::Instant;
+
+/// The shared time base of a profiling session.
+///
+/// Every recorder created from the same clock reports microseconds since
+/// this epoch, so spans from different worker threads line up in the
+/// viewer.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceClock {
+    epoch: Instant,
+}
+
+impl TraceClock {
+    /// Starts the clock (epoch = now).
+    pub fn new() -> Self {
+        TraceClock {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Microseconds elapsed since the epoch.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+}
+
+impl Default for TraceClock {
+    fn default() -> Self {
+        TraceClock::new()
+    }
+}
+
+/// One closed span: a complete (`X`) chrome-trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Span name.
+    pub name: String,
+    /// Start, in microseconds since the session clock's epoch.
+    pub ts_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+}
+
+/// Records nested spans on one track.
+///
+/// [`begin`](TraceRecorder::begin) / [`end`](TraceRecorder::end) must
+/// nest like parentheses; only *closed* spans are exported. Recording is
+/// an `Instant` read plus a `Vec` push — cheap enough for per-sweep-cell
+/// spans, not meant for per-request granularity (that is what the
+/// metrics registry is for).
+#[derive(Debug)]
+pub struct TraceRecorder {
+    clock: TraceClock,
+    tid: u32,
+    track_name: String,
+    /// Open spans, innermost last: `(name, start_us)`.
+    open: Vec<(String, u64)>,
+    events: Vec<SpanEvent>,
+}
+
+impl TraceRecorder {
+    /// Creates a recorder for track `tid`, labelled `track_name` in the
+    /// viewer.
+    pub fn new(clock: &TraceClock, tid: u32, track_name: impl Into<String>) -> Self {
+        TraceRecorder {
+            clock: *clock,
+            tid,
+            track_name: track_name.into(),
+            open: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Opens a span nested inside the currently open one (if any).
+    pub fn begin(&mut self, name: impl Into<String>) {
+        self.open.push((name.into(), self.clock.now_us()));
+    }
+
+    /// Closes the innermost open span.
+    ///
+    /// Unbalanced `end` calls are a bug; in release builds they are
+    /// ignored rather than corrupting the trace.
+    pub fn end(&mut self) {
+        debug_assert!(!self.open.is_empty(), "end() without a matching begin()");
+        if let Some((name, start)) = self.open.pop() {
+            let now = self.clock.now_us();
+            self.events.push(SpanEvent {
+                name,
+                ts_us: start,
+                dur_us: now.saturating_sub(start),
+            });
+        }
+    }
+
+    /// Runs `f` inside a span (begin/end bracketing is automatic).
+    pub fn span<R>(&mut self, name: impl Into<String>, f: impl FnOnce(&mut Self) -> R) -> R {
+        self.begin(name);
+        let result = f(self);
+        self.end();
+        result
+    }
+
+    /// The closed spans recorded so far, in closing order.
+    pub fn events(&self) -> &[SpanEvent] {
+        &self.events
+    }
+
+    /// Number of spans currently open (0 for a balanced recorder).
+    pub fn open_spans(&self) -> usize {
+        self.open.len()
+    }
+
+    /// The track id.
+    pub fn tid(&self) -> u32 {
+        self.tid
+    }
+
+    /// The track's display name.
+    pub fn track_name(&self) -> &str {
+        &self.track_name
+    }
+}
+
+/// Renders recorders as a chrome-trace JSON document.
+///
+/// Emits one `M` (metadata) `thread_name` event per recorder and one
+/// complete `X` event per closed span, all under `pid` 1. Open spans are
+/// not exported — close everything before rendering.
+pub fn chrome_trace_json(recorders: &[TraceRecorder]) -> String {
+    use std::fmt::Write as _;
+    let mut events = Vec::new();
+    for rec in recorders {
+        events.push(format!(
+            "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": {}, \
+             \"args\": {{\"name\": {}}}}}",
+            rec.tid,
+            crate::registry::json_string(&rec.track_name)
+        ));
+    }
+    for rec in recorders {
+        for e in rec.events() {
+            events.push(format!(
+                "{{\"name\": {}, \"cat\": \"webcache\", \"ph\": \"X\", \"pid\": 1, \
+                 \"tid\": {}, \"ts\": {}, \"dur\": {}}}",
+                crate::registry::json_string(&e.name),
+                rec.tid,
+                e.ts_us,
+                e.dur_us
+            ));
+        }
+    }
+    let mut out = String::from("{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n");
+    for (i, e) in events.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {e}{}",
+            if i + 1 < events.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_close_in_order() {
+        let clock = TraceClock::new();
+        let mut rec = TraceRecorder::new(&clock, 3, "worker-3");
+        rec.begin("outer");
+        rec.begin("inner");
+        rec.end();
+        rec.end();
+        assert_eq!(rec.open_spans(), 0);
+        let events = rec.events();
+        assert_eq!(events.len(), 2);
+        // Inner closes first and starts no earlier than outer.
+        assert_eq!(events[0].name, "inner");
+        assert_eq!(events[1].name, "outer");
+        assert!(events[0].ts_us >= events[1].ts_us);
+        // Inner is contained in outer.
+        assert!(
+            events[0].ts_us + events[0].dur_us <= events[1].ts_us + events[1].dur_us,
+            "{events:?}"
+        );
+    }
+
+    #[test]
+    fn span_closure_brackets_automatically() {
+        let clock = TraceClock::new();
+        let mut rec = TraceRecorder::new(&clock, 0, "main");
+        let answer = rec.span("compute", |r| {
+            r.span("step", |_| ());
+            42
+        });
+        assert_eq!(answer, 42);
+        assert_eq!(rec.events().len(), 2);
+        assert_eq!(rec.open_spans(), 0);
+    }
+
+    #[test]
+    fn export_contains_metadata_and_complete_events() {
+        let clock = TraceClock::new();
+        let mut a = TraceRecorder::new(&clock, 0, "main");
+        a.span("build", |_| ());
+        let mut b = TraceRecorder::new(&clock, 1, "sweep-worker-0");
+        b.span("cell \"LRU\"", |_| ());
+        let json = chrome_trace_json(&[a, b]);
+        let value = crate::json::parse(&json).expect("valid JSON");
+        let events = value.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), 4, "2 metadata + 2 spans");
+        let metas: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("M"))
+            .collect();
+        assert_eq!(metas.len(), 2);
+        assert_eq!(
+            metas[1].get("args").unwrap().get("name").unwrap().as_str(),
+            Some("sweep-worker-0")
+        );
+        for e in events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("X"))
+        {
+            assert!(e.get("ts").unwrap().as_f64().is_some());
+            assert!(e.get("dur").unwrap().as_f64().is_some());
+            assert!(e.get("tid").unwrap().as_f64().is_some());
+        }
+        // The quoted span name survives the escaping round trip.
+        assert!(events
+            .iter()
+            .any(|e| e.get("name").unwrap().as_str() == Some("cell \"LRU\"")));
+    }
+
+    #[test]
+    fn unbalanced_end_is_ignored_and_open_spans_not_exported() {
+        let clock = TraceClock::new();
+        let mut rec = TraceRecorder::new(&clock, 0, "main");
+        rec.begin("never-closed");
+        let json = chrome_trace_json(&[rec]);
+        assert!(!json.contains("never-closed"));
+        // A fresh recorder tolerates a stray end() in release builds.
+        if !cfg!(debug_assertions) {
+            let mut rec = TraceRecorder::new(&clock, 0, "main");
+            rec.end();
+            assert!(rec.events().is_empty());
+        }
+    }
+}

@@ -7,6 +7,7 @@ use std::time::{Duration, Instant};
 use serde::{Deserialize, Serialize};
 
 use webcache_core::PolicyKind;
+use webcache_obs::TraceRecorder;
 use webcache_trace::{ByteSize, DenseTrace, DocumentType, Trace};
 
 use crate::simulator::{SimulationConfig, SimulationReport, Simulator};
@@ -222,6 +223,29 @@ impl CacheSizeSweep {
     where
         F: Fn(&SweepProgress) + Sync,
     {
+        self.run_with_progress_recorded(trace, threads, progress, &mut [])
+    }
+
+    /// Like [`CacheSizeSweep::run_with_progress`], additionally recording
+    /// one timing span per grid cell into per-worker [`TraceRecorder`]s.
+    ///
+    /// `recorders[i]` becomes worker `i`'s track; workers beyond
+    /// `recorders.len()` run unrecorded (pass an empty slice to disable
+    /// recording entirely — that is exactly
+    /// [`CacheSizeSweep::run_with_progress`]). Cell spans are named
+    /// `"<policy> @ <capacity>"`. Create the recorders from one shared
+    /// [`TraceClock`](webcache_obs::TraceClock) so the worker tracks
+    /// align in the exported chrome trace.
+    pub fn run_with_progress_recorded<F>(
+        &self,
+        trace: &Trace,
+        threads: usize,
+        progress: F,
+        recorders: &mut [TraceRecorder],
+    ) -> SweepReport
+    where
+        F: Fn(&SweepProgress) + Sync,
+    {
         let dense = DenseTrace::build(trace);
         let mut tasks: Vec<(PolicyKind, ByteSize)> = Vec::new();
         for &policy in &self.policies {
@@ -235,9 +259,14 @@ impl CacheSizeSweep {
         let workers = threads.clamp(1, tasks.len());
         let total = tasks.len();
         let requests = trace.len();
+        // Hand each worker its own recorder by value; missing tails run
+        // unrecorded.
+        let mut recorders: Vec<Option<&mut TraceRecorder>> =
+            recorders.iter_mut().map(Some).collect();
+        recorders.resize_with(workers.max(recorders.len()), || None);
 
         std::thread::scope(|scope| {
-            for worker in 0..workers {
+            for (worker, mut recorder) in recorders.drain(..workers).enumerate() {
                 let tasks = &tasks;
                 let next = &next;
                 let done = &done;
@@ -253,9 +282,15 @@ impl CacheSizeSweep {
                         capacity,
                         ..self.template
                     };
+                    if let Some(rec) = recorder.as_deref_mut() {
+                        rec.begin(format!("{} @ {capacity}", policy.label()));
+                    }
                     let started = Instant::now();
                     let report = Simulator::new(policy.build(), config).run_dense(dense);
                     let elapsed = started.elapsed();
+                    if let Some(rec) = recorder.as_deref_mut() {
+                        rec.end();
+                    }
                     results
                         .lock()
                         .expect("no panics hold the lock")
@@ -355,6 +390,43 @@ mod tests {
         assert_eq!(series.len(), 3);
         assert!(series[0].1 <= series[2].1, "{series:?}");
         assert!(series[2].1 > 0.5, "everything fits at 64 kB: {series:?}");
+    }
+
+    #[test]
+    fn recorded_sweep_spans_cover_every_cell() {
+        let trace = tiny_trace();
+        let sweep = CacheSizeSweep::new(
+            vec![
+                PolicyKind::Lru,
+                PolicyKind::Gds(webcache_core::CostModel::Constant),
+            ],
+            vec![ByteSize::new(2_000), ByteSize::new(8_000)],
+        );
+        let clock = webcache_obs::TraceClock::new();
+        let mut recorders: Vec<TraceRecorder> = (0..2)
+            .map(|i| TraceRecorder::new(&clock, i as u32 + 1, format!("sweep-worker-{i}")))
+            .collect();
+        let report = sweep.run_with_progress_recorded(&trace, 2, |_| {}, &mut recorders);
+        assert_eq!(report.points().len(), 4);
+        let spans: Vec<&str> = recorders
+            .iter()
+            .flat_map(|r| r.events().iter().map(|e| e.name.as_str()))
+            .collect();
+        assert_eq!(spans.len(), 4, "one span per grid cell: {spans:?}");
+        for rec in &recorders {
+            assert_eq!(rec.open_spans(), 0, "all cell spans closed");
+        }
+        assert!(spans.iter().any(|s| s.starts_with("LRU @ ")), "{spans:?}");
+        assert!(
+            spans.iter().any(|s| s.starts_with("GDS(1) @ ")),
+            "{spans:?}"
+        );
+        // Fewer recorders than workers: tail workers run unrecorded, the
+        // sweep still completes.
+        let mut one = vec![TraceRecorder::new(&clock, 9, "solo")];
+        let report = sweep.run_with_progress_recorded(&trace, 4, |_| {}, &mut one);
+        assert_eq!(report.points().len(), 4);
+        assert!(one[0].events().len() <= 4);
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub mod metrics;
 pub mod observe;
 pub mod occupancy;
 pub mod oracle;
+pub mod profile;
 pub mod report;
 pub mod simulator;
 pub mod windowed;
@@ -59,6 +60,7 @@ pub use metrics::HitStats;
 pub use observe::{AccessEvent, AccessKind, NoopObserver, Observer, RunMeta};
 pub use occupancy::{OccupancySample, OccupancySeries};
 pub use oracle::{clairvoyant, clairvoyant_overall};
+pub use profile::ProfileObserver;
 pub use report::Metric;
 pub use simulator::{
     ModificationRule, SimulationConfig, SimulationConfigBuilder, SimulationReport, Simulator,

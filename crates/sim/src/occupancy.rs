@@ -6,14 +6,20 @@ use webcache_core::Cache;
 use webcache_trace::{DocumentType, TypeMap};
 
 /// A snapshot of how the cache is shared between document types.
+///
+/// **Empty-cache convention:** a sample captured from an empty cache has
+/// *every* fraction equal to `0.0` in both maps, rather than `NaN` from
+/// the 0/0 division. Consumers (plotting, [`OccupancySeries`] summaries)
+/// can therefore sum and average samples without NaN guards; it also
+/// means `document_fraction` sums to 1 only for a *non-empty* cache.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct OccupancySample {
     /// Index of the request after which the snapshot was taken.
     pub request_index: u64,
     /// Fraction of cached *documents* per type (sums to 1 for a non-empty
-    /// cache).
+    /// cache, all zero for an empty one).
     pub document_fraction: TypeMap<f64>,
-    /// Fraction of cached *bytes* per type.
+    /// Fraction of cached *bytes* per type (all zero for an empty cache).
     pub byte_fraction: TypeMap<f64>,
 }
 
@@ -133,9 +139,14 @@ mod tests {
 
     #[test]
     fn empty_cache_has_zero_fractions() {
+        // The documented convention: an empty cache yields all-zero
+        // fractions (never NaN) across every type in both maps.
         let cache = Cache::new(ByteSize::new(1000), PolicyKind::Lru.instantiate());
         let s = OccupancySample::capture(0, &cache);
-        assert_eq!(s.byte_fraction[DocumentType::Html], 0.0);
+        for ty in DocumentType::ALL {
+            assert_eq!(s.document_fraction[ty], 0.0, "{ty:?} document fraction");
+            assert_eq!(s.byte_fraction[ty], 0.0, "{ty:?} byte fraction");
+        }
     }
 
     #[test]
