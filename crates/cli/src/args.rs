@@ -47,24 +47,26 @@ impl fmt::Display for ArgError {
 
 impl std::error::Error for ArgError {}
 
-/// The switches that take no value.
-const SWITCHES: [&str; 5] = ["csv", "markdown", "json", "progress", "quick"];
-
 impl Args {
-    /// Parses a token list.
+    /// Parses a token list. `switches` declares the boolean flags this
+    /// subcommand accepts; every other `--flag` must be followed by a
+    /// value. Declaring switches per subcommand means a switch that
+    /// belongs to a *different* subcommand errors here instead of
+    /// silently swallowing the next token as its value.
     ///
     /// # Errors
     ///
-    /// Fails on bare tokens, duplicated flags, or a trailing flag with no
-    /// value.
-    pub fn parse(tokens: &[String]) -> Result<Args, ArgError> {
+    /// Fails on bare tokens, duplicated flags, a trailing flag with no
+    /// value, or a value that itself looks like a flag (the usual shape
+    /// of a misplaced switch).
+    pub fn parse(tokens: &[String], switches: &[&str]) -> Result<Args, ArgError> {
         let mut args = Args::default();
         let mut iter = tokens.iter();
         while let Some(token) = iter.next() {
             let Some(flag) = token.strip_prefix("--") else {
                 return Err(ArgError::Unexpected(token.clone()));
             };
-            if SWITCHES.contains(&flag) {
+            if switches.contains(&flag) {
                 if args.switches.iter().any(|s| s == flag) {
                     return Err(ArgError::Duplicate(flag.to_owned()));
                 }
@@ -74,9 +76,19 @@ impl Args {
             let Some(value) = iter.next() else {
                 return Err(ArgError::Invalid {
                     flag: flag.to_owned(),
-                    message: "expected a value".to_owned(),
+                    message: "expected a value (is this switch supported by this subcommand?)"
+                        .to_owned(),
                 });
             };
+            if value.starts_with("--") {
+                return Err(ArgError::Invalid {
+                    flag: flag.to_owned(),
+                    message: format!(
+                        "expected a value, found flag `{value}` (is `--{flag}` a switch of \
+                         another subcommand?)"
+                    ),
+                });
+            }
             if args.values.insert(flag.to_owned(), value.clone()).is_some() {
                 return Err(ArgError::Duplicate(flag.to_owned()));
             }
@@ -132,7 +144,7 @@ mod tests {
 
     #[test]
     fn parses_pairs_and_switches() {
-        let a = Args::parse(&toks("--profile dfn --seed 7 --csv")).unwrap();
+        let a = Args::parse(&toks("--profile dfn --seed 7 --csv"), &["csv"]).unwrap();
         assert_eq!(a.get("profile"), Some("dfn"));
         assert_eq!(a.get_parsed::<u64>("seed").unwrap(), Some(7));
         assert!(a.switch("csv"));
@@ -143,7 +155,7 @@ mod tests {
     #[test]
     fn rejects_bare_tokens() {
         assert_eq!(
-            Args::parse(&toks("dfn")).unwrap_err(),
+            Args::parse(&toks("dfn"), &[]).unwrap_err(),
             ArgError::Unexpected("dfn".into())
         );
     }
@@ -151,24 +163,53 @@ mod tests {
     #[test]
     fn rejects_duplicates() {
         assert_eq!(
-            Args::parse(&toks("--seed 1 --seed 2")).unwrap_err(),
+            Args::parse(&toks("--seed 1 --seed 2"), &[]).unwrap_err(),
             ArgError::Duplicate("seed".into())
         );
         assert_eq!(
-            Args::parse(&toks("--csv --csv")).unwrap_err(),
+            Args::parse(&toks("--csv --csv"), &["csv"]).unwrap_err(),
             ArgError::Duplicate("csv".into())
         );
     }
 
     #[test]
     fn rejects_trailing_flag() {
-        let err = Args::parse(&toks("--out")).unwrap_err();
+        let err = Args::parse(&toks("--out"), &[]).unwrap_err();
         assert!(matches!(err, ArgError::Invalid { .. }));
     }
 
     #[test]
+    fn undeclared_switch_errors_instead_of_eating_a_flag() {
+        // `--csv` is not a switch of this (hypothetical) subcommand: it
+        // must not silently consume `--policy` as its value.
+        let err = Args::parse(&toks("--csv --policy lru"), &["progress"]).unwrap_err();
+        match err {
+            ArgError::Invalid { flag, message } => {
+                assert_eq!(flag, "csv");
+                assert!(message.contains("--policy"), "{message}");
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+        // Trailing undeclared switch: also an error.
+        let err = Args::parse(&toks("--policy lru --csv"), &["progress"]).unwrap_err();
+        assert!(
+            matches!(err, ArgError::Invalid { ref flag, .. } if flag == "csv"),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn same_name_is_switch_or_value_flag_per_subcommand() {
+        let a = Args::parse(&toks("--json --window 5"), &["json"]).unwrap();
+        assert!(a.switch("json"));
+        let b = Args::parse(&toks("--json out.json"), &[]).unwrap();
+        assert_eq!(b.get("json"), Some("out.json"));
+        assert!(!b.switch("json"));
+    }
+
+    #[test]
     fn require_and_parse_errors() {
-        let a = Args::parse(&toks("--seed notanumber")).unwrap();
+        let a = Args::parse(&toks("--seed notanumber"), &[]).unwrap();
         assert_eq!(a.require("out"), Err(ArgError::Missing("out")));
         assert!(a.get_parsed::<u64>("seed").is_err());
         assert!(a.require("seed").is_ok());

@@ -24,7 +24,7 @@ fn usage(msg: impl Into<String>) -> CliError {
 }
 
 /// Loads a trace, auto-detecting the binary format by its magic.
-fn load_trace(path: &str) -> Result<Trace, CliError> {
+pub(crate) fn load_trace(path: &str) -> Result<Trace, CliError> {
     let bytes = fs::read(path)?;
     if bytes.starts_with(&webcache_trace::format_bin::MAGIC) {
         Ok(webcache_trace::format_bin::from_bytes(&bytes)?)

@@ -19,9 +19,11 @@
 pub mod args;
 pub mod capacity;
 mod commands;
+pub mod serve;
 
 pub use args::{ArgError, Args};
 pub use capacity::parse_capacity;
+pub use serve::{serve_with, ServeOptions};
 
 use std::fmt;
 
@@ -103,6 +105,17 @@ subcommands:
                [--parent-capacity SIZE|PCT%] [--leaf-policy P]
                [--parent-policy P]
                simulate institutional leaves behind a backbone parent
+  serve        (--trace FILE | --workload dfn|rtp) [--policy NAME]
+               [--capacity SIZE|PCT%] [--warmup FRAC] [--scale DENOM]
+               [--seed N] [--rate REQ_PER_SEC] [--passes N]
+               [--port PORT] [--log-level trace|debug|info|warn|error]
+               [--log-file FILE] [--anomaly-window N] [--quick]
+               replay continuously while answering GET /metrics
+               (Prometheus text), /healthz and /snapshot on
+               127.0.0.1:9184 (default); JSONL event log on stderr or
+               --log-file; online anomaly detectors raise
+               webcache_anomaly_total and rate-limited warn records;
+               Ctrl-C shuts down cleanly
   help         print this text
 
 policies: lru fifo lfu size lfu-da slru lru2 gds(1) gds(p) gdsf(1)
@@ -123,15 +136,19 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     let Some((command, rest)) = argv.split_first() else {
         return Ok(USAGE.to_owned());
     };
+    // Boolean switches are declared per subcommand so that a switch of
+    // one subcommand given to another errors instead of silently eating
+    // the next flag as its value.
     match command.as_str() {
-        "generate" => commands::generate(&Args::parse(rest)?),
-        "characterize" => commands::characterize(&Args::parse(rest)?),
-        "simulate" => commands::simulate(&Args::parse(rest)?),
-        "sweep" => commands::sweep(&Args::parse(rest)?),
-        "stats" => commands::stats(&Args::parse(rest)?),
-        "convert" => commands::convert(&Args::parse(rest)?),
-        "hierarchy" => commands::hierarchy(&Args::parse(rest)?),
-        "profile" => commands::profile(&Args::parse(rest)?),
+        "generate" => commands::generate(&Args::parse(rest, &[])?),
+        "characterize" => commands::characterize(&Args::parse(rest, &[])?),
+        "simulate" => commands::simulate(&Args::parse(rest, &["markdown"])?),
+        "sweep" => commands::sweep(&Args::parse(rest, &["csv", "progress"])?),
+        "stats" => commands::stats(&Args::parse(rest, &["json", "csv"])?),
+        "convert" => commands::convert(&Args::parse(rest, &[])?),
+        "hierarchy" => commands::hierarchy(&Args::parse(rest, &[])?),
+        "profile" => commands::profile(&Args::parse(rest, &["quick"])?),
+        "serve" => serve::serve(&Args::parse(rest, &["quick"])?),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(CliError::Usage(format!("unknown subcommand `{other}`"))),
     }

@@ -1,0 +1,428 @@
+//! `webcache serve` — the live observability daemon.
+//!
+//! Runs a continuous replay ([`ReplayLoop`]) on a background thread
+//! while the calling thread answers HTTP requests:
+//!
+//! * `GET /metrics` — Prometheus text exposition of the live registry
+//!   (simulator counters, anomaly totals, serve-loop gauges);
+//! * `GET /healthz` — liveness plus replay progress as JSON;
+//! * `GET /snapshot` — the full registry snapshot as JSON.
+//!
+//! The replay is fed either by one fixed trace file replayed pass after
+//! pass, or by the endless [`WorkloadStream`] generator (one epoch per
+//! pass). Observers — profiling counters, the anomaly detectors, the
+//! structured event log — persist across passes, so EWMA baselines and
+//! totals accumulate for the daemon's lifetime.
+//!
+//! Shutdown is cooperative: SIGINT (or anything else raising the shared
+//! flag) stops the HTTP accept loop within one poll interval and the
+//! replay loop at the next pass boundary; [`serve_with`] then joins both
+//! and returns a summary.
+
+use std::net::SocketAddr;
+use std::sync::atomic::AtomicBool;
+use std::time::Instant;
+
+use webcache_core::PolicyKind;
+use webcache_obs::{Counter, HttpRequest, HttpResponse, HttpServer, Level, Logger, Registry};
+use webcache_sim::{
+    AnomalyConfig, AnomalyObserver, FixedSource, LiveStatus, LogObserver, ProfileObserver,
+    ReplayLoop, SimulationConfig, TraceSource,
+};
+use webcache_trace::{DenseTrace, Trace};
+use webcache_workload::{WorkloadProfile, WorkloadStream};
+
+use crate::args::Args;
+use crate::capacity::{parse_capacity, CapacitySpec};
+use crate::CliError;
+
+/// Default listen port (loopback only).
+pub const DEFAULT_PORT: u16 = 9184;
+
+fn usage(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
+
+/// Raised by the SIGINT handler; [`sigint_flag`] hands it to callers.
+#[cfg(unix)]
+static SIGINT_FLAG: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+extern "C" fn on_sigint(_signum: i32) {
+    SIGINT_FLAG.store(true, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// Installs the SIGINT handler (idempotent) and returns the flag it
+/// raises. The handler only stores to an atomic — async-signal-safe —
+/// and the serve loops poll the flag, so Ctrl-C lands at the next poll
+/// interval / pass boundary rather than tearing the process down.
+#[cfg(unix)]
+pub fn sigint_flag() -> &'static AtomicBool {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    unsafe {
+        signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+    }
+    &SIGINT_FLAG
+}
+
+/// What feeds the replay loop.
+enum Source {
+    /// One trace file, replayed on every pass.
+    Fixed(FixedSource),
+    /// The endless workload generator, one epoch per pass. The stream
+    /// is boxed to keep the two variants comparably sized.
+    Stream {
+        stream: Box<WorkloadStream>,
+        per_pass: usize,
+        /// Epoch 0, pre-generated to resolve the cache capacity.
+        pending: Option<Trace>,
+        dense: Option<DenseTrace>,
+    },
+}
+
+impl TraceSource for Source {
+    fn next_pass(&mut self, pass: u64) -> Option<&DenseTrace> {
+        match self {
+            Source::Fixed(fixed) => fixed.next_pass(pass),
+            Source::Stream {
+                stream,
+                per_pass,
+                pending,
+                dense,
+            } => {
+                let trace = pending
+                    .take()
+                    .unwrap_or_else(|| stream.take_trace(*per_pass));
+                if trace.is_empty() {
+                    return None;
+                }
+                *dense = Some(DenseTrace::build(&trace));
+                dense.as_ref()
+            }
+        }
+    }
+}
+
+/// Everything `serve` needs, resolved from the command line. Built by
+/// [`ServeOptions::from_args`] so the end-to-end tests exercise the same
+/// parsing as the binary.
+pub struct ServeOptions {
+    source: Source,
+    kind: PolicyKind,
+    config: SimulationConfig,
+    rate: Option<f64>,
+    max_passes: Option<u64>,
+    port: u16,
+    logger: Logger,
+    anomaly: AnomalyConfig,
+}
+
+impl std::fmt::Debug for ServeOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeOptions")
+            .field("kind", &self.kind)
+            .field("port", &self.port)
+            .field("rate", &self.rate)
+            .field("max_passes", &self.max_passes)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServeOptions {
+    /// Resolves options from parsed arguments. See the usage text for
+    /// the flag reference.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Usage`] on contradictory or malformed flags, I/O
+    /// errors from reading `--trace` or opening `--log-file`.
+    pub fn from_args(args: &Args) -> Result<ServeOptions, CliError> {
+        let quick = args.switch("quick");
+        let level = match args.get("log-level") {
+            None => Level::Info,
+            Some(raw) => Level::parse(raw)
+                .ok_or_else(|| usage(format!("unknown log level `{raw}` (trace..error)")))?,
+        };
+        let logger = match args.get("log-file") {
+            Some(path) => Logger::to_file(std::path::Path::new(path), level)?,
+            None => Logger::stderr(level),
+        };
+
+        // The replay source: a trace file, or the endless generator.
+        let (source, reference_trace_bytes) = match (args.get("trace"), args.get("workload")) {
+            (Some(path), None) => {
+                let trace = crate::commands::load_trace(path)?;
+                if trace.is_empty() {
+                    return Err(usage(format!("trace `{path}` is empty")));
+                }
+                let bytes = trace.overall_size();
+                (Source::Fixed(FixedSource::new(&trace)), bytes)
+            }
+            (None, Some(name)) => {
+                let profile = match name.to_ascii_lowercase().as_str() {
+                    "dfn" => WorkloadProfile::dfn(),
+                    "rtp" => WorkloadProfile::rtp(),
+                    other => return Err(usage(format!("unknown workload `{other}` (dfn|rtp)"))),
+                };
+                let denom: f64 =
+                    args.get_parsed("scale")?
+                        .unwrap_or(if quick { 4096.0 } else { 256.0 });
+                if denom < 1.0 {
+                    return Err(usage("--scale expects a denominator ≥ 1"));
+                }
+                let seed: u64 = args.get_parsed("seed")?.unwrap_or(1);
+                let mut stream = WorkloadStream::new(profile.scaled(1.0 / denom), seed);
+                let per_pass = stream.epoch_len();
+                let first = stream.take_trace(per_pass);
+                let bytes = first.overall_size();
+                (
+                    Source::Stream {
+                        stream: Box::new(stream),
+                        per_pass,
+                        pending: Some(first),
+                        dense: None,
+                    },
+                    bytes,
+                )
+            }
+            _ => {
+                return Err(usage(
+                    "give exactly one of --trace FILE or --workload dfn|rtp",
+                ))
+            }
+        };
+
+        let policy_name = args.get("policy").unwrap_or("lru");
+        let kind = PolicyKind::parse(policy_name)
+            .ok_or_else(|| usage(format!("unknown policy `{policy_name}`")))?;
+        let spec = match args.get("capacity") {
+            Some(raw) => parse_capacity(raw).map_err(usage)?,
+            None => CapacitySpec::FractionOfTrace(0.05),
+        };
+        let capacity = spec.resolve(reference_trace_bytes);
+        let warmup: f64 = args.get_parsed("warmup")?.unwrap_or(0.10);
+        if !(0.0..1.0).contains(&warmup) {
+            return Err(usage("--warmup expects a fraction in [0, 1)"));
+        }
+        let rate: Option<f64> = args.get_parsed("rate")?;
+        if rate.is_some_and(|r| r <= 0.0) {
+            return Err(usage("--rate expects requests/second > 0"));
+        }
+        let max_passes: Option<u64> = args.get_parsed("passes")?;
+        let port: u16 = args.get_parsed("port")?.unwrap_or(DEFAULT_PORT);
+        let mut anomaly = AnomalyConfig::default();
+        if let Some(window) = args.get_parsed::<u64>("anomaly-window")? {
+            if window == 0 {
+                return Err(usage("--anomaly-window expects a positive request count"));
+            }
+            anomaly.window = window;
+        }
+
+        Ok(ServeOptions {
+            source,
+            kind,
+            config: SimulationConfig::builder()
+                .capacity(capacity)
+                .warmup_fraction(warmup)
+                .build(),
+            rate,
+            max_passes,
+            port,
+            logger,
+            anomaly,
+        })
+    }
+}
+
+/// The known endpoint paths, for per-path request counters.
+const PATHS: [&str; 3] = ["/metrics", "/healthz", "/snapshot"];
+
+/// `webcache serve` with an injectable shutdown flag and readiness
+/// callback (the binary passes [`sigint_flag`]; tests pass their own
+/// flag, port 0, and collect the bound address from `on_ready`).
+///
+/// Returns after the flag rises (or the HTTP listener fails): the HTTP
+/// loop stops within one poll interval, the replay loop at the current
+/// pass boundary, and both are joined.
+///
+/// # Errors
+///
+/// Propagates listener bind/accept failures.
+pub fn serve_with(
+    opts: ServeOptions,
+    shutdown: &AtomicBool,
+    on_ready: impl FnOnce(SocketAddr),
+) -> Result<String, CliError> {
+    let ServeOptions {
+        mut source,
+        kind,
+        config,
+        rate,
+        max_passes,
+        port,
+        logger,
+        anomaly,
+    } = opts;
+    let server = HttpServer::bind(("127.0.0.1", port))?;
+    let addr = server.local_addr();
+    let started = Instant::now();
+
+    let registry = Registry::new();
+    let label = kind.label();
+    let passes_total = registry.counter(
+        "webcache_serve_passes_total",
+        "Completed replay passes.",
+        &[],
+    );
+    let requests_total = registry.counter(
+        "webcache_serve_requests_total",
+        "Requests replayed across all passes.",
+        &[],
+    );
+    let rps_gauge = registry.gauge(
+        "webcache_serve_last_pass_req_per_sec",
+        "Replay throughput of the last completed pass.",
+        &[],
+    );
+    let hit_rate_gauge = registry.gauge(
+        "webcache_serve_last_pass_hit_rate",
+        "Overall hit rate of the last completed pass.",
+        &[],
+    );
+    let replaying_gauge = registry.gauge(
+        "webcache_serve_replaying",
+        "1 while the replay loop is running, else 0.",
+        &[],
+    );
+    let http_counters: Vec<Counter> = PATHS
+        .iter()
+        .chain(std::iter::once(&"other"))
+        .map(|path| {
+            registry.counter(
+                "webcache_http_requests_total",
+                "HTTP requests served, by path.",
+                &[("path", path)],
+            )
+        })
+        .collect();
+
+    let profile_obs = ProfileObserver::register(&registry, &label);
+    let anomaly_obs = AnomalyObserver::register(&registry, logger.clone(), anomaly);
+    let log_obs = LogObserver::new(logger.clone());
+    let mut observer = (profile_obs, (anomaly_obs, log_obs));
+
+    let replay = ReplayLoop {
+        config,
+        kind,
+        rate,
+        max_passes,
+    };
+    let status = LiveStatus::new();
+    logger.info(
+        "serve",
+        "listening",
+        &[
+            ("addr", addr.to_string().into()),
+            ("policy", label.as_str().into()),
+        ],
+    );
+    replaying_gauge.set(1.0);
+
+    let (summary, http_served) = std::thread::scope(|scope| {
+        let replay_logger = logger.clone();
+        let replay_handle = {
+            let status = &status;
+            let passes_total = passes_total.clone();
+            let requests_total = requests_total.clone();
+            let rps_gauge = rps_gauge.clone();
+            let hit_rate_gauge = hit_rate_gauge.clone();
+            let replaying_gauge = replaying_gauge.clone();
+            scope.spawn(move || {
+                let summary = replay.run(&mut source, &mut observer, status, shutdown, |pass| {
+                    let hit_rate = pass.report.overall().hit_rate();
+                    passes_total.inc();
+                    requests_total.add(pass.requests);
+                    rps_gauge.set(pass.req_per_sec);
+                    hit_rate_gauge.set(hit_rate);
+                    replay_logger.info(
+                        "serve",
+                        "pass complete",
+                        &[
+                            ("pass", pass.pass.into()),
+                            ("requests", pass.requests.into()),
+                            ("req_per_sec", pass.req_per_sec.into()),
+                            ("hit_rate", hit_rate.into()),
+                        ],
+                    );
+                });
+                replaying_gauge.set(0.0);
+                summary
+            })
+        };
+        on_ready(addr);
+        let served = server.serve(shutdown, |req| {
+            respond(req, &registry, &status, &label, started, &http_counters)
+        });
+        let summary = replay_handle.join().expect("replay thread");
+        served.map(|n| (summary, n))
+    })?;
+
+    logger.info(
+        "serve",
+        "shut down",
+        &[
+            ("passes", summary.passes.into()),
+            ("requests_replayed", summary.requests.into()),
+            ("http_requests", http_served.into()),
+        ],
+    );
+    Ok(format!(
+        "served {http_served} HTTP requests on {addr}; replayed {} requests over {} passes\n",
+        summary.requests, summary.passes,
+    ))
+}
+
+/// Routes one HTTP request.
+fn respond(
+    req: &HttpRequest,
+    registry: &Registry,
+    status: &LiveStatus,
+    policy: &str,
+    started: Instant,
+    http_counters: &[Counter],
+) -> HttpResponse {
+    let known = PATHS.iter().position(|p| *p == req.path);
+    http_counters[known.unwrap_or(PATHS.len())].inc();
+    match req.path.as_str() {
+        "/metrics" => HttpResponse::text(registry.prometheus_text()),
+        "/snapshot" => HttpResponse::json(registry.json_snapshot()),
+        "/healthz" => HttpResponse::json(format!(
+            "{{\"status\": \"ok\", \"replaying\": {}, \"passes\": {}, \
+             \"requests_replayed\": {}, \"last_pass_req_per_sec\": {:.1}, \
+             \"uptime_ms\": {}, \"policy\": \"{}\"}}",
+            status.replaying(),
+            status.passes(),
+            status.requests(),
+            status.last_pass_req_per_sec(),
+            started.elapsed().as_millis(),
+            policy,
+        )),
+        _ => HttpResponse::not_found(),
+    }
+}
+
+/// `webcache serve` as invoked by the binary: SIGINT-driven shutdown.
+pub fn serve(args: &Args) -> Result<String, CliError> {
+    let opts = ServeOptions::from_args(args)?;
+    #[cfg(unix)]
+    let shutdown = sigint_flag();
+    #[cfg(not(unix))]
+    let shutdown = {
+        static NEVER: AtomicBool = AtomicBool::new(false);
+        &NEVER
+    };
+    serve_with(opts, shutdown, |_| {})
+}

@@ -393,6 +393,39 @@ fn profile_writes_valid_artifacts() {
 }
 
 #[test]
+fn profile_creates_nested_out_dir() {
+    // Regression: --out-dir pointing at a directory whose parents don't
+    // exist yet must be created recursively, not fail on the first
+    // write.
+    let root = temp_path("profile-nested");
+    let dir = root.join("a/b/c");
+    fs::remove_dir_all(&root).ok();
+    let out = run(&argv(&format!(
+        "profile --quick --seed 11 --out-dir {}",
+        dir.display()
+    )))
+    .unwrap();
+    assert!(out.contains("profiled"), "{out}");
+    assert!(dir.join("metrics.prom").is_file());
+    assert!(dir.join("metrics.json").is_file());
+    assert!(dir.join("trace.json").is_file());
+    fs::remove_dir_all(root).ok();
+}
+
+#[test]
+fn switches_do_not_leak_across_subcommands() {
+    // `--csv` belongs to sweep/stats; given to simulate it must error
+    // instead of silently consuming the next flag as its value.
+    let err = run(&argv("simulate --csv --trace x.wct --policy lru")).unwrap_err();
+    assert!(
+        err.to_string().contains("--csv") || err.to_string().contains("csv"),
+        "{err}"
+    );
+    let err = run(&argv("generate --quick --profile dfn --out /tmp/x")).unwrap_err();
+    assert!(err.to_string().contains("quick"), "{err}");
+}
+
+#[test]
 fn markdown_switch_renders_pipes() {
     let path = generate_trace("md.wct");
     let out = run(&argv(&format!(

@@ -1,0 +1,234 @@
+//! Acceptance tests for `webcache serve`: the daemon answers /metrics,
+//! /healthz and /snapshot while (and after) replaying, an injected
+//! hit-rate cliff increments `webcache_anomaly_total` AND produces
+//! exactly one rate-limited JSONL warn record, and shutdown via the
+//! shared flag is clean.
+//!
+//! The tests drive [`serve_with`] directly (own shutdown flag, port 0,
+//! address collected from the readiness callback) but build their
+//! [`ServeOptions`] through the same `Args` parsing as the binary.
+
+use std::fs;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use webcache_cli::{serve_with, Args, ServeOptions};
+use webcache_trace::{ByteSize, DocId, DocumentType, Request, Timestamp, Trace};
+
+fn argv(s: &str) -> Vec<String> {
+    s.split_whitespace().map(str::to_owned).collect()
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("webcache-serve-test-{}-{name}", std::process::id()));
+    p
+}
+
+/// One short HTTP/1.1 exchange; returns (status, body).
+fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line in {raw:?}"));
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Polls `/healthz` until the replay loop reports done (or panics after
+/// `deadline`).
+fn await_replay_done(addr: SocketAddr, deadline: Duration) -> String {
+    let started = Instant::now();
+    loop {
+        let (status, body) = http_get(addr, "/healthz");
+        assert_eq!(status, 200, "{body}");
+        if body.contains("\"replaying\": false") {
+            return body;
+        }
+        assert!(
+            started.elapsed() < deadline,
+            "replay did not finish in {deadline:?}: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// A single-type trace with a hit-rate cliff: with a 500-request anomaly
+/// window, window 1 cycles an 8-document hot set (~98% hit rate, seeds
+/// the EWMA baseline) and window 2 is almost entirely cold distinct
+/// documents, collapsing the hit rate far past the detection threshold.
+fn cliff_trace() -> Trace {
+    let mut trace = Trace::with_capacity(1100);
+    let mut push = |i: u64, doc: u64| {
+        trace.push(Request::new(
+            Timestamp::from_millis(i),
+            DocId::new(doc),
+            DocumentType::Html,
+            ByteSize::new(900),
+        ));
+    };
+    for i in 0..512u64 {
+        push(i, i % 8);
+    }
+    for i in 512..1100u64 {
+        push(i, 1000 + i);
+    }
+    trace
+}
+
+#[test]
+fn cliff_trace_fires_anomaly_once_and_endpoints_answer() {
+    let trace_path = temp_path("cliff.wctb");
+    let log_path = temp_path("cliff.log");
+    fs::write(
+        &trace_path,
+        webcache_trace::format_bin::to_bytes(&cliff_trace()),
+    )
+    .unwrap();
+    fs::remove_file(&log_path).ok();
+
+    // Capacity 4MiB holds every document, so no evictions (and thus no
+    // storm/thrash detections) muddy the single expected collapse warn.
+    // Warn-level log file keeps the serve-loop info records out of it.
+    let args = Args::parse(
+        &argv(&format!(
+            "--trace {} --policy lru --capacity 4MiB --warmup 0 --passes 1 --port 0 \
+             --anomaly-window 500 --log-level warn --log-file {}",
+            trace_path.display(),
+            log_path.display()
+        )),
+        &["quick"],
+    )
+    .unwrap();
+    let opts = ServeOptions::from_args(&args).unwrap();
+
+    static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+    let (tx, rx) = mpsc::channel();
+    let daemon = std::thread::spawn(move || {
+        serve_with(opts, &SHUTDOWN, move |addr| tx.send(addr).unwrap()).unwrap()
+    });
+    let addr = rx.recv_timeout(Duration::from_secs(10)).expect("ready");
+
+    // /healthz answers while the daemon is up; wait out the single pass.
+    let health = await_replay_done(addr, Duration::from_secs(30));
+    assert!(health.contains("\"status\": \"ok\""), "{health}");
+    assert!(health.contains("\"passes\": 1"), "{health}");
+    assert!(health.contains("\"policy\": \"LRU\""), "{health}");
+
+    // /metrics carries the anomaly counter and the serve-loop families.
+    let (status, metrics) = http_get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("webcache_anomaly_total{kind=\"hit_rate_collapse\",doc_type=\"HTML\"} 1"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("webcache_serve_passes_total 1"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("# TYPE webcache_serve_last_pass_req_per_sec gauge"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("webcache_sim_hits_total{policy=\"LRU\"}"),
+        "{metrics}"
+    );
+
+    // /snapshot is valid JSON mirroring the registry.
+    let (status, snapshot) = http_get(addr, "/snapshot");
+    assert_eq!(status, 200);
+    let parsed = webcache_obs::json::parse(&snapshot).expect("snapshot parses");
+    assert!(parsed.get("counters").is_some(), "{snapshot}");
+
+    // Unknown paths 404 without taking the daemon down.
+    let (status, _) = http_get(addr, "/nope");
+    assert_eq!(status, 404);
+
+    SHUTDOWN.store(true, Ordering::SeqCst);
+    let summary = daemon.join().expect("daemon thread");
+    assert!(summary.contains("1 passes"), "{summary}");
+
+    // Exactly one rate-limited warn record reached the log file.
+    let log = fs::read_to_string(&log_path).unwrap();
+    let warns: Vec<&str> = log
+        .lines()
+        .filter(|l| l.contains("\"kind\":\"hit_rate_collapse\""))
+        .collect();
+    assert_eq!(warns.len(), 1, "rate limiting failed: {log}");
+    assert!(warns[0].contains("\"level\":\"warn\""), "{log}");
+    assert!(warns[0].contains("\"doc_type\":\"HTML\""), "{log}");
+    assert_eq!(log.lines().count(), 1, "unexpected extra records: {log}");
+
+    fs::remove_file(trace_path).ok();
+    fs::remove_file(log_path).ok();
+}
+
+#[test]
+fn workload_mode_replays_the_endless_generator() {
+    let args = Args::parse(
+        &argv("--workload dfn --quick --passes 2 --port 0 --log-level error"),
+        &["quick"],
+    )
+    .unwrap();
+    let opts = ServeOptions::from_args(&args).unwrap();
+
+    static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+    let (tx, rx) = mpsc::channel();
+    let daemon = std::thread::spawn(move || {
+        serve_with(opts, &SHUTDOWN, move |addr| tx.send(addr).unwrap()).unwrap()
+    });
+    let addr = rx.recv_timeout(Duration::from_secs(10)).expect("ready");
+
+    let health = await_replay_done(addr, Duration::from_secs(60));
+    assert!(health.contains("\"passes\": 2"), "{health}");
+
+    let (status, metrics) = http_get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("webcache_serve_passes_total 2"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("webcache_http_requests_total{path=\"/healthz\"}"),
+        "{metrics}"
+    );
+
+    SHUTDOWN.store(true, Ordering::SeqCst);
+    daemon.join().expect("daemon thread");
+}
+
+#[test]
+fn serve_usage_errors() {
+    for bad in [
+        "",                                  // no source
+        "--trace a.wct --workload dfn",      // both sources
+        "--workload mars",                   // unknown profile
+        "--workload dfn --log-level loud",   // unknown level
+        "--workload dfn --warmup 1.5",       // warmup out of range
+        "--workload dfn --rate 0",           // non-positive rate
+        "--workload dfn --anomaly-window 0", // empty window
+    ] {
+        let args = Args::parse(&argv(bad), &["quick"]).unwrap();
+        assert!(
+            ServeOptions::from_args(&args).is_err(),
+            "`{bad}` should fail"
+        );
+    }
+}

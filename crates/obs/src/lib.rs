@@ -20,15 +20,24 @@
 //!   simulator's `Observer`/`NoopObserver` pair.
 //! * [`json`] — a minimal JSON value parser, used by the schema-validity
 //!   tests and the hotpath bench's `--check-regress` mode.
+//! * [`log`] — a leveled structured logger emitting one JSON object per
+//!   line (JSONL) to stderr, a file, or an in-memory capture buffer.
+//! * [`http`] — a minimal std-only HTTP/1.1 server ([`HttpServer`]) for
+//!   live observability endpoints (`/metrics`, `/healthz`, `/snapshot`)
+//!   with cooperative shutdown via a shared flag.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod http;
 pub mod json;
+pub mod log;
 pub mod registry;
 pub mod sink;
 pub mod span;
 
+pub use http::{HttpRequest, HttpResponse, HttpServer};
+pub use log::{FieldValue, Level, LogCapture, Logger};
 pub use registry::{Counter, Gauge, Histogram, Registry, Series};
 pub use sink::{HeapCost, HeapOp, MetricsSink, PolicyProbe};
 pub use span::{chrome_trace_json, SpanEvent, TraceClock, TraceRecorder};

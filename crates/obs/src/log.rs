@@ -1,0 +1,433 @@
+//! Structured, leveled JSONL event logging.
+//!
+//! A [`Logger`] writes one JSON object per line to a shared sink —
+//! stderr, a file, or any `Write + Send` — with a fixed set of head
+//! fields (`ts_ms`, `level`, `component`, `msg`) followed by the
+//! caller's key/value fields. The format is deliberately flat so
+//! operators can `grep '"level":"warn"'` or pipe the stream into `jq`
+//! without schema knowledge:
+//!
+//! ```text
+//! {"ts_ms":1722541893021,"level":"warn","component":"anomaly","msg":"hit-rate collapse","doc_type":"Images","window_rate":0.02,"ewma":0.61}
+//! ```
+//!
+//! Records below the logger's minimum [`Level`] are dropped before any
+//! formatting happens; [`Logger::enabled`] lets per-request call sites
+//! (e.g. the simulator's trace-level event log) skip argument
+//! construction entirely.
+//!
+//! ```
+//! use webcache_obs::log::{Level, Logger};
+//!
+//! let (logger, capture) = Logger::capture(Level::Info);
+//! logger.info("replay", "pass complete", &[("pass", 3u64.into())]);
+//! logger.debug("replay", "dropped", &[]); // below Info: not written
+//! let lines = capture.lines();
+//! assert_eq!(lines.len(), 1);
+//! assert!(lines[0].contains("\"component\":\"replay\""));
+//! assert!(lines[0].contains("\"pass\":3"));
+//! ```
+
+use std::fmt;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::registry::{json_f64, json_string};
+
+/// Log severity, ordered `Trace < Debug < Info < Warn < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Level {
+    /// Per-request noise (every simulator access event).
+    Trace,
+    /// Infrequent per-event detail (evictions, admission rejects).
+    Debug,
+    /// Operational milestones (run start/end, pass summaries).
+    #[default]
+    Info,
+    /// Conditions needing operator attention (anomaly detections).
+    Warn,
+    /// Failures.
+    Error,
+}
+
+impl Level {
+    /// The lowercase spelling used in records and on the command line.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Trace => "trace",
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+
+    /// Parses a (case-insensitive) level name.
+    pub fn parse(name: &str) -> Option<Level> {
+        match name.to_ascii_lowercase().as_str() {
+            "trace" => Some(Level::Trace),
+            "debug" => Some(Level::Debug),
+            "info" => Some(Level::Info),
+            "warn" | "warning" => Some(Level::Warn),
+            "error" => Some(Level::Error),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One key/value field of a record. Build via the `From` impls:
+/// `("pass", 3u64.into())`, `("rate", 0.5.into())`,
+/// `("policy", "LRU".into())`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// A string (JSON-escaped on write).
+    Str(String),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float (non-finite values render as `null`).
+    F64(f64),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl FieldValue {
+    fn render(&self) -> String {
+        match self {
+            FieldValue::Str(s) => json_string(s),
+            FieldValue::U64(v) => v.to_string(),
+            FieldValue::I64(v) => v.to_string(),
+            FieldValue::F64(v) => json_f64(*v),
+            FieldValue::Bool(v) => v.to_string(),
+        }
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_owned())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+struct Inner {
+    min: Level,
+    sink: Mutex<Box<dyn Write + Send>>,
+    records: AtomicU64,
+}
+
+impl fmt::Debug for Inner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Inner")
+            .field("min", &self.min)
+            .field("records", &self.records)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A cheaply clonable handle to a shared JSONL sink.
+///
+/// All clones share one sink behind a mutex; records are written as one
+/// `write_all` per line, so concurrent writers never interleave within a
+/// line. Write errors are swallowed (logging must never take the
+/// workload down).
+#[derive(Debug, Clone)]
+pub struct Logger {
+    inner: Arc<Inner>,
+}
+
+impl Logger {
+    /// A logger writing to the given sink, dropping records below `min`.
+    pub fn to_writer(sink: Box<dyn Write + Send>, min: Level) -> Logger {
+        Logger {
+            inner: Arc::new(Inner {
+                min,
+                sink: Mutex::new(sink),
+                records: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// A logger writing to stderr.
+    pub fn stderr(min: Level) -> Logger {
+        Logger::to_writer(Box::new(std::io::stderr()), min)
+    }
+
+    /// A logger appending to the file at `path` (created if absent).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying open/create failure.
+    pub fn to_file(path: &std::path::Path, min: Level) -> std::io::Result<Logger> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(Logger::to_writer(Box::new(file), min))
+    }
+
+    /// A logger writing into an in-memory buffer, for tests: returns the
+    /// logger plus a [`LogCapture`] handle reading the buffer back.
+    pub fn capture(min: Level) -> (Logger, LogCapture) {
+        let buf: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        let capture = LogCapture {
+            buf: Arc::clone(&buf),
+        };
+        (Logger::to_writer(Box::new(SharedBuf(buf)), min), capture)
+    }
+
+    /// Whether records at `level` would be written.
+    #[inline]
+    pub fn enabled(&self, level: Level) -> bool {
+        level >= self.inner.min
+    }
+
+    /// Total records written (across all clones).
+    pub fn records(&self) -> u64 {
+        self.inner.records.load(Ordering::Relaxed)
+    }
+
+    /// Writes one record. `fields` follow the head fields in order;
+    /// callers should avoid the reserved keys `ts_ms`, `level`,
+    /// `component` and `msg`.
+    pub fn log(&self, level: Level, component: &str, msg: &str, fields: &[(&str, FieldValue)]) {
+        if !self.enabled(level) {
+            return;
+        }
+        let ts_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let mut line = format!(
+            "{{\"ts_ms\":{ts_ms},\"level\":\"{}\",\"component\":{},\"msg\":{}",
+            level.as_str(),
+            json_string(component),
+            json_string(msg),
+        );
+        for (key, value) in fields {
+            line.push(',');
+            line.push_str(&json_string(key));
+            line.push(':');
+            line.push_str(&value.render());
+        }
+        line.push_str("}\n");
+        let mut sink = self.inner.sink.lock().expect("log sink lock");
+        if sink.write_all(line.as_bytes()).is_ok() {
+            let _ = sink.flush();
+            self.inner.records.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Writes a [`Level::Trace`] record.
+    pub fn trace(&self, component: &str, msg: &str, fields: &[(&str, FieldValue)]) {
+        self.log(Level::Trace, component, msg, fields);
+    }
+
+    /// Writes a [`Level::Debug`] record.
+    pub fn debug(&self, component: &str, msg: &str, fields: &[(&str, FieldValue)]) {
+        self.log(Level::Debug, component, msg, fields);
+    }
+
+    /// Writes a [`Level::Info`] record.
+    pub fn info(&self, component: &str, msg: &str, fields: &[(&str, FieldValue)]) {
+        self.log(Level::Info, component, msg, fields);
+    }
+
+    /// Writes a [`Level::Warn`] record.
+    pub fn warn(&self, component: &str, msg: &str, fields: &[(&str, FieldValue)]) {
+        self.log(Level::Warn, component, msg, fields);
+    }
+
+    /// Writes a [`Level::Error`] record.
+    pub fn error(&self, component: &str, msg: &str, fields: &[(&str, FieldValue)]) {
+        self.log(Level::Error, component, msg, fields);
+    }
+}
+
+/// `Write` adapter sharing a `Vec<u8>` with a [`LogCapture`].
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().expect("capture lock").extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Reads back what a [`Logger::capture`] logger wrote.
+#[derive(Debug, Clone)]
+pub struct LogCapture {
+    buf: Arc<Mutex<Vec<u8>>>,
+}
+
+impl LogCapture {
+    /// The captured bytes as one string.
+    pub fn contents(&self) -> String {
+        String::from_utf8_lossy(&self.buf.lock().expect("capture lock")).into_owned()
+    }
+
+    /// The captured records, one JSON document per element.
+    pub fn lines(&self) -> Vec<String> {
+        self.contents().lines().map(str::to_owned).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_ordered_and_parse() {
+        assert!(Level::Trace < Level::Debug);
+        assert!(Level::Warn < Level::Error);
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse("info"), Some(Level::Info));
+        assert_eq!(Level::parse("loud"), None);
+    }
+
+    #[test]
+    fn records_are_one_json_object_per_line() {
+        let (logger, capture) = Logger::capture(Level::Trace);
+        logger.info(
+            "test",
+            "hello",
+            &[
+                ("count", 7u64.into()),
+                ("rate", 0.25.into()),
+                ("ok", true.into()),
+                ("name", "GD*(P)".into()),
+            ],
+        );
+        logger.warn("test", "second", &[]);
+        let lines = capture.lines();
+        assert_eq!(lines.len(), 2);
+        let parsed = crate::json::parse(&lines[0]).expect("line 0 parses");
+        assert_eq!(parsed.get("level").unwrap().as_str(), Some("info"));
+        assert_eq!(parsed.get("component").unwrap().as_str(), Some("test"));
+        assert_eq!(parsed.get("msg").unwrap().as_str(), Some("hello"));
+        assert_eq!(parsed.get("count").unwrap().as_f64(), Some(7.0));
+        assert_eq!(parsed.get("rate").unwrap().as_f64(), Some(0.25));
+        assert_eq!(parsed.get("name").unwrap().as_str(), Some("GD*(P)"));
+        assert!(parsed.get("ts_ms").unwrap().as_f64().unwrap() > 0.0);
+        assert!(crate::json::parse(&lines[1]).is_ok());
+        assert_eq!(logger.records(), 2);
+    }
+
+    #[test]
+    fn min_level_filters() {
+        let (logger, capture) = Logger::capture(Level::Warn);
+        assert!(!logger.enabled(Level::Info));
+        assert!(logger.enabled(Level::Error));
+        logger.trace("c", "a", &[]);
+        logger.debug("c", "b", &[]);
+        logger.info("c", "c", &[]);
+        logger.warn("c", "d", &[]);
+        logger.error("c", "e", &[]);
+        assert_eq!(capture.lines().len(), 2);
+        assert_eq!(logger.records(), 2);
+    }
+
+    #[test]
+    fn escaping_handles_hostile_strings() {
+        let (logger, capture) = Logger::capture(Level::Info);
+        logger.info(
+            "we\"ird",
+            "line\nbreak\\slash",
+            &[("k\"ey", "v\nal".into())],
+        );
+        let lines = capture.lines();
+        assert_eq!(lines.len(), 1, "newline in message must stay escaped");
+        let parsed = crate::json::parse(&lines[0]).expect("hostile record parses");
+        assert_eq!(
+            parsed.get("msg").unwrap().as_str(),
+            Some("line\nbreak\\slash")
+        );
+    }
+
+    #[test]
+    fn clones_share_the_sink_and_counters() {
+        let (logger, capture) = Logger::capture(Level::Info);
+        let clone = logger.clone();
+        logger.info("a", "x", &[]);
+        clone.info("b", "y", &[]);
+        assert_eq!(capture.lines().len(), 2);
+        assert_eq!(logger.records(), 2);
+    }
+
+    #[test]
+    fn file_logger_appends() {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "webcache-obs-log-test-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        {
+            let logger = Logger::to_file(&path, Level::Info).unwrap();
+            logger.info("file", "first", &[]);
+        }
+        {
+            let logger = Logger::to_file(&path, Level::Info).unwrap();
+            logger.info("file", "second", &[]);
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2, "{text}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn non_finite_floats_render_as_null() {
+        let (logger, capture) = Logger::capture(Level::Info);
+        logger.info("c", "m", &[("bad", f64::NAN.into())]);
+        assert!(capture.contents().contains("\"bad\":null"));
+    }
+}

@@ -230,6 +230,16 @@ impl Registry {
     }
 
     fn register(&self, name: &str, help: &str, labels: &[(&str, &str)], cells: Cells) -> &Self {
+        assert!(
+            valid_metric_name(name),
+            "invalid Prometheus metric name: {name:?}"
+        );
+        for &(k, _) in labels {
+            assert!(
+                valid_label_name(k),
+                "invalid Prometheus label name: {k:?} (metric {name:?})"
+            );
+        }
         self.metrics.lock().expect("registry lock").push(Metric {
             name: name.to_owned(),
             help: help.to_owned(),
@@ -304,7 +314,7 @@ impl Registry {
                     Cells::Gauge(_) | Cells::Series(_) => "gauge",
                     Cells::Histogram(_) => "histogram",
                 };
-                let _ = writeln!(out, "# HELP {} {}", m.name, m.help);
+                let _ = writeln!(out, "# HELP {} {}", m.name, escape_help(&m.help));
                 let _ = writeln!(out, "# TYPE {} {kind}", m.name);
             }
             match &m.cells {
@@ -476,6 +486,34 @@ fn escape_label(v: &str) -> String {
         .replace('\n', "\\n")
 }
 
+/// Escapes `# HELP` text (backslash and newline only — quotes are legal
+/// in help text per the exposition format).
+fn escape_help(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Whether `name` is a valid Prometheus metric name:
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else {
+        return false;
+    };
+    (first.is_ascii_alphabetic() || first == '_' || first == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Whether `name` is a valid Prometheus label name:
+/// `[a-zA-Z_][a-zA-Z0-9_]*`.
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else {
+        return false;
+    };
+    (first.is_ascii_alphabetic() || first == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
 /// Formats an `f64` for the Prometheus text format (`+Inf`/`-Inf`/`NaN`
 /// spellings for non-finite values).
 fn prom_f64(v: f64) -> String {
@@ -492,7 +530,7 @@ fn prom_f64(v: f64) -> String {
 
 /// Formats an `f64` as a JSON value (non-finite values become `null` —
 /// JSON has no spelling for them).
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -656,6 +694,62 @@ mod tests {
         let vals = series.get("values").unwrap().as_array().unwrap();
         assert_eq!(vals.len(), 2);
         assert_eq!(vals[1].as_f64(), Some(2.5));
+    }
+
+    #[test]
+    fn label_escaping_covers_each_special_byte() {
+        let r = Registry::new();
+        r.counter("lone_backslash", "x", &[("p", "a\\b")]).inc();
+        r.counter("lone_quote", "x", &[("p", "a\"b")]).inc();
+        r.counter("lone_newline", "x", &[("p", "a\nb")]).inc();
+        let text = r.prometheus_text();
+        assert!(text.contains(r#"lone_backslash{p="a\\b"} 1"#), "{text}");
+        assert!(text.contains(r#"lone_quote{p="a\"b"} 1"#), "{text}");
+        assert!(text.contains(r#"lone_newline{p="a\nb"} 1"#), "{text}");
+        // Every sample still occupies exactly one physical line.
+        for line in text.lines() {
+            assert!(!line.is_empty());
+        }
+        assert_eq!(text.lines().count(), 3 * 3, "no sample spans two lines");
+    }
+
+    #[test]
+    fn help_text_is_escaped() {
+        let r = Registry::new();
+        r.counter("c_total", "line one\nline two \\ backslash", &[])
+            .inc();
+        let text = r.prometheus_text();
+        assert!(
+            text.contains(r"# HELP c_total line one\nline two \\ backslash"),
+            "{text}"
+        );
+        assert_eq!(text.lines().count(), 3, "HELP must stay on one line");
+    }
+
+    #[test]
+    fn metric_name_validity() {
+        assert!(valid_metric_name("webcache_hits_total"));
+        assert!(valid_metric_name("_private"));
+        assert!(valid_metric_name("ns:subsystem:metric"));
+        assert!(!valid_metric_name(""));
+        assert!(!valid_metric_name("9starts_with_digit"));
+        assert!(!valid_metric_name("has space"));
+        assert!(!valid_metric_name("has-dash"));
+        assert!(valid_label_name("doc_type"));
+        assert!(!valid_label_name("le:colon"));
+        assert!(!valid_label_name("1digit"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Prometheus metric name")]
+    fn bad_metric_name_panics() {
+        Registry::new().counter("bad name", "x", &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Prometheus label name")]
+    fn bad_label_name_panics() {
+        Registry::new().counter("good_name", "x", &[("bad-label", "v")]);
     }
 
     #[test]

@@ -41,9 +41,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod anomaly;
 pub mod experiment;
 pub mod hierarchy;
 pub mod latency;
+pub mod live;
+pub mod logobs;
 pub mod metrics;
 pub mod observe;
 pub mod occupancy;
@@ -53,9 +56,12 @@ pub mod report;
 pub mod simulator;
 pub mod windowed;
 
+pub use anomaly::{AnomalyConfig, AnomalyKind, AnomalyObserver};
 pub use experiment::{CacheSizeSweep, SweepPoint, SweepProgress, SweepReport};
 pub use hierarchy::{simulate_hierarchy, HierarchyConfig, HierarchyReport};
 pub use latency::{LatencyEstimate, LatencyModel, LinkModel};
+pub use live::{FixedSource, LiveStatus, LiveSummary, PassSummary, ReplayLoop, TraceSource};
+pub use logobs::LogObserver;
 pub use metrics::HitStats;
 pub use observe::{AccessEvent, AccessKind, NoopObserver, Observer, RunMeta};
 pub use occupancy::{OccupancySample, OccupancySeries};

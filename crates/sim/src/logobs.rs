@@ -1,0 +1,217 @@
+//! Structured event logging for replays.
+//!
+//! [`LogObserver`] forwards simulator [`Observer`] events to a
+//! [`Logger`] as JSONL records, mapping event significance onto log
+//! levels: per-request access outcomes are `trace` (huge volume, off by
+//! default), churn events (inserts, evictions, admission rejects) are
+//! `debug`, and run boundaries are `info`. Every hook checks
+//! [`Logger::enabled`] first, so a logger at `info` pays only a branch
+//! per event.
+//!
+//! Stack it with other observers via the tuple impl:
+//!
+//! ```
+//! use webcache_core::PolicyKind;
+//! use webcache_obs::{Level, Logger, Registry};
+//! use webcache_sim::{AnomalyConfig, AnomalyObserver, LogObserver, SimulationConfig, Simulator};
+//! use webcache_trace::{ByteSize, DocId, DocumentType, Request, Timestamp, Trace};
+//!
+//! let registry = Registry::new();
+//! let (logger, capture) = Logger::capture(Level::Info);
+//! let anomaly = AnomalyObserver::register(&registry, logger.clone(), AnomalyConfig::default());
+//! let mut observer = (LogObserver::new(logger), anomaly);
+//! let trace: Trace = (0..50u64)
+//!     .map(|i| Request::new(
+//!         Timestamp::from_millis(i),
+//!         DocId::new(i % 5),
+//!         DocumentType::Html,
+//!         ByteSize::new(400),
+//!     ))
+//!     .collect();
+//! let config = SimulationConfig::builder()
+//!     .capacity(ByteSize::from_kib(16))
+//!     .warmup_fraction(0.0)
+//!     .build();
+//! Simulator::new(PolicyKind::Lru.build(), config).run_observed(&trace, &mut observer);
+//! assert!(capture.contents().contains("\"msg\":\"run start\""));
+//! ```
+
+use webcache_core::Eviction;
+use webcache_obs::{Level, Logger};
+
+use crate::observe::{AccessEvent, AccessKind, Observer, RunMeta};
+
+/// Forwards replay events to a [`Logger`]. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct LogObserver {
+    logger: Logger,
+}
+
+impl LogObserver {
+    /// Wraps `logger`; records are tagged `component="sim"`.
+    pub fn new(logger: Logger) -> Self {
+        LogObserver { logger }
+    }
+}
+
+const COMPONENT: &str = "sim";
+
+impl Observer for LogObserver {
+    fn on_run_start(&mut self, meta: RunMeta) {
+        self.logger.info(
+            COMPONENT,
+            "run start",
+            &[
+                ("total_requests", meta.total_requests.into()),
+                ("warmup_end", meta.warmup_end.into()),
+                ("capacity", meta.capacity.as_u64().into()),
+            ],
+        );
+    }
+
+    #[inline]
+    fn on_access(&mut self, event: AccessEvent, kind: AccessKind) {
+        if !self.logger.enabled(Level::Trace) {
+            return;
+        }
+        let outcome = match kind {
+            AccessKind::Hit => "hit",
+            AccessKind::Miss => "miss",
+            AccessKind::ModificationMiss => "modification_miss",
+        };
+        self.logger.trace(
+            COMPONENT,
+            "access",
+            &[
+                ("index", event.index.into()),
+                ("doc", event.doc.as_u64().into()),
+                ("doc_type", event.doc_type.label().into()),
+                ("size", event.size.as_u64().into()),
+                ("outcome", outcome.into()),
+                ("warmup", event.warmup.into()),
+            ],
+        );
+    }
+
+    #[inline]
+    fn on_insert(&mut self, event: AccessEvent) {
+        if !self.logger.enabled(Level::Debug) {
+            return;
+        }
+        self.logger.debug(
+            COMPONENT,
+            "insert",
+            &[
+                ("index", event.index.into()),
+                ("doc", event.doc.as_u64().into()),
+                ("size", event.size.as_u64().into()),
+            ],
+        );
+    }
+
+    #[inline]
+    fn on_admission_reject(&mut self, event: AccessEvent) {
+        if !self.logger.enabled(Level::Debug) {
+            return;
+        }
+        self.logger.debug(
+            COMPONENT,
+            "admission reject",
+            &[
+                ("index", event.index.into()),
+                ("doc", event.doc.as_u64().into()),
+                ("size", event.size.as_u64().into()),
+            ],
+        );
+    }
+
+    #[inline]
+    fn on_evict(&mut self, at: AccessEvent, evicted: Eviction) {
+        if !self.logger.enabled(Level::Debug) {
+            return;
+        }
+        self.logger.debug(
+            COMPONENT,
+            "evict",
+            &[
+                ("index", at.index.into()),
+                ("doc_type", evicted.doc_type.label().into()),
+                ("size", evicted.size.as_u64().into()),
+            ],
+        );
+    }
+
+    fn on_run_end(&mut self) {
+        self.logger.info(COMPONENT, "run end", &[]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SimulationConfig, Simulator};
+    use webcache_core::PolicyKind;
+    use webcache_trace::{ByteSize, DocId, DocumentType, Request, Timestamp, Trace};
+
+    fn trace() -> Trace {
+        vec![
+            Request::new(
+                Timestamp::ZERO,
+                DocId::new(1),
+                DocumentType::Html,
+                ByteSize::new(80),
+            ),
+            Request::new(
+                Timestamp::ZERO,
+                DocId::new(1),
+                DocumentType::Html,
+                ByteSize::new(80),
+            ),
+            Request::new(
+                Timestamp::ZERO,
+                DocId::new(2),
+                DocumentType::Image,
+                ByteSize::new(80),
+            ),
+        ]
+        .into()
+    }
+
+    fn run_at(min: Level) -> Vec<String> {
+        let (logger, capture) = Logger::capture(min);
+        let mut obs = LogObserver::new(logger);
+        let config = SimulationConfig::builder()
+            .capacity(ByteSize::new(100))
+            .warmup_fraction(0.0)
+            .build();
+        Simulator::new(PolicyKind::Lru.build(), config).run_observed(&trace(), &mut obs);
+        capture.lines()
+    }
+
+    #[test]
+    fn trace_level_logs_every_event() {
+        let lines = run_at(Level::Trace);
+        // run start + 3 accesses + 2 inserts + 1 evict + run end.
+        assert_eq!(lines.len(), 8, "{lines:#?}");
+        assert!(lines[0].contains("\"msg\":\"run start\""));
+        assert!(lines[1].contains("\"outcome\":\"miss\""));
+        assert!(lines[2].contains("\"msg\":\"insert\""));
+        assert!(lines[3].contains("\"outcome\":\"hit\""));
+        assert!(lines.iter().any(|l| l.contains("\"msg\":\"evict\"")));
+        assert!(lines.last().unwrap().contains("\"msg\":\"run end\""));
+    }
+
+    #[test]
+    fn info_level_logs_only_run_boundaries() {
+        let lines = run_at(Level::Info);
+        assert_eq!(lines.len(), 2, "{lines:#?}");
+    }
+
+    #[test]
+    fn debug_level_includes_churn_but_not_accesses() {
+        let lines = run_at(Level::Debug);
+        // run start + 2 inserts + 1 evict + run end.
+        assert_eq!(lines.len(), 5, "{lines:#?}");
+        assert!(!lines.iter().any(|l| l.contains("\"msg\":\"access\"")));
+    }
+}

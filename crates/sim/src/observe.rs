@@ -193,6 +193,47 @@ impl<O: Observer + ?Sized> Observer for &mut O {
     }
 }
 
+/// Pair composition: both observers receive every event, `A` first. Lets
+/// callers stack independent observers (e.g. profiling + anomaly +
+/// logging as `(profile, (anomaly, log))`) without a trait object.
+impl<A: Observer, B: Observer> Observer for (A, B) {
+    #[inline(always)]
+    fn on_run_start(&mut self, meta: RunMeta) {
+        self.0.on_run_start(meta);
+        self.1.on_run_start(meta);
+    }
+
+    #[inline(always)]
+    fn on_access(&mut self, event: AccessEvent, kind: AccessKind) {
+        self.0.on_access(event, kind);
+        self.1.on_access(event, kind);
+    }
+
+    #[inline(always)]
+    fn on_insert(&mut self, event: AccessEvent) {
+        self.0.on_insert(event);
+        self.1.on_insert(event);
+    }
+
+    #[inline(always)]
+    fn on_admission_reject(&mut self, event: AccessEvent) {
+        self.0.on_admission_reject(event);
+        self.1.on_admission_reject(event);
+    }
+
+    #[inline(always)]
+    fn on_evict(&mut self, at: AccessEvent, evicted: Eviction) {
+        self.0.on_evict(at, evicted);
+        self.1.on_evict(at, evicted);
+    }
+
+    #[inline(always)]
+    fn on_run_end(&mut self) {
+        self.0.on_run_end();
+        self.1.on_run_end();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

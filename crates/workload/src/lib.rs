@@ -41,6 +41,7 @@ pub mod generator;
 pub mod mix;
 pub mod profiles;
 pub mod sizes;
+pub mod stream;
 pub mod temporal;
 
 pub use arrivals::ArrivalModel;
@@ -48,3 +49,4 @@ pub use generator::TraceGenerator;
 pub use mix::{blend, shift_mix};
 pub use profiles::{TypeProfile, WorkloadProfile};
 pub use sizes::SizeModel;
+pub use stream::WorkloadStream;

@@ -1,0 +1,183 @@
+//! An endless, resumable request stream.
+//!
+//! [`WorkloadStream`] turns a [`WorkloadProfile`] into an infinite
+//! iterator of [`Request`]s for long-running consumers (`webcache
+//! serve`): it generates one trace *epoch* at a time with
+//! [`TraceGenerator`], yields its requests in order, and rolls into the
+//! next epoch — derived deterministically from the base seed and the
+//! epoch number — when the current one is exhausted. The document
+//! population is the profile's in every epoch; what an epoch resamples
+//! is the request stream over it.
+//!
+//! The stream's [`position`](WorkloadStream::position) (epoch, offset)
+//! fully determines the remainder: [`WorkloadStream::resume`] rebuilds a
+//! stream mid-epoch, so a restarted daemon continues exactly where the
+//! previous one stopped.
+//!
+//! ```
+//! use webcache_workload::{WorkloadProfile, WorkloadStream};
+//!
+//! let profile = WorkloadProfile::dfn().scaled(1.0 / 4096.0);
+//! let mut stream = WorkloadStream::new(profile.clone(), 42);
+//! let head: Vec<_> = stream.by_ref().take(100).collect();
+//! let resumed: Vec<_> = WorkloadStream::resume(profile, 42, 0, 50)
+//!     .take(50)
+//!     .collect();
+//! assert_eq!(&head[50..], &resumed[..]);
+//! ```
+
+use webcache_trace::{Request, Trace};
+
+use crate::generator::TraceGenerator;
+use crate::profiles::WorkloadProfile;
+
+/// Derives epoch `epoch`'s generator seed from the base seed
+/// (splitmix64 of the pair, so neighboring epochs are uncorrelated).
+fn epoch_seed(base_seed: u64, epoch: u64) -> u64 {
+    let mut z = base_seed
+        .wrapping_add(epoch.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The endless request stream. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct WorkloadStream {
+    generator: TraceGenerator,
+    base_seed: u64,
+    epoch: u64,
+    offset: usize,
+    current: Trace,
+}
+
+impl WorkloadStream {
+    /// A stream starting at epoch 0, offset 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the profile fails validation (see
+    /// [`TraceGenerator::new`]).
+    pub fn new(profile: WorkloadProfile, base_seed: u64) -> Self {
+        WorkloadStream::resume(profile, base_seed, 0, 0)
+    }
+
+    /// A stream positioned mid-flight: the next yielded request is
+    /// `offset` requests into epoch `epoch` (an offset past the epoch's
+    /// end rolls into the following epoch on the next pull).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the profile fails validation.
+    pub fn resume(profile: WorkloadProfile, base_seed: u64, epoch: u64, offset: u64) -> Self {
+        let generator = TraceGenerator::new(profile);
+        let current = generator.generate(epoch_seed(base_seed, epoch));
+        WorkloadStream {
+            generator,
+            base_seed,
+            epoch,
+            offset: offset as usize,
+            current,
+        }
+    }
+
+    /// The position of the **next** request: `(epoch, offset)`.
+    pub fn position(&self) -> (u64, u64) {
+        (self.epoch, self.offset as u64)
+    }
+
+    /// Requests per epoch (the profile's total request budget).
+    pub fn epoch_len(&self) -> usize {
+        self.current.len()
+    }
+
+    /// The profile driving the stream.
+    pub fn profile(&self) -> &WorkloadProfile {
+        self.generator.profile()
+    }
+
+    /// Collects the next `n` requests into a [`Trace`] (spanning epoch
+    /// boundaries as needed).
+    pub fn take_trace(&mut self, n: usize) -> Trace {
+        let mut trace = Trace::with_capacity(n);
+        for request in self.by_ref().take(n) {
+            trace.push(request);
+        }
+        trace
+    }
+}
+
+impl Iterator for WorkloadStream {
+    type Item = Request;
+
+    fn next(&mut self) -> Option<Request> {
+        // Profile validation guarantees a non-empty epoch; the guard
+        // keeps a hypothetical zero-request epoch from looping forever.
+        if self.current.is_empty() {
+            return None;
+        }
+        if self.offset >= self.current.len() {
+            self.epoch += 1;
+            self.offset = 0;
+            self.current = self
+                .generator
+                .generate(epoch_seed(self.base_seed, self.epoch));
+        }
+        let request = self.current.requests()[self.offset];
+        self.offset += 1;
+        Some(request)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> WorkloadProfile {
+        WorkloadProfile::dfn().scaled(1.0 / 4096.0)
+    }
+
+    #[test]
+    fn stream_is_deterministic_per_seed() {
+        let a: Vec<Request> = WorkloadStream::new(profile(), 7).take(500).collect();
+        let b: Vec<Request> = WorkloadStream::new(profile(), 7).take(500).collect();
+        let c: Vec<Request> = WorkloadStream::new(profile(), 8).take(500).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds diverge");
+    }
+
+    #[test]
+    fn stream_crosses_epoch_boundaries() {
+        let mut stream = WorkloadStream::new(profile(), 3);
+        let epoch_len = stream.epoch_len();
+        assert!(epoch_len > 0);
+        let total = epoch_len + epoch_len / 2;
+        let requests: Vec<Request> = stream.by_ref().take(total).collect();
+        assert_eq!(requests.len(), total, "stream did not run dry");
+        assert_eq!(stream.position().0, 1, "second epoch entered");
+        // The second epoch resamples: its head differs from epoch 0's.
+        assert_ne!(&requests[..epoch_len / 2], &requests[epoch_len..]);
+    }
+
+    #[test]
+    fn resume_continues_exactly() {
+        let mut original = WorkloadStream::new(profile(), 11);
+        let skip = original.epoch_len() - 10; // resume point near the epoch roll
+        let _ = original.by_ref().take(skip).count();
+        let (epoch, offset) = original.position();
+        let tail: Vec<Request> = original.take(40).collect();
+        let resumed: Vec<Request> = WorkloadStream::resume(profile(), 11, epoch, offset)
+            .take(40)
+            .collect();
+        assert_eq!(tail, resumed);
+    }
+
+    #[test]
+    fn take_trace_collects_across_epochs() {
+        let mut stream = WorkloadStream::new(profile(), 5);
+        let n = stream.epoch_len() + 25;
+        let trace = stream.take_trace(n);
+        assert_eq!(trace.len(), n);
+    }
+}
