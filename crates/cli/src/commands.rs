@@ -264,7 +264,10 @@ pub fn sweep(args: &Args) -> Result<String, CliError> {
         }
     };
 
-    let sweep = CacheSizeSweep::new(policies, capacities);
+    if args.switch("batched") && args.switch("serial") {
+        return Err(usage("give at most one of --batched and --serial"));
+    }
+    let sweep = CacheSizeSweep::new(policies, capacities).with_batched(!args.switch("serial"));
     let report = if args.switch("progress") {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -498,19 +501,35 @@ pub fn profile(args: &Args) -> Result<String, CliError> {
 
 /// `webcache convert`.
 pub fn convert(args: &Args) -> Result<String, CliError> {
-    let input = args.require("squid")?;
     let out = args.require("out")?;
-    let (trace, stats) = load_squid(input)?;
-    let buf = encode_trace(&trace, args.get("format"))?;
-    fs::write(out, buf)?;
-    Ok(format!(
-        "converted {} log entries -> {} cacheable requests ({} dynamic, {} status, \
-         {} method, {} unsized dropped) -> {out}\n",
-        stats.input,
-        stats.output,
-        stats.dropped_dynamic,
-        stats.dropped_status,
-        stats.dropped_method,
-        stats.dropped_unsized,
-    ))
+    match (args.get("trace"), args.get("squid")) {
+        (None, Some(input)) => {
+            let (trace, stats) = load_squid(input)?;
+            let buf = encode_trace(&trace, args.get("format"))?;
+            fs::write(out, buf)?;
+            Ok(format!(
+                "converted {} log entries -> {} cacheable requests ({} dynamic, {} status, \
+                 {} method, {} unsized dropped) -> {out}\n",
+                stats.input,
+                stats.output,
+                stats.dropped_dynamic,
+                stats.dropped_status,
+                stats.dropped_method,
+                stats.dropped_unsized,
+            ))
+        }
+        (Some(input), None) => {
+            // Re-encode an existing trace (e.g. text -> bin).
+            let trace = load_trace(input)?;
+            let buf = encode_trace(&trace, args.get("format"))?;
+            fs::write(out, buf)?;
+            Ok(format!(
+                "converted {} requests ({} distinct documents, {}) -> {out}\n",
+                trace.len(),
+                trace.distinct_documents(),
+                trace.requested_bytes(),
+            ))
+        }
+        _ => Err(usage("give exactly one of --trace FILE or --squid FILE")),
+    }
 }

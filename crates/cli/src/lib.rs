@@ -82,17 +82,22 @@ subcommands:
                [--warmup FRAC] [--occupancy N]
                run one policy over a trace and report per-type rates
   sweep        --trace FILE [--policies a,b,c] [--fractions f1,f2,...]
-               [--csv] [--progress]
+               [--csv] [--progress] [--batched | --serial]
                policy x cache-size grid (the Figure 2/3 engine);
-               --progress reports per-cell completion on stderr
+               --progress reports per-cell completion on stderr;
+               batched replay is the default (identical results,
+               faster for the heap-backed policies) — --serial forces
+               the request-at-a-time loop
   stats        --trace FILE --policy NAME [--capacity SIZE|PCT%]
                [--warmup FRAC] [--window N | --window-bytes SIZE]
                [--json] [--csv]
                windowed per-type hit-rate / byte-hit-rate time series
                plus eviction and admission churn (JSON and CSV;
                default window: a tenth of the measured region)
-  convert      --squid FILE --out FILE [--format text|bin]
-               preprocess a Squid access.log into the compact format
+  convert      (--squid FILE | --trace FILE) --out FILE
+               [--format text|bin]
+               preprocess a Squid access.log into the compact format,
+               or re-encode an existing trace (e.g. text -> bin)
   profile      [--trace FILE | --squid FILE] [--policies a,b,c]
                [--capacity SIZE|PCT%] [--scale DENOM] [--seed N]
                [--out-dir DIR] [--quick]
@@ -143,7 +148,10 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "generate" => commands::generate(&Args::parse(rest, &[])?),
         "characterize" => commands::characterize(&Args::parse(rest, &[])?),
         "simulate" => commands::simulate(&Args::parse(rest, &["markdown"])?),
-        "sweep" => commands::sweep(&Args::parse(rest, &["csv", "progress"])?),
+        "sweep" => commands::sweep(&Args::parse(
+            rest,
+            &["csv", "progress", "batched", "serial"],
+        )?),
         "stats" => commands::stats(&Args::parse(rest, &["json", "csv"])?),
         "convert" => commands::convert(&Args::parse(rest, &[])?),
         "hierarchy" => commands::hierarchy(&Args::parse(rest, &[])?),

@@ -92,6 +92,69 @@ fn sweep_renders_panels_and_csv() {
 }
 
 #[test]
+fn sweep_serial_switch_matches_batched_default() {
+    let path = generate_trace("serial.wct");
+    let batched = run(&argv(&format!(
+        "sweep --trace {} --policies gd*p,lfu-da --fractions 0.01,0.05 --csv",
+        path.display()
+    )))
+    .unwrap();
+    let serial = run(&argv(&format!(
+        "sweep --trace {} --policies gd*p,lfu-da --fractions 0.01,0.05 --csv --serial",
+        path.display()
+    )))
+    .unwrap();
+    assert_eq!(batched, serial, "batched replay must not change results");
+    let err = run(&argv(&format!(
+        "sweep --trace {} --batched --serial",
+        path.display()
+    )))
+    .unwrap_err();
+    assert!(err.to_string().contains("at most one"), "{err}");
+    fs::remove_file(path).ok();
+}
+
+#[test]
+fn convert_roundtrip_text_binary_dense() {
+    // text -> binary via the CLI, then prove the zero-copy WCTB loader
+    // sees exactly the same dense view as the text path.
+    let text_path = generate_trace("rt.wct");
+    let bin_path = temp_path("rt.wctb");
+    let out = run(&argv(&format!(
+        "convert --trace {} --out {} --format bin",
+        text_path.display(),
+        bin_path.display()
+    )))
+    .unwrap();
+    assert!(out.contains("converted"), "{out}");
+
+    let text_bytes = fs::read(&text_path).unwrap();
+    let trace = webcache_trace::format::read_trace(text_bytes.as_slice()).unwrap();
+    let from_text = webcache_trace::DenseTrace::build(&trace);
+
+    let bin_bytes = fs::read(&bin_path).unwrap();
+    assert_eq!(&bin_bytes[..4], b"WCTB");
+    let from_binary = webcache_trace::DenseTrace::from_wctb_bytes(&bin_bytes).unwrap();
+    assert_eq!(from_binary, from_text, "text->binary->dense == text->dense");
+
+    // And back: binary -> text re-encodes to an equal trace.
+    let text2_path = temp_path("rt2.wct");
+    run(&argv(&format!(
+        "convert --trace {} --out {} --format text",
+        bin_path.display(),
+        text2_path.display()
+    )))
+    .unwrap();
+    let trace2 =
+        webcache_trace::format::read_trace(fs::read(&text2_path).unwrap().as_slice()).unwrap();
+    assert_eq!(trace2, trace);
+
+    fs::remove_file(text_path).ok();
+    fs::remove_file(bin_path).ok();
+    fs::remove_file(text2_path).ok();
+}
+
+#[test]
 fn stats_emits_windowed_json_and_csv() {
     let path = generate_trace("stats.wct");
     // Default: both JSON and CSV, window = a tenth of the measured region.

@@ -307,6 +307,26 @@ impl Cache {
         doc_type: DocumentType,
         size: ByteSize,
     ) -> EvictionOutcome {
+        let mut evicted = Vec::new();
+        let disposition = self.insert_into(doc, doc_type, size, &mut evicted);
+        EvictionOutcome {
+            disposition,
+            evicted,
+        }
+    }
+
+    /// Allocation-free [`Cache::insert`]: victims go into the
+    /// caller-provided `evicted` buffer (cleared first) instead of a
+    /// fresh vector. The batched replay loop reuses one buffer across
+    /// millions of inserts.
+    pub fn insert_into(
+        &mut self,
+        doc: DocId,
+        doc_type: DocumentType,
+        size: ByteSize,
+        evicted: &mut Vec<Eviction>,
+    ) -> InsertDisposition {
+        evicted.clear();
         let slot = self.slots.intern(doc);
         let handle = Self::handle(slot);
         if slot as usize >= self.entries.len() {
@@ -319,19 +339,12 @@ impl Cache {
         }
         if !self.admission.admit(handle, size) {
             self.rejected_by_admission += 1;
-            return EvictionOutcome {
-                disposition: InsertDisposition::RejectedByAdmission,
-                evicted: Vec::new(),
-            };
+            return InsertDisposition::RejectedByAdmission;
         }
         if size > self.capacity {
-            return EvictionOutcome {
-                disposition: InsertDisposition::TooLarge,
-                evicted: Vec::new(),
-            };
+            return InsertDisposition::TooLarge;
         }
 
-        let mut evicted = Vec::new();
         while self.used + size > self.capacity {
             let victim = self
                 .policy
@@ -358,10 +371,7 @@ impl Cache {
         occ.documents += 1;
         occ.bytes += size;
         self.policy.on_insert_typed(handle, size, doc_type);
-        EvictionOutcome {
-            disposition: InsertDisposition::Inserted,
-            evicted,
-        }
+        InsertDisposition::Inserted
     }
 
     /// Removes `doc` (e.g. because it was modified at the origin server).

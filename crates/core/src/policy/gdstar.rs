@@ -334,7 +334,15 @@ impl<M: MetricsSink> GdStar<M> {
     fn h_base(&self, freq: u64, size: ByteSize, ty: DocumentType) -> f64 {
         let s = size.as_f64().max(1.0);
         let value = freq as f64 * self.cost_model.cost(size) / s;
-        value.powf(1.0 / self.beta_for(ty))
+        let exponent = 1.0 / self.beta_for(ty);
+        // IEEE 754 pins pow(x, 1) = x exactly, so bypassing the (slow)
+        // powf while β sits at its initial 1.0 — the entire run until
+        // the first adaptive refit — cannot change any H value.
+        if exponent == 1.0 {
+            value
+        } else {
+            value.powf(exponent)
+        }
     }
 
     fn push_key(&mut self, doc: DocId, freq: u64, size: ByteSize, ty: DocumentType, op: HeapOp) {
@@ -423,6 +431,13 @@ impl<M: MetricsSink> ReplacementPolicy for GdStar<M> {
         if self.docs.len() < n {
             self.docs.resize(n, None);
         }
+    }
+    fn set_batched(&mut self, enabled: bool) {
+        self.heap.set_deferred(enabled);
+    }
+
+    fn flush_deferred(&mut self) {
+        let _ = self.heap.flush();
     }
 }
 

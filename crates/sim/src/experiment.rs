@@ -160,6 +160,7 @@ pub struct CacheSizeSweep {
     policies: Vec<PolicyKind>,
     capacities: Vec<ByteSize>,
     template: SimulationConfig,
+    batched: bool,
 }
 
 impl CacheSizeSweep {
@@ -180,6 +181,7 @@ impl CacheSizeSweep {
             policies,
             capacities,
             template: SimulationConfig::new(ByteSize::new(1)),
+            batched: true,
         }
     }
 
@@ -188,6 +190,16 @@ impl CacheSizeSweep {
     #[must_use]
     pub fn with_config(mut self, template: SimulationConfig) -> Self {
         self.template = template;
+        self
+    }
+
+    /// Selects between batched replay
+    /// ([`Simulator::run_dense_batched`], the default — results are
+    /// bit-identical, only faster for heap-backed policies) and the
+    /// serial [`Simulator::run_dense`] loop.
+    #[must_use]
+    pub fn with_batched(mut self, batched: bool) -> Self {
+        self.batched = batched;
         self
     }
 
@@ -286,7 +298,12 @@ impl CacheSizeSweep {
                         rec.begin(format!("{} @ {capacity}", policy.label()));
                     }
                     let started = Instant::now();
-                    let report = Simulator::new(policy.build(), config).run_dense(dense);
+                    let simulator = Simulator::new(policy.build(), config);
+                    let report = if self.batched {
+                        simulator.run_dense_batched(dense)
+                    } else {
+                        simulator.run_dense(dense)
+                    };
                     let elapsed = started.elapsed();
                     if let Some(rec) = recorder.as_deref_mut() {
                         rec.end();
@@ -371,6 +388,27 @@ mod tests {
         );
         assert!(report.get(PolicyKind::Lru, ByteSize::new(2_000)).is_some());
         assert!(report.get(PolicyKind::Fifo, ByteSize::new(2_000)).is_none());
+    }
+
+    #[test]
+    fn batched_sweep_matches_serial_sweep() {
+        let trace = tiny_trace();
+        let policies = vec![
+            PolicyKind::Lru,
+            PolicyKind::LfuDa,
+            PolicyKind::GdStar(webcache_core::CostModel::Packet),
+        ];
+        let capacities = vec![ByteSize::new(2_000), ByteSize::new(8_000)];
+        let batched =
+            CacheSizeSweep::new(policies.clone(), capacities.clone()).run_with_threads(&trace, 2);
+        let serial = CacheSizeSweep::new(policies, capacities)
+            .with_batched(false)
+            .run_with_threads(&trace, 2);
+        for (b, s) in batched.points().iter().zip(serial.points()) {
+            assert_eq!(b.policy, s.policy);
+            assert_eq!(b.capacity, s.capacity);
+            assert_eq!(b.report, s.report, "{} @ {}", b.policy.label(), b.capacity);
+        }
     }
 
     #[test]

@@ -70,5 +70,6 @@ pub use profile::ProfileObserver;
 pub use report::Metric;
 pub use simulator::{
     ModificationRule, SimulationConfig, SimulationConfigBuilder, SimulationReport, Simulator,
+    DEFAULT_BATCH_SIZE,
 };
 pub use windowed::{ChurnCounters, Window, WindowSpec, WindowedMetrics};

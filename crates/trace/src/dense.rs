@@ -15,6 +15,9 @@
 //! threads; each worker replays it against its own cache.
 
 use crate::doctype::DocumentType;
+use crate::error::TraceError;
+use crate::format::type_from_char;
+use crate::format_bin::{MAGIC, RECORD_BYTES, VERSION};
 use crate::fxhash::FxHashMap;
 use crate::record::Trace;
 use crate::types::{ByteSize, DocId};
@@ -56,6 +59,79 @@ impl DenseTrace {
             types,
             distinct: intern.len(),
         }
+    }
+
+    /// Builds the dense view straight from WCTB binary bytes
+    /// (see [`crate::format_bin`]), skipping the intermediate
+    /// [`Trace`]/`Request` vector entirely.
+    ///
+    /// Records are decoded and interned in a single pass: per request
+    /// only the 13 bytes the simulator consumes (slot, size, type) are
+    /// materialized, instead of a 32-byte `Request` first. Timestamps
+    /// are validated-over and dropped, exactly as [`DenseTrace::build`]
+    /// drops them. Equivalent to
+    /// `DenseTrace::build(&format_bin::from_bytes(bytes)?)` — the
+    /// round-trip tests pin that — at roughly half the peak memory.
+    ///
+    /// # Errors
+    ///
+    /// The same [`TraceError::Parse`] cases as
+    /// [`crate::format_bin::from_bytes`]: bad magic, unsupported
+    /// version, truncated header or records, trailing bytes, invalid
+    /// type tags.
+    pub fn from_wctb_bytes(bytes: &[u8]) -> Result<Self, TraceError> {
+        let Some(header) = bytes.get(..16) else {
+            return Err(TraceError::parse(0, "truncated header"));
+        };
+        if header[..4] != MAGIC {
+            return Err(TraceError::parse(0, "bad magic (not a WCTB trace)"));
+        }
+        if header[4] != VERSION {
+            return Err(TraceError::parse(
+                0,
+                format!("unsupported version {}", header[4]),
+            ));
+        }
+        let count = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+        let body = &bytes[16..];
+
+        let cap = usize::try_from(count).unwrap_or(0);
+        let mut docs = Vec::with_capacity(cap);
+        let mut sizes = Vec::with_capacity(cap);
+        let mut types = Vec::with_capacity(cap);
+        let mut intern: FxHashMap<u64, u32> = FxHashMap::default();
+        for i in 0..count {
+            let offset = i as usize * RECORD_BYTES;
+            let Some(record) = body.get(offset..offset + RECORD_BYTES) else {
+                return Err(TraceError::parse(
+                    i as usize + 1,
+                    format!("truncated record {i} of {count}"),
+                ));
+            };
+            // record[0..8] is the timestamp: validated by presence, unused.
+            let doc = u64::from_le_bytes(record[8..16].try_into().expect("8 bytes"));
+            let size = u64::from_le_bytes(record[16..24].try_into().expect("8 bytes"));
+            let ty = type_from_char(record[24] as char).ok_or_else(|| {
+                TraceError::parse(i as usize + 1, format!("bad type tag {}", record[24]))
+            })?;
+            let next = intern.len() as u32;
+            let slot = *intern.entry(doc).or_insert(next);
+            docs.push(slot);
+            sizes.push(size);
+            types.push(ty.index() as u8);
+        }
+        if body.len() > cap * RECORD_BYTES {
+            return Err(TraceError::parse(
+                cap + 1,
+                "trailing bytes after final record",
+            ));
+        }
+        Ok(DenseTrace {
+            docs,
+            sizes,
+            types,
+            distinct: intern.len(),
+        })
     }
 
     /// Number of requests.
@@ -169,5 +245,79 @@ mod tests {
     #[test]
     fn slot_doc_roundtrips() {
         assert_eq!(DenseTrace::slot_doc(7).as_u64(), 7);
+    }
+
+    fn mixed_trace() -> Trace {
+        (0..150u64)
+            .map(|i| {
+                Request::new(
+                    Timestamp::from_millis(i * 11),
+                    DocId::new(1_000_000 + i % 23),
+                    DocumentType::ALL[(i % 5) as usize],
+                    ByteSize::new(i * 31 + 1),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn from_wctb_bytes_equals_build_of_decoded_trace() {
+        let trace = mixed_trace();
+        let bytes = crate::format_bin::to_bytes(&trace);
+        let direct = DenseTrace::from_wctb_bytes(&bytes).unwrap();
+        let via_trace = DenseTrace::build(&crate::format_bin::from_bytes(&bytes).unwrap());
+        assert_eq!(direct, via_trace);
+        assert_eq!(direct, DenseTrace::build(&trace));
+    }
+
+    #[test]
+    fn from_wctb_bytes_handles_empty_trace() {
+        let bytes = crate::format_bin::to_bytes(&Trace::new());
+        let dense = DenseTrace::from_wctb_bytes(&bytes).unwrap();
+        assert!(dense.is_empty());
+        assert_eq!(dense.distinct_documents(), 0);
+    }
+
+    #[test]
+    fn from_wctb_bytes_rejects_what_the_trace_reader_rejects() {
+        let good = crate::format_bin::to_bytes(&mixed_trace());
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        let err = DenseTrace::from_wctb_bytes(&bad_magic)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("magic"), "{err}");
+
+        let mut bad_version = good.clone();
+        bad_version[4] = 9;
+        let err = DenseTrace::from_wctb_bytes(&bad_version)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("version 9"), "{err}");
+
+        let err = DenseTrace::from_wctb_bytes(&good[..10])
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("truncated header"), "{err}");
+
+        let err = DenseTrace::from_wctb_bytes(&good[..good.len() - 7])
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("truncated record"), "{err}");
+
+        let mut trailing = good.clone();
+        trailing.push(0xFF);
+        let err = DenseTrace::from_wctb_bytes(&trailing)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("trailing"), "{err}");
+
+        let mut bad_tag = good;
+        bad_tag[16 + 24] = b'Q';
+        let err = DenseTrace::from_wctb_bytes(&bad_tag)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("type tag"), "{err}");
     }
 }
