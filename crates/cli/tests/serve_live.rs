@@ -181,6 +181,67 @@ fn cliff_trace_fires_anomaly_once_and_endpoints_answer() {
 }
 
 #[test]
+fn sharded_daemon_exports_per_shard_balance_metrics() {
+    let args = Args::parse(
+        &argv(
+            "--workload dfn --quick --passes 2 --port 0 --log-level error --shards 4 --clients 4",
+        ),
+        &["quick"],
+    )
+    .unwrap();
+    let opts = ServeOptions::from_args(&args).unwrap();
+
+    static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+    let (tx, rx) = mpsc::channel();
+    let daemon = std::thread::spawn(move || {
+        serve_with(opts, &SHUTDOWN, move |addr| tx.send(addr).unwrap()).unwrap()
+    });
+    let addr = rx.recv_timeout(Duration::from_secs(10)).expect("ready");
+
+    let health = await_replay_done(addr, Duration::from_secs(60));
+    assert!(health.contains("\"passes\": 2"), "{health}");
+
+    let (status, metrics) = http_get(addr, "/metrics");
+    assert_eq!(status, 200);
+    for shard in 0..4 {
+        assert!(
+            metrics.contains(&format!(
+                "webcache_serve_shard_requests_total{{shard=\"{shard}\"}}"
+            )),
+            "missing shard {shard} requests: {metrics}"
+        );
+        assert!(
+            metrics.contains(&format!(
+                "webcache_serve_shard_hit_rate{{shard=\"{shard}\"}}"
+            )),
+            "missing shard {shard} hit rate: {metrics}"
+        );
+    }
+    assert!(
+        metrics.contains("webcache_serve_shard_request_imbalance"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("webcache_serve_passes_total 2"),
+        "{metrics}"
+    );
+    // Every shard actually received traffic on a realistic workload.
+    for line in metrics.lines() {
+        if let Some(rest) = line.strip_prefix("webcache_serve_shard_requests_total{") {
+            let value: f64 = rest
+                .split_whitespace()
+                .next_back()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0.0);
+            assert!(value > 0.0, "idle shard: {line}");
+        }
+    }
+
+    SHUTDOWN.store(true, Ordering::SeqCst);
+    daemon.join().expect("daemon thread");
+}
+
+#[test]
 fn workload_mode_replays_the_endless_generator() {
     let args = Args::parse(
         &argv("--workload dfn --quick --passes 2 --port 0 --log-level error"),
@@ -223,7 +284,16 @@ fn serve_usage_errors() {
         "--workload dfn --log-level loud",   // unknown level
         "--workload dfn --warmup 1.5",       // warmup out of range
         "--workload dfn --rate 0",           // non-positive rate
+        "--workload dfn --rate nan",         // parses as f64 but is useless
+        "--workload dfn --rate inf",         // likewise
+        "--workload dfn --rate -3",          // negative
+        "--workload dfn --rate fast",        // non-numeric
         "--workload dfn --anomaly-window 0", // empty window
+        "--workload dfn --shards 0",         // zero shards
+        "--workload dfn --shards 6",         // not a power of two
+        "--workload dfn --shards four",      // non-numeric
+        "--workload dfn --clients 0",        // zero clients
+        "--workload dfn --clients many",     // non-numeric
     ] {
         let args = Args::parse(&argv(bad), &["quick"]).unwrap();
         assert!(

@@ -50,9 +50,14 @@ pub mod cost;
 pub mod float;
 pub mod policy;
 pub mod pqueue;
+pub mod sharded;
 
 pub use admission::{AdmissionController, AdmissionRule};
 pub use cache::{Cache, Eviction, EvictionOutcome, InsertDisposition, Occupancy};
 pub use cost::CostModel;
 pub use float::OrderedF64;
 pub use policy::{BetaMode, PolicyKind, ReplacementPolicy};
+pub use sharded::{
+    validate_shard_count, ShardBalance, ShardConfigError, ShardCounters, ShardSnapshot,
+    ShardedEngine,
+};

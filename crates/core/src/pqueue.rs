@@ -451,12 +451,13 @@ where
                         self.pending_pos.set(self.pending[pi].0, pi);
                     }
                     self.stale -= 1;
-                    // Recompute the floor exactly: the retired key was
-                    // often the old floor, and leaving it stale-low
-                    // would force a needless flush on the very next
-                    // pop. The buffer only ever holds decreases, so
-                    // this scan is short.
-                    self.pending_floor = self.pending.iter().map(|&(_, k)| k).min();
+                    // Keep the floor exact: leaving a retired floor key
+                    // stale-low would force a needless flush on the
+                    // very next pop. The min over the buffer only moves
+                    // when the retired key *was* the floor, so the
+                    // O(pending) rescan is paid exactly then — for any
+                    // higher key the floor stands untouched.
+                    self.retire_from_floor(new_key);
                     self.slots[0].0 = new_key;
                     cost += self.sift_down(0);
                     continue;
@@ -496,7 +497,7 @@ where
                 } else {
                     self.pending_new -= 1;
                 }
-                self.pending_floor = self.pending.iter().map(|&(_, k)| k).min();
+                self.retire_from_floor(key);
                 return Some((key, cost));
             }
         }
@@ -621,6 +622,19 @@ where
             Some(floor) if floor <= key => floor,
             _ => key,
         });
+    }
+
+    /// Restores the pending floor after an entry with `retired` was
+    /// removed from the buffer. The floor is a lower bound on every
+    /// buffered key, so a retired key strictly above it cannot have been
+    /// the minimum and the floor stands; only `retired <= floor` (the
+    /// retired entry was the floor, or the floor had gone stale-low
+    /// through coalescing) forces the exact rescan.
+    fn retire_from_floor(&mut self, retired: K) {
+        match self.pending_floor {
+            Some(floor) if retired > floor => {}
+            _ => self.pending_floor = self.pending.iter().map(|&(_, k)| k).min(),
+        }
     }
 
     fn remove_at(&mut self, idx: usize) -> HeapCost {

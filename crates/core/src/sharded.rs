@@ -1,0 +1,627 @@
+//! A concurrent, shard-striped cache engine.
+//!
+//! [`ShardedEngine`] splits one logical cache into `N` independent
+//! shards (`N` a power of two). Each shard owns a full [`Cache`] — its
+//! own slab store and its own replacement-policy instance — sized at
+//! `capacity / N`, behind its own `Mutex`. Documents are routed to
+//! shards by fx-hashing their [`DocId`] ([`ShardedEngine::route`]), so
+//! a document only ever lives in, and contends on, one shard.
+//!
+//! Two access paths with different locking disciplines:
+//!
+//! * **Write path** (lookups, inserts, invalidations) — `Mutex`-striped:
+//!   a request locks exactly its document's shard, so disjoint shards
+//!   proceed fully in parallel.
+//! * **Read path** (hit-rate accounting) — lock-free: per-shard
+//!   [`ShardCounters`] are plain relaxed atomics, updated by the
+//!   writers and readable by a metrics scraper (`/metrics`, `/healthz`)
+//!   at any time without touching a single mutex. The counter types
+//!   mirror the `webcache-obs` registry (`AtomicU64` adds), so gauges
+//!   can be fed straight from a [`ShardSnapshot`].
+//!
+//! Sharding is not free in *quality*: each shard evicts against its own
+//! `capacity / N` budget with only its own documents' recency/frequency
+//! state, so eviction decisions that a global policy would make across
+//! the whole population are approximated per shard. The simulator's
+//! concurrent driver measures exactly this delta against the
+//! single-shard oracle (`N = 1`, which degenerates to a plain
+//! [`Cache`] bit-for-bit).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use webcache_trace::{fxhash, ByteSize, DocId, DocumentType};
+
+use crate::admission::AdmissionRule;
+use crate::cache::Cache;
+use crate::policy::PolicyKind;
+
+/// Rejected shard configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardConfigError {
+    /// A shard count of zero.
+    Zero,
+    /// A shard count that is not a power of two (carries the value).
+    NotPowerOfTwo(usize),
+}
+
+impl std::fmt::Display for ShardConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardConfigError::Zero => write!(f, "shard count must be at least 1"),
+            ShardConfigError::NotPowerOfTwo(n) => {
+                write!(f, "shard count must be a power of two, got {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardConfigError {}
+
+/// Validates a shard count: positive and a power of two.
+///
+/// Power-of-two counts keep the router a shift of the hash's top bits —
+/// no modulo — and make capacity splitting exact in the common case.
+///
+/// # Errors
+///
+/// [`ShardConfigError`] describing the rejected value.
+pub fn validate_shard_count(shards: usize) -> Result<(), ShardConfigError> {
+    if shards == 0 {
+        Err(ShardConfigError::Zero)
+    } else if !shards.is_power_of_two() {
+        Err(ShardConfigError::NotPowerOfTwo(shards))
+    } else {
+        Ok(())
+    }
+}
+
+/// Lock-free per-shard accounting: requests, hits and byte volumes.
+///
+/// Updated with relaxed atomics on the write path (either per request
+/// via [`ShardCounters::record`] or amortized per batch via
+/// [`ShardCounters::add_bulk`]); read at any time via
+/// [`ShardCounters::snapshot`] with no locks. Individual counters are
+/// each internally consistent; a snapshot taken mid-batch may be a few
+/// requests stale, which is fine for rate gauges.
+#[derive(Debug, Default)]
+pub struct ShardCounters {
+    requests: AtomicU64,
+    hits: AtomicU64,
+    bytes_requested: AtomicU64,
+    bytes_hit: AtomicU64,
+}
+
+impl ShardCounters {
+    /// Accounts one request of `size` bytes that hit (or missed).
+    #[inline]
+    pub fn record(&self, size: ByteSize, hit: bool) {
+        self.add_bulk(
+            1,
+            hit as u64,
+            size.as_u64(),
+            if hit { size.as_u64() } else { 0 },
+        );
+    }
+
+    /// Accounts a batch of requests in four adds (the amortized path).
+    #[inline]
+    pub fn add_bulk(&self, requests: u64, hits: u64, bytes_requested: u64, bytes_hit: u64) {
+        self.requests.fetch_add(requests, Ordering::Relaxed);
+        self.hits.fetch_add(hits, Ordering::Relaxed);
+        self.bytes_requested
+            .fetch_add(bytes_requested, Ordering::Relaxed);
+        self.bytes_hit.fetch_add(bytes_hit, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> ShardSnapshot {
+        ShardSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            bytes_requested: self.bytes_requested.load(Ordering::Relaxed),
+            bytes_hit: self.bytes_hit.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-value copy of one shard's [`ShardCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardSnapshot {
+    /// Requests routed to the shard.
+    pub requests: u64,
+    /// Requests served from the shard.
+    pub hits: u64,
+    /// Bytes requested from the shard.
+    pub bytes_requested: u64,
+    /// Bytes served from the shard.
+    pub bytes_hit: u64,
+}
+
+impl ShardSnapshot {
+    /// Hit rate (0 when the shard saw no requests).
+    pub fn hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.requests as f64
+        }
+    }
+
+    /// Byte hit rate (0 when the shard served no bytes).
+    pub fn byte_hit_rate(&self) -> f64 {
+        if self.bytes_requested == 0 {
+            0.0
+        } else {
+            self.bytes_hit as f64 / self.bytes_requested as f64
+        }
+    }
+
+    /// Sums the other snapshot into this one.
+    pub fn merge(&mut self, other: ShardSnapshot) {
+        self.requests += other.requests;
+        self.hits += other.hits;
+        self.bytes_requested += other.bytes_requested;
+        self.bytes_hit += other.bytes_hit;
+    }
+}
+
+/// How evenly requests and bytes spread across shards.
+///
+/// `imbalance` metrics are `max / mean` over all shards: `1.0` is a
+/// perfect spread, `N` means one shard took everything.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardBalance {
+    /// Requests routed to the busiest shard.
+    pub max_requests: u64,
+    /// Mean requests per shard.
+    pub mean_requests: f64,
+    /// `max_requests / mean_requests` (1.0 when no shard saw traffic).
+    pub request_imbalance: f64,
+    /// Bytes requested from the heaviest shard.
+    pub max_bytes: u64,
+    /// Mean bytes requested per shard.
+    pub mean_bytes: f64,
+    /// `max_bytes / mean_bytes` (1.0 when no bytes moved).
+    pub byte_imbalance: f64,
+}
+
+impl ShardBalance {
+    /// Computes the balance of per-shard `(requests, bytes_requested)`
+    /// counts.
+    pub fn from_counts(per_shard: &[(u64, u64)]) -> ShardBalance {
+        let shards = per_shard.len().max(1);
+        let total_requests: u64 = per_shard.iter().map(|&(r, _)| r).sum();
+        let total_bytes: u64 = per_shard.iter().map(|&(_, b)| b).sum();
+        let max_requests = per_shard.iter().map(|&(r, _)| r).max().unwrap_or(0);
+        let max_bytes = per_shard.iter().map(|&(_, b)| b).max().unwrap_or(0);
+        let mean_requests = total_requests as f64 / shards as f64;
+        let mean_bytes = total_bytes as f64 / shards as f64;
+        let ratio = |max: u64, mean: f64| if mean > 0.0 { max as f64 / mean } else { 1.0 };
+        ShardBalance {
+            max_requests,
+            mean_requests,
+            request_imbalance: ratio(max_requests, mean_requests),
+            max_bytes,
+            mean_bytes,
+            byte_imbalance: ratio(max_bytes, mean_bytes),
+        }
+    }
+}
+
+/// One shard: its cache behind the stripe lock, plus the lock-free
+/// counters beside it.
+#[derive(Debug)]
+struct Shard {
+    cache: Mutex<Cache>,
+    counters: ShardCounters,
+}
+
+/// The concurrent sharded engine. See the [module docs](self).
+#[derive(Debug)]
+pub struct ShardedEngine {
+    shards: Vec<Shard>,
+    capacity: ByteSize,
+    shard_capacity: ByteSize,
+    policy_label: String,
+}
+
+impl ShardedEngine {
+    /// Builds an engine of `shards` shards splitting `capacity` evenly,
+    /// each with a fresh instance of `kind` and sparse-id document
+    /// interning (the general-purpose path; replay drivers with a dense
+    /// trace should use [`ShardedEngine::with_dense_shards`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ShardConfigError`] when `shards` is zero or not a power of two.
+    pub fn new(
+        capacity: ByteSize,
+        kind: PolicyKind,
+        admission: AdmissionRule,
+        shards: usize,
+    ) -> Result<ShardedEngine, ShardConfigError> {
+        validate_shard_count(shards)?;
+        let shard_capacity = Self::split_capacity(capacity, shards);
+        let shards = (0..shards)
+            .map(|_| Shard {
+                cache: Mutex::new(Cache::with_admission(
+                    shard_capacity,
+                    kind.build(),
+                    admission,
+                )),
+                counters: ShardCounters::default(),
+            })
+            .collect();
+        Ok(ShardedEngine {
+            shards,
+            capacity,
+            shard_capacity,
+            policy_label: kind.label(),
+        })
+    }
+
+    /// Builds an engine whose shards use dense slot addressing:
+    /// `per_shard_distinct[s]` is shard `s`'s distinct-document count and
+    /// its documents must be addressed as `DocId::new(local_slot)` with
+    /// shard-local slots `0..per_shard_distinct[s]` (a sharded trace
+    /// view computes the mapping). With `batched`, every shard's policy
+    /// is switched to deferred heap maintenance before it moves into its
+    /// cache, matching the batched replay loop.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardConfigError`] when the shard count is zero or not a power
+    /// of two.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `per_shard_distinct` is empty (its length is the
+    /// shard count).
+    pub fn with_dense_shards(
+        capacity: ByteSize,
+        kind: PolicyKind,
+        admission: AdmissionRule,
+        per_shard_distinct: &[usize],
+        batched: bool,
+    ) -> Result<ShardedEngine, ShardConfigError> {
+        validate_shard_count(per_shard_distinct.len())?;
+        let shard_capacity = Self::split_capacity(capacity, per_shard_distinct.len());
+        let shards = per_shard_distinct
+            .iter()
+            .map(|&distinct| {
+                let mut policy = kind.build();
+                if batched {
+                    policy.set_batched(true);
+                }
+                Shard {
+                    cache: Mutex::new(Cache::with_dense_slots(
+                        shard_capacity,
+                        policy,
+                        admission,
+                        distinct,
+                    )),
+                    counters: ShardCounters::default(),
+                }
+            })
+            .collect();
+        Ok(ShardedEngine {
+            shards,
+            capacity,
+            shard_capacity,
+            policy_label: kind.label(),
+        })
+    }
+
+    /// Splits the total byte budget evenly, never below one byte per
+    /// shard (a [`Cache`] rejects a zero capacity).
+    fn split_capacity(capacity: ByteSize, shards: usize) -> ByteSize {
+        ByteSize::new((capacity.as_u64() / shards as u64).max(1))
+    }
+
+    /// Stateless routing: which of `shard_count` shards owns `doc`.
+    ///
+    /// Fx-hashes the id and keeps the hash's **top** `log2(shard_count)`
+    /// bits — the single-multiply fx hash mixes upward, so the low bits
+    /// of sequential ids are not usable as a bucket index.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `shard_count` is a positive power of two
+    /// (validated constructors uphold this).
+    #[inline]
+    pub fn route(doc: DocId, shard_count: usize) -> usize {
+        debug_assert!(shard_count.is_power_of_two());
+        if shard_count == 1 {
+            return 0;
+        }
+        let bits = shard_count.trailing_zeros();
+        (fxhash::hash_u64(doc.as_u64()) >> (64 - bits)) as usize
+    }
+
+    /// Which of this engine's shards owns `doc` (sparse-id addressing;
+    /// dense-slot drivers route through their trace view instead).
+    #[inline]
+    pub fn shard_of(&self, doc: DocId) -> usize {
+        Self::route(doc, self.shards.len())
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The total configured capacity.
+    pub fn capacity(&self) -> ByteSize {
+        self.capacity
+    }
+
+    /// The per-shard capacity (`capacity / shards`, at least 1 byte).
+    pub fn shard_capacity(&self) -> ByteSize {
+        self.shard_capacity
+    }
+
+    /// The replacement policy's display label (e.g. `"GD*(P)"`).
+    pub fn policy_label(&self) -> String {
+        self.policy_label.clone()
+    }
+
+    /// One full request against the engine: look the document up in its
+    /// shard, fetch-and-insert on a miss, and account the outcome in the
+    /// shard's lock-free counters. Returns `true` on a hit.
+    pub fn request(&self, doc: DocId, doc_type: DocumentType, size: ByteSize) -> bool {
+        let shard = &self.shards[self.shard_of(doc)];
+        let hit = {
+            let mut cache = shard.cache.lock().expect("shard mutex poisoned");
+            let hit = cache.access(doc);
+            if !hit {
+                cache.insert(doc, doc_type, size);
+            }
+            hit
+        };
+        shard.counters.record(size, hit);
+        hit
+    }
+
+    /// Drops `doc`'s cached copy (origin-side modification), if any.
+    pub fn invalidate(&self, doc: DocId) -> bool {
+        let shard = &self.shards[self.shard_of(doc)];
+        let mut cache = shard.cache.lock().expect("shard mutex poisoned");
+        cache.invalidate(doc)
+    }
+
+    /// Runs `f` with shard `index`'s cache locked.
+    ///
+    /// This is the replay drivers' bulk path: a worker that owns a
+    /// shard's whole request subsequence takes the stripe lock once and
+    /// replays through it, instead of locking per request.
+    pub fn with_shard<R>(&self, index: usize, f: impl FnOnce(&mut Cache) -> R) -> R {
+        let mut cache = self.shards[index]
+            .cache
+            .lock()
+            .expect("shard mutex poisoned");
+        f(&mut cache)
+    }
+
+    /// Shard `index`'s lock-free counters (for bulk accounting next to
+    /// [`ShardedEngine::with_shard`]).
+    pub fn counters(&self, index: usize) -> &ShardCounters {
+        &self.shards[index].counters
+    }
+
+    /// Snapshots every shard's counters, lock-free, in shard order.
+    pub fn snapshot(&self) -> Vec<ShardSnapshot> {
+        self.shards.iter().map(|s| s.counters.snapshot()).collect()
+    }
+
+    /// The engine-wide counter totals, lock-free.
+    pub fn totals(&self) -> ShardSnapshot {
+        let mut total = ShardSnapshot::default();
+        for shard in &self.shards {
+            total.merge(shard.counters.snapshot());
+        }
+        total
+    }
+
+    /// Request/byte spread across shards, from the lock-free counters.
+    pub fn balance(&self) -> ShardBalance {
+        let counts: Vec<(u64, u64)> = self
+            .shards
+            .iter()
+            .map(|s| {
+                let snap = s.counters.snapshot();
+                (snap.requests, snap.bytes_requested)
+            })
+            .collect();
+        ShardBalance::from_counts(&counts)
+    }
+
+    /// Bytes resident across all shards (locks each shard briefly).
+    pub fn used_bytes(&self) -> ByteSize {
+        let mut total = 0u64;
+        for shard in &self.shards {
+            total += shard
+                .cache
+                .lock()
+                .expect("shard mutex poisoned")
+                .used_bytes()
+                .as_u64();
+        }
+        ByteSize::new(total)
+    }
+
+    /// Documents resident across all shards (locks each shard briefly).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.cache.lock().expect("shard mutex poisoned").len())
+            .sum()
+    }
+
+    /// Whether no shard holds a document.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(shards: usize) -> ShardedEngine {
+        ShardedEngine::new(
+            ByteSize::new(8_000),
+            PolicyKind::Lru,
+            AdmissionRule::All,
+            shards,
+        )
+        .expect("valid shard count")
+    }
+
+    #[test]
+    fn shard_count_validation() {
+        assert_eq!(validate_shard_count(0), Err(ShardConfigError::Zero));
+        assert_eq!(
+            validate_shard_count(3),
+            Err(ShardConfigError::NotPowerOfTwo(3))
+        );
+        assert_eq!(
+            validate_shard_count(12),
+            Err(ShardConfigError::NotPowerOfTwo(12))
+        );
+        for n in [1, 2, 4, 8, 64, 1024] {
+            assert_eq!(validate_shard_count(n), Ok(()));
+        }
+        let err = ShardConfigError::NotPowerOfTwo(6).to_string();
+        assert!(err.contains("power of two") && err.contains('6'), "{err}");
+    }
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        for n in [1usize, 2, 4, 8, 256] {
+            for id in 0..1_000u64 {
+                let shard = ShardedEngine::route(DocId::new(id), n);
+                assert!(shard < n);
+                assert_eq!(shard, ShardedEngine::route(DocId::new(id), n));
+            }
+        }
+    }
+
+    #[test]
+    fn routing_spreads_sequential_ids() {
+        let n = 8;
+        let mut counts = vec![0usize; n];
+        for id in 0..8_000u64 {
+            counts[ShardedEngine::route(DocId::new(id), n)] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(
+            max < 2 * min.max(1),
+            "sequential ids skewed across shards: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn capacity_splits_evenly_with_a_floor_of_one() {
+        let e = engine(4);
+        assert_eq!(e.capacity().as_u64(), 8_000);
+        assert_eq!(e.shard_capacity().as_u64(), 2_000);
+        let tiny =
+            ShardedEngine::new(ByteSize::new(3), PolicyKind::Lru, AdmissionRule::All, 8).unwrap();
+        assert_eq!(tiny.shard_capacity().as_u64(), 1);
+    }
+
+    #[test]
+    fn requests_hit_their_own_shard_and_count_lock_free() {
+        let e = engine(4);
+        let doc = DocId::new(42);
+        assert!(!e.request(doc, DocumentType::Html, ByteSize::new(100)));
+        assert!(e.request(doc, DocumentType::Html, ByteSize::new(100)));
+        let totals = e.totals();
+        assert_eq!(totals.requests, 2);
+        assert_eq!(totals.hits, 1);
+        assert_eq!(totals.bytes_requested, 200);
+        assert_eq!(totals.bytes_hit, 100);
+        assert!((totals.hit_rate() - 0.5).abs() < 1e-12);
+        assert!((totals.byte_hit_rate() - 0.5).abs() < 1e-12);
+        // Exactly one shard saw the traffic.
+        let busy: Vec<_> = e
+            .snapshot()
+            .into_iter()
+            .filter(|s| s.requests > 0)
+            .collect();
+        assert_eq!(busy.len(), 1);
+        assert_eq!(e.len(), 1);
+        assert!(!e.is_empty());
+        assert_eq!(e.used_bytes().as_u64(), 100);
+    }
+
+    #[test]
+    fn invalidate_reaches_the_owning_shard() {
+        let e = engine(8);
+        let doc = DocId::new(7);
+        e.request(doc, DocumentType::Image, ByteSize::new(50));
+        assert!(e.invalidate(doc));
+        assert!(!e.invalidate(doc), "second invalidate finds nothing");
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn single_shard_engine_behaves_like_a_plain_cache() {
+        let e = engine(1);
+        let mut plain = Cache::new(ByteSize::new(8_000), PolicyKind::Lru.build());
+        for id in 0..200u64 {
+            let doc = DocId::new(id % 37);
+            let size = ByteSize::new(64 + id % 5);
+            let expected = {
+                let hit = plain.access(doc);
+                if !hit {
+                    plain.insert(doc, DocumentType::Html, size);
+                }
+                hit
+            };
+            assert_eq!(e.request(doc, DocumentType::Html, size), expected);
+        }
+        assert_eq!(e.len(), plain.len());
+        assert_eq!(e.used_bytes(), plain.used_bytes());
+    }
+
+    #[test]
+    fn concurrent_requests_from_many_threads_account_exactly() {
+        let e = engine(4);
+        let threads = 8;
+        let per_thread = 500u64;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let e = &e;
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        let doc = DocId::new((t * per_thread + i) % 61);
+                        e.request(doc, DocumentType::Html, ByteSize::new(10));
+                    }
+                });
+            }
+        });
+        let totals = e.totals();
+        assert_eq!(totals.requests, threads * per_thread);
+        assert_eq!(totals.bytes_requested, threads * per_thread * 10);
+        let balance = e.balance();
+        assert!(balance.request_imbalance >= 1.0);
+        assert_eq!(
+            e.snapshot().iter().map(|s| s.requests).sum::<u64>(),
+            totals.requests
+        );
+    }
+
+    #[test]
+    fn balance_of_empty_and_skewed_counts() {
+        let empty = ShardBalance::from_counts(&[(0, 0), (0, 0)]);
+        assert_eq!(empty.request_imbalance, 1.0);
+        assert_eq!(empty.byte_imbalance, 1.0);
+        let skewed = ShardBalance::from_counts(&[(30, 300), (10, 100)]);
+        assert_eq!(skewed.max_requests, 30);
+        assert!((skewed.request_imbalance - 1.5).abs() < 1e-12);
+        assert!((skewed.byte_imbalance - 1.5).abs() < 1e-12);
+    }
+}

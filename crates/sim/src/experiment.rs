@@ -161,6 +161,7 @@ pub struct CacheSizeSweep {
     capacities: Vec<ByteSize>,
     template: SimulationConfig,
     batched: bool,
+    shards: usize,
 }
 
 impl CacheSizeSweep {
@@ -182,6 +183,7 @@ impl CacheSizeSweep {
             capacities,
             template: SimulationConfig::new(ByteSize::new(1)),
             batched: true,
+            shards: 1,
         }
     }
 
@@ -200,6 +202,22 @@ impl CacheSizeSweep {
     #[must_use]
     pub fn with_batched(mut self, batched: bool) -> Self {
         self.batched = batched;
+        self
+    }
+
+    /// Runs every grid cell through an `N`-shard
+    /// [`ShardedEngine`](webcache_core::ShardedEngine) instead of the
+    /// single serial cache (capacity split evenly across shards). The
+    /// default of 1 is bit-identical to the serial sweep; larger counts
+    /// quantify the eviction-quality cost of sharding.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is zero or not a power of two.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        webcache_core::validate_shard_count(shards).expect("sweep shard count");
+        self.shards = shards;
         self
     }
 
@@ -259,6 +277,10 @@ impl CacheSizeSweep {
         F: Fn(&SweepProgress) + Sync,
     {
         let dense = DenseTrace::build(trace);
+        let sharded = (self.shards > 1).then(|| {
+            crate::concurrent::ShardedTrace::build(&dense, self.shards)
+                .expect("with_shards validated the count")
+        });
         let mut tasks: Vec<(PolicyKind, ByteSize)> = Vec::new();
         for &policy in &self.policies {
             for &capacity in &self.capacities {
@@ -285,6 +307,7 @@ impl CacheSizeSweep {
                 let results = &results;
                 let progress = &progress;
                 let dense = &dense;
+                let sharded = &sharded;
                 scope.spawn(move || loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(&(policy, capacity)) = tasks.get(i) else {
@@ -298,11 +321,21 @@ impl CacheSizeSweep {
                         rec.begin(format!("{} @ {capacity}", policy.label()));
                     }
                     let started = Instant::now();
-                    let simulator = Simulator::new(policy.build(), config);
-                    let report = if self.batched {
-                        simulator.run_dense_batched(dense)
+                    let report = if let Some(split) = sharded {
+                        // Sharded cells run single-client: the sweep's
+                        // own workers provide the parallelism, and the
+                        // merged report is client-count independent
+                        // anyway.
+                        crate::concurrent::ConcurrentSimulator::new(policy, config)
+                            .run_sharded(dense, split, 1)
+                            .to_simulation_report()
                     } else {
-                        simulator.run_dense(dense)
+                        let simulator = Simulator::new(policy.build(), config);
+                        if self.batched {
+                            simulator.run_dense_batched(dense)
+                        } else {
+                            simulator.run_dense(dense)
+                        }
                     };
                     let elapsed = started.elapsed();
                     if let Some(rec) = recorder.as_deref_mut() {
@@ -409,6 +442,46 @@ mod tests {
             assert_eq!(b.capacity, s.capacity);
             assert_eq!(b.report, s.report, "{} @ {}", b.policy.label(), b.capacity);
         }
+    }
+
+    #[test]
+    fn single_shard_sweep_matches_plain_sweep() {
+        let trace = tiny_trace();
+        let policies = vec![
+            PolicyKind::Lru,
+            PolicyKind::GdStar(webcache_core::CostModel::Packet),
+        ];
+        let capacities = vec![ByteSize::new(2_000), ByteSize::new(8_000)];
+        let plain =
+            CacheSizeSweep::new(policies.clone(), capacities.clone()).run_with_threads(&trace, 2);
+        let sharded = CacheSizeSweep::new(policies, capacities)
+            .with_shards(1)
+            .run_with_threads(&trace, 2);
+        for (p, s) in plain.points().iter().zip(sharded.points()) {
+            assert_eq!(p.report.by_type(), s.report.by_type());
+        }
+    }
+
+    #[test]
+    fn sharded_sweep_runs_the_full_grid() {
+        let trace = tiny_trace();
+        let report = CacheSizeSweep::new(
+            vec![PolicyKind::Lru, PolicyKind::LfuDa],
+            vec![ByteSize::new(2_000), ByteSize::new(8_000)],
+        )
+        .with_shards(4)
+        .run_with_threads(&trace, 2);
+        assert_eq!(report.points().len(), 4);
+        for point in report.points() {
+            assert!(point.report.overall().requests > 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep shard count")]
+    fn sweep_rejects_non_power_of_two_shards() {
+        let _ =
+            CacheSizeSweep::new(vec![PolicyKind::Lru], vec![ByteSize::new(1_000)]).with_shards(3);
     }
 
     #[test]

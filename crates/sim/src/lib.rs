@@ -42,6 +42,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod anomaly;
+pub mod concurrent;
 pub mod experiment;
 pub mod hierarchy;
 pub mod latency;
@@ -57,6 +58,10 @@ pub mod simulator;
 pub mod windowed;
 
 pub use anomaly::{AnomalyConfig, AnomalyKind, AnomalyObserver};
+pub use concurrent::{
+    ConcurrentPassSummary, ConcurrentReport, ConcurrentSimulator, ShardSummary, ShardedReplayLoop,
+    ShardedTrace,
+};
 pub use experiment::{CacheSizeSweep, SweepPoint, SweepProgress, SweepReport};
 pub use hierarchy::{simulate_hierarchy, HierarchyConfig, HierarchyReport};
 pub use latency::{LatencyEstimate, LatencyModel, LinkModel};

@@ -94,6 +94,19 @@ impl LiveStatus {
     pub fn last_pass_req_per_sec(&self) -> f64 {
         f64::from_bits(self.last_pass_rps.load(Ordering::Relaxed))
     }
+
+    /// Flags the replay loop as running / stopped (driver-side).
+    pub(crate) fn set_replaying(&self, on: bool) {
+        self.replaying.store(on, Ordering::Relaxed);
+    }
+
+    /// Publishes the totals after a completed pass (driver-side).
+    pub(crate) fn record_pass(&self, passes: u64, requests: u64, req_per_sec: f64) {
+        self.passes.store(passes, Ordering::Relaxed);
+        self.requests.store(requests, Ordering::Relaxed);
+        self.last_pass_rps
+            .store(req_per_sec.to_bits(), Ordering::Relaxed);
+    }
 }
 
 /// What one completed pass looked like, handed to the `on_pass`

@@ -236,6 +236,21 @@ pub struct SimulationReport {
 }
 
 impl SimulationReport {
+    /// Assembles a report from already-merged counters (the concurrent
+    /// driver's merge path; the occupancy series stays empty there).
+    pub(crate) fn from_parts(
+        policy: String,
+        config: SimulationConfig,
+        by_type: TypeMap<HitStats>,
+    ) -> SimulationReport {
+        SimulationReport {
+            policy,
+            config,
+            by_type,
+            occupancy: OccupancySeries::new(),
+        }
+    }
+
     /// Aggregated counters over all document types.
     pub fn overall(&self) -> HitStats {
         let mut total = HitStats::default();
@@ -252,7 +267,7 @@ impl SimulationReport {
 }
 
 /// Sentinel in the dense last-transfer table: document never fetched.
-const NO_TRANSFER: u64 = u64::MAX;
+pub(crate) const NO_TRANSFER: u64 = u64::MAX;
 
 /// Default batch size of [`Simulator::run_dense_batched`].
 ///
@@ -621,7 +636,7 @@ impl Simulator {
 
 /// Classifies one request's outcome for the observer.
 #[inline(always)]
-fn access_kind(hit: bool, modified: bool) -> AccessKind {
+pub(crate) fn access_kind(hit: bool, modified: bool) -> AccessKind {
     if modified {
         AccessKind::ModificationMiss
     } else if hit {
@@ -633,7 +648,7 @@ fn access_kind(hit: bool, modified: bool) -> AccessKind {
 
 /// Forwards the insert outcome (disposition + victims) to the observer.
 #[inline(always)]
-fn notify_insert<O: Observer>(
+pub(crate) fn notify_insert<O: Observer>(
     observer: &mut O,
     event: AccessEvent,
     disposition: webcache_core::InsertDisposition,

@@ -79,6 +79,20 @@ impl Hasher for FxHasher {
     }
 }
 
+/// Hashes a single `u64` key through [`FxHasher`].
+///
+/// The one-word fast path used for stateless routing decisions (e.g.
+/// picking a shard for a document id): one rotate, one xor, one
+/// multiply. Consumers that reduce this to a small range should take
+/// the **high** bits — the low bits of a single-multiply hash depend
+/// only on the low bits of the key.
+#[inline]
+pub fn hash_u64(key: u64) -> u64 {
+    let mut hasher = FxHasher::default();
+    hasher.write_u64(key);
+    hasher.finish()
+}
+
 /// A `HashMap` using [`FxHasher`].
 pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
 
@@ -113,6 +127,23 @@ mod tests {
         let set: FxHashSet<u64> = (0..100).collect();
         assert!(set.contains(&99));
         assert!(!set.contains(&100));
+    }
+
+    #[test]
+    fn hash_u64_matches_the_hasher_and_mixes_high_bits() {
+        let via_hasher = |n: u64| {
+            let mut h = FxHasher::default();
+            h.write_u64(n);
+            h.finish()
+        };
+        for n in [0u64, 1, 42, u64::MAX, 0xdead_beef] {
+            assert_eq!(hash_u64(n), via_hasher(n));
+        }
+        // Sequential keys must land on spread-out high bits (the shard
+        // routers take the top bits).
+        let top = |n: u64| hash_u64(n) >> 60;
+        let distinct: FxHashSet<u64> = (0..64).map(top).collect();
+        assert!(distinct.len() > 8, "top bits barely vary: {distinct:?}");
     }
 
     #[test]
