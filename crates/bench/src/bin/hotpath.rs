@@ -118,10 +118,15 @@ const CONC_CLIENTS: [usize; 4] = [1, 2, 4, 8];
 /// sifts at flush; unlike the list-based policies (LRU, SLRU, FIFO),
 /// nothing is actually saved, so `batched_speedup` oscillates around
 /// 1.0 with the run-to-run noise (measured 0.95–1.04 across repeated
-/// runs, with or without load). The explicit gate below holds these
-/// cells to [`PARITY_FLOOR`] instead of [`SPEEDUP_FLOOR`] — an
-/// exemption by name, not per-cell slack.
-const PARITY_CEILING: [&str; 6] = ["GDS(1)", "GDS(P)", "GDSF(1)", "GDSF(P)", "GD*(1)", "GD*(P)"];
+/// runs, with or without load). ARC and S3-FIFO join the list for the
+/// complementary reason: their `set_batched` is a no-op (ghost-list /
+/// FIFO-queue bookkeeping runs identically per request in both modes),
+/// so their paired column is parity by construction. The explicit gate
+/// below holds these cells to [`PARITY_FLOOR`] instead of
+/// [`SPEEDUP_FLOOR`] — an exemption by name, not per-cell slack.
+const PARITY_CEILING: [&str; 8] = [
+    "GDS(1)", "GDS(P)", "GDSF(1)", "GDSF(P)", "GD*(1)", "GD*(P)", "ARC", "S3-FIFO",
+];
 
 /// Minimum paired `batched_speedup` for policies where batching is a
 /// real win (list-based bookkeeping skipped wholesale): a strict > 1

@@ -8,9 +8,10 @@ use std::collections::HashMap;
 use std::fmt;
 
 /// A parsed argument list: `--key value` pairs and boolean switches.
+/// Flags declared repeatable collect every occurrence in order.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
-    values: HashMap<String, String>,
+    values: HashMap<String, Vec<String>>,
     switches: Vec<String>,
 }
 
@@ -60,6 +61,22 @@ impl Args {
     /// value, or a value that itself looks like a flag (the usual shape
     /// of a misplaced switch).
     pub fn parse(tokens: &[String], switches: &[&str]) -> Result<Args, ArgError> {
+        Args::parse_with_repeats(tokens, switches, &[])
+    }
+
+    /// Like [`Args::parse`], but the flags in `repeatable` may appear
+    /// any number of times; their values accumulate in command-line
+    /// order (read them back with [`Args::get_all`]). Every other flag
+    /// keeps the appear-at-most-once rule.
+    ///
+    /// # Errors
+    ///
+    /// As [`Args::parse`].
+    pub fn parse_with_repeats(
+        tokens: &[String],
+        switches: &[&str],
+        repeatable: &[&str],
+    ) -> Result<Args, ArgError> {
         let mut args = Args::default();
         let mut iter = tokens.iter();
         while let Some(token) = iter.next() {
@@ -89,16 +106,28 @@ impl Args {
                     ),
                 });
             }
-            if args.values.insert(flag.to_owned(), value.clone()).is_some() {
+            let slot = args.values.entry(flag.to_owned()).or_default();
+            if !slot.is_empty() && !repeatable.contains(&flag) {
                 return Err(ArgError::Duplicate(flag.to_owned()));
             }
+            slot.push(value.clone());
         }
         Ok(args)
     }
 
-    /// An optional string value.
+    /// An optional string value (the first occurrence, for repeatable
+    /// flags).
     pub fn get(&self, flag: &str) -> Option<&str> {
-        self.values.get(flag).map(String::as_str)
+        self.values
+            .get(flag)
+            .and_then(|v| v.first())
+            .map(String::as_str)
+    }
+
+    /// Every value a repeatable flag was given, in command-line order
+    /// (empty when absent).
+    pub fn get_all(&self, flag: &str) -> &[String] {
+        self.values.get(flag).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// A required string value.
@@ -169,6 +198,25 @@ mod tests {
         assert_eq!(
             Args::parse(&toks("--csv --csv"), &["csv"]).unwrap_err(),
             ArgError::Duplicate("csv".into())
+        );
+    }
+
+    #[test]
+    fn repeatable_flags_accumulate_in_order() {
+        let a = Args::parse_with_repeats(
+            &toks("--policy tinylfu+slru --policy arc --seed 7"),
+            &[],
+            &["policy"],
+        )
+        .unwrap();
+        assert_eq!(a.get_all("policy"), ["tinylfu+slru", "arc"]);
+        assert_eq!(a.get("policy"), Some("tinylfu+slru"), "first occurrence");
+        assert_eq!(a.get_all("seed"), ["7"]);
+        assert_eq!(a.get_all("absent"), [] as [&str; 0]);
+        // Non-repeatable flags still reject duplicates.
+        assert_eq!(
+            Args::parse_with_repeats(&toks("--seed 1 --seed 2"), &[], &["policy"]).unwrap_err(),
+            ArgError::Duplicate("seed".into())
         );
     }
 

@@ -2,7 +2,7 @@
 
 use std::fs;
 
-use webcache_core::PolicyKind;
+use webcache_core::{PolicyKind, PolicySpec};
 use webcache_obs::{chrome_trace_json, PolicyProbe, Registry, TraceClock, TraceRecorder};
 use webcache_sim::report::{
     figure_panel, occupancy_csv, sweep_csv, window_csv, window_json, Metric,
@@ -21,6 +21,13 @@ use crate::CliError;
 
 fn usage(msg: impl Into<String>) -> CliError {
     CliError::Usage(msg.into())
+}
+
+/// Parses one `[admission+]replacement` policy spec, turning the parse
+/// error into a usage error. The single policy-parsing path of every
+/// subcommand.
+fn parse_spec(name: &str) -> Result<PolicySpec, CliError> {
+    name.parse::<PolicySpec>().map_err(|e| usage(e.to_string()))
 }
 
 /// Loads a trace, auto-detecting the binary format by its magic.
@@ -106,19 +113,16 @@ pub fn simulate(args: &Args) -> Result<String, CliError> {
     let policy_name = args.require("policy")?;
     let is_oracle = policy_name.eq_ignore_ascii_case("oracle")
         || policy_name.eq_ignore_ascii_case("clairvoyant");
-    let kind = if is_oracle {
+    let policy = if is_oracle {
         None
     } else {
-        Some(
-            PolicyKind::parse(policy_name)
-                .ok_or_else(|| usage(format!("unknown policy `{policy_name}`")))?,
-        )
+        Some(parse_spec(policy_name)?)
     };
-    let spec = match args.get("capacity") {
+    let cap_spec = match args.get("capacity") {
         Some(raw) => parse_capacity(raw).map_err(usage)?,
         None => CapacitySpec::FractionOfTrace(0.05),
     };
-    let capacity = spec.resolve(trace.overall_size());
+    let capacity = cap_spec.resolve(trace.overall_size());
     let warmup: f64 = args.get_parsed("warmup")?.unwrap_or(0.10);
     if !(0.0..1.0).contains(&warmup) {
         return Err(usage("--warmup expects a fraction in [0, 1)"));
@@ -130,9 +134,9 @@ pub fn simulate(args: &Args) -> Result<String, CliError> {
         .warmup_fraction(warmup)
         .occupancy_samples(occupancy)
         .build();
-    let (label, by_type, occupancy_series) = match kind {
-        Some(kind) => {
-            let report = Simulator::new(kind.build(), config).run(&trace);
+    let (label, by_type, occupancy_series) = match policy {
+        Some(spec) => {
+            let report = Simulator::from_spec(spec, config).run(&trace);
             (
                 report.policy.clone(),
                 *report.by_type(),
@@ -213,14 +217,10 @@ pub fn hierarchy(args: &Args) -> Result<String, CliError> {
     };
     let mut config = HierarchyConfig::new(leaves, leaf_capacity, parent_capacity);
     if let Some(name) = args.get("leaf-policy") {
-        config = config.with_leaf_policy(
-            PolicyKind::parse(name).ok_or_else(|| usage(format!("unknown policy `{name}`")))?,
-        );
+        config = config.with_leaf_policy(parse_spec(name)?);
     }
     if let Some(name) = args.get("parent-policy") {
-        config = config.with_parent_policy(
-            PolicyKind::parse(name).ok_or_else(|| usage(format!("unknown policy `{name}`")))?,
-        );
+        config = config.with_parent_policy(parse_spec(name)?);
     }
     let report = simulate_hierarchy(&trace, config);
     Ok(format!(
@@ -308,14 +308,12 @@ pub fn sweep(args: &Args) -> Result<String, CliError> {
 /// `webcache stats`.
 pub fn stats(args: &Args) -> Result<String, CliError> {
     let (trace, _) = input_trace(args)?;
-    let policy_name = args.require("policy")?;
-    let kind = PolicyKind::parse(policy_name)
-        .ok_or_else(|| usage(format!("unknown policy `{policy_name}`")))?;
-    let spec = match args.get("capacity") {
+    let policy = parse_spec(args.require("policy")?)?;
+    let cap_spec = match args.get("capacity") {
         Some(raw) => parse_capacity(raw).map_err(usage)?,
         None => CapacitySpec::FractionOfTrace(0.05),
     };
-    let capacity = spec.resolve(trace.overall_size());
+    let capacity = cap_spec.resolve(trace.overall_size());
     let warmup: f64 = args.get_parsed("warmup")?.unwrap_or(0.10);
     if !(0.0..1.0).contains(&warmup) {
         return Err(usage("--warmup expects a fraction in [0, 1)"));
@@ -349,7 +347,7 @@ pub fn stats(args: &Args) -> Result<String, CliError> {
         .warmup_fraction(warmup)
         .build();
     let mut metrics = WindowedMetrics::new(window_spec);
-    Simulator::new(kind.build(), config).run_observed(&trace, &mut metrics);
+    Simulator::from_spec(policy, config).run_observed(&trace, &mut metrics);
 
     let want_json = args.switch("json");
     let want_csv = args.switch("csv");
@@ -366,19 +364,28 @@ pub fn stats(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// Parses `--policies a,b,c`, defaulting to the paper's constant-cost
-/// four.
-fn parse_policies(args: &Args) -> Result<Vec<PolicyKind>, CliError> {
-    match args.get("policies") {
-        None => Ok(PolicyKind::PAPER_CONSTANT.to_vec()),
-        Some(list) => list
-            .split(',')
-            .map(|name| {
-                PolicyKind::parse(name.trim())
-                    .ok_or_else(|| usage(format!("unknown policy `{name}`")))
-            })
-            .collect(),
+/// Collects the policy list: the `--policies a,b,c` comma list merged
+/// with every repeated `--policy SPEC` occurrence, in command-line
+/// order; defaults to the paper's constant-cost four when neither flag
+/// is given. Every entry goes through the spec grammar, so composed
+/// admission specs (`tinylfu+slru`) work wherever a policy list does.
+fn parse_policies(args: &Args) -> Result<Vec<PolicySpec>, CliError> {
+    let mut specs: Vec<PolicySpec> = Vec::new();
+    if let Some(list) = args.get("policies") {
+        for name in list.split(',') {
+            specs.push(parse_spec(name.trim())?);
+        }
     }
+    for name in args.get_all("policy") {
+        specs.push(parse_spec(name)?);
+    }
+    if specs.is_empty() {
+        specs = PolicyKind::PAPER_CONSTANT
+            .iter()
+            .map(|&k| k.into())
+            .collect();
+    }
+    Ok(specs)
 }
 
 /// `webcache profile`.
@@ -413,11 +420,11 @@ pub fn profile(args: &Args) -> Result<String, CliError> {
     };
 
     let policies = parse_policies(args)?;
-    let spec = match args.get("capacity") {
+    let cap_spec = match args.get("capacity") {
         Some(raw) => parse_capacity(raw).map_err(usage)?,
         None => CapacitySpec::FractionOfTrace(0.05),
     };
-    let capacity = spec.resolve(trace.overall_size());
+    let capacity = cap_spec.resolve(trace.overall_size());
     let config = SimulationConfig::builder()
         .capacity(capacity)
         .warmup_fraction(0.10)
@@ -428,12 +435,14 @@ pub fn profile(args: &Args) -> Result<String, CliError> {
     // misses, eviction pressure); both export through one registry.
     let registry = Registry::new();
     main.span("replay", |main| {
-        for &kind in &policies {
-            let label = kind.label();
+        for &policy in &policies {
+            let label = policy.label();
             main.span(label.clone(), |_| {
                 let probe = PolicyProbe::register(&registry, &label);
                 let mut obs = ProfileObserver::register(&registry, &label);
-                Simulator::new(kind.build_instrumented(probe), config)
+                let mut config = config;
+                config.admission_rule = policy.admission_or(config.admission_rule);
+                Simulator::new(policy.replacement.build_instrumented(probe), config)
                     .run_observed(&trace, &mut obs);
             });
         }

@@ -9,7 +9,9 @@
 //! webcache characterize --trace trace.wct [--name DFN]
 //! webcache characterize --squid access.log
 //! webcache simulate     --trace trace.wct --policy 'gd*(p)' --capacity 64MiB
+//! webcache simulate     --trace trace.wct --policy tinylfu+slru
 //! webcache sweep        --trace trace.wct --policies lru,lfu-da,gds1,gd*1 [--csv]
+//! webcache sweep        --trace trace.wct --policy tinylfu+slru --policy arc --policy s3fifo
 //! webcache stats        --trace trace.wct --policy lru --window 5000 --json
 //! webcache convert      --squid access.log --out trace.wct
 //! ```
@@ -78,10 +80,11 @@ subcommands:
   characterize (--trace FILE | --squid FILE) [--name NAME]
                print the Section-2 tables (properties, per-type mix,
                size statistics, alpha, beta)
-  simulate     --trace FILE --policy NAME [--capacity SIZE|PCT%]
+  simulate     --trace FILE --policy SPEC [--capacity SIZE|PCT%]
                [--warmup FRAC] [--occupancy N]
                run one policy over a trace and report per-type rates
-  sweep        --trace FILE [--policies a,b,c] [--fractions f1,f2,...]
+  sweep        --trace FILE [--policies a,b,c] [--policy SPEC ...]
+               [--fractions f1,f2,...]
                [--csv] [--progress] [--batched | --serial] [--shards N]
                policy x cache-size grid (the Figure 2/3 engine);
                --progress reports per-cell completion on stderr;
@@ -90,8 +93,9 @@ subcommands:
                the request-at-a-time loop; --shards N (power of two)
                runs every cell through an N-shard engine to quantify
                the eviction-quality cost of sharding (--shards 1 is
-               bit-identical to the default)
-  stats        --trace FILE --policy NAME [--capacity SIZE|PCT%]
+               bit-identical to the default); --policy is repeatable
+               and takes full specs (--policy tinylfu+slru --policy arc)
+  stats        --trace FILE --policy SPEC [--capacity SIZE|PCT%]
                [--warmup FRAC] [--window N | --window-bytes SIZE]
                [--json] [--csv]
                windowed per-type hit-rate / byte-hit-rate time series
@@ -102,6 +106,7 @@ subcommands:
                preprocess a Squid access.log into the compact format,
                or re-encode an existing trace (e.g. text -> bin)
   profile      [--trace FILE | --squid FILE] [--policies a,b,c]
+               [--policy SPEC ...]
                [--capacity SIZE|PCT%] [--scale DENOM] [--seed N]
                [--out-dir DIR] [--quick]
                instrumented replay + span-timed sweep; writes
@@ -113,7 +118,7 @@ subcommands:
                [--parent-capacity SIZE|PCT%] [--leaf-policy P]
                [--parent-policy P]
                simulate institutional leaves behind a backbone parent
-  serve        (--trace FILE | --workload dfn|rtp) [--policy NAME]
+  serve        (--trace FILE | --workload dfn|rtp) [--policy SPEC]
                [--capacity SIZE|PCT%] [--warmup FRAC] [--scale DENOM]
                [--seed N] [--rate REQ_PER_SEC] [--passes N]
                [--port PORT] [--log-level trace|debug|info|warn|error]
@@ -131,9 +136,15 @@ subcommands:
                Ctrl-C shuts down cleanly
   help         print this text
 
-policies: lru fifo lfu size lfu-da slru lru2 gds(1) gds(p) gdsf(1)
-          gdsf(p) gd*(1) gd*(p); `simulate --policy oracle` runs the
-          clairvoyant (Belady-style) upper bound
+policies: every SPEC is [admission+]replacement
+  replacement: lru fifo lfu size lfu-da slru lru2 arc s3fifo gds(1)
+               gds(p) gdsf(1) gdsf(p) gd*(1) gd*(p)
+  admission:   tinylfu (frequency-sketch W-TinyLFU gate),
+               2hit[:WINDOW] (second-hit, default window 4096),
+               max:BYTES (size ceiling), all (the default)
+  examples:    lru  tinylfu+slru  2hit:1024+lru  max:65536+gd*(p)
+  `simulate --policy oracle` runs the clairvoyant (Belady-style)
+  upper bound
 capacities: raw bytes (1048576), units (64KiB, 32MiB, 1GiB) or a
             percentage of the trace's overall size (5%)
 ";
@@ -156,14 +167,15 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "generate" => commands::generate(&Args::parse(rest, &[])?),
         "characterize" => commands::characterize(&Args::parse(rest, &[])?),
         "simulate" => commands::simulate(&Args::parse(rest, &["markdown"])?),
-        "sweep" => commands::sweep(&Args::parse(
+        "sweep" => commands::sweep(&Args::parse_with_repeats(
             rest,
             &["csv", "progress", "batched", "serial"],
+            &["policy"],
         )?),
         "stats" => commands::stats(&Args::parse(rest, &["json", "csv"])?),
         "convert" => commands::convert(&Args::parse(rest, &[])?),
         "hierarchy" => commands::hierarchy(&Args::parse(rest, &[])?),
-        "profile" => commands::profile(&Args::parse(rest, &["quick"])?),
+        "profile" => commands::profile(&Args::parse_with_repeats(rest, &["quick"], &["policy"])?),
         "serve" => serve::serve(&Args::parse(rest, &["quick"])?),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(CliError::Usage(format!("unknown subcommand `{other}`"))),

@@ -23,7 +23,7 @@ use std::net::SocketAddr;
 use std::sync::atomic::AtomicBool;
 use std::time::Instant;
 
-use webcache_core::PolicyKind;
+use webcache_core::PolicySpec;
 use webcache_obs::{
     Counter, Gauge, HttpRequest, HttpResponse, HttpServer, Level, Logger, Registry,
 };
@@ -113,7 +113,7 @@ impl TraceSource for Source {
 /// parsing as the binary.
 pub struct ServeOptions {
     source: Source,
-    kind: PolicyKind,
+    spec: PolicySpec,
     config: SimulationConfig,
     rate: Option<f64>,
     max_passes: Option<u64>,
@@ -127,7 +127,7 @@ pub struct ServeOptions {
 impl std::fmt::Debug for ServeOptions {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ServeOptions")
-            .field("kind", &self.kind)
+            .field("spec", &self.spec)
             .field("port", &self.port)
             .field("rate", &self.rate)
             .field("max_passes", &self.max_passes)
@@ -202,13 +202,14 @@ impl ServeOptions {
         };
 
         let policy_name = args.get("policy").unwrap_or("lru");
-        let kind = PolicyKind::parse(policy_name)
-            .ok_or_else(|| usage(format!("unknown policy `{policy_name}`")))?;
-        let spec = match args.get("capacity") {
+        let spec: PolicySpec = policy_name
+            .parse()
+            .map_err(|e: webcache_core::ParseSpecError| usage(e.to_string()))?;
+        let cap_spec = match args.get("capacity") {
             Some(raw) => parse_capacity(raw).map_err(usage)?,
             None => CapacitySpec::FractionOfTrace(0.05),
         };
-        let capacity = spec.resolve(reference_trace_bytes);
+        let capacity = cap_spec.resolve(reference_trace_bytes);
         let warmup: f64 = args.get_parsed("warmup")?.unwrap_or(0.10);
         if !(0.0..1.0).contains(&warmup) {
             return Err(usage("--warmup expects a fraction in [0, 1)"));
@@ -237,7 +238,7 @@ impl ServeOptions {
 
         Ok(ServeOptions {
             source,
-            kind,
+            spec,
             config: SimulationConfig::builder()
                 .capacity(capacity)
                 .warmup_fraction(warmup)
@@ -274,7 +275,7 @@ pub fn serve_with(
 ) -> Result<String, CliError> {
     let ServeOptions {
         mut source,
-        kind,
+        spec,
         config,
         rate,
         max_passes,
@@ -289,7 +290,7 @@ pub fn serve_with(
     let started = Instant::now();
 
     let registry = Registry::new();
-    let label = kind.label();
+    let label = spec.label();
     let passes_total = registry.counter(
         "webcache_serve_passes_total",
         "Completed replay passes.",
@@ -375,13 +376,13 @@ pub fn serve_with(
     let concurrent = shards > 1 || clients > 1;
     let replay = ReplayLoop {
         config,
-        kind,
+        spec,
         rate,
         max_passes,
     };
     let sharded_replay = ShardedReplayLoop {
         config,
-        kind,
+        spec,
         rate,
         max_passes,
         shards,

@@ -151,6 +151,58 @@ fn sweep_serial_switch_matches_batched_default() {
 }
 
 #[test]
+fn sweep_accepts_repeated_composed_policy_specs() {
+    let path = generate_trace("cohort.wct");
+    // The modern cohort rides the same grid as the legacy roster:
+    // repeated --policy flags carrying full specs, mixed with a
+    // --policies comma list.
+    let text = run(&argv(&format!(
+        "sweep --trace {} --policies lru --policy tinylfu+slru --policy arc --policy s3fifo \
+         --fractions 0.01,0.05",
+        path.display()
+    )))
+    .unwrap();
+    for label in ["LRU", "TinyLFU+SLRU", "ARC", "S3-FIFO"] {
+        assert!(text.contains(label), "{label} missing from:\n{text}");
+    }
+
+    let csv = run(&argv(&format!(
+        "sweep --trace {} --policy tinylfu+gd*p --fractions 0.05 --csv",
+        path.display()
+    )))
+    .unwrap();
+    assert!(csv.starts_with("policy,capacity_bytes"), "{csv}");
+    assert!(csv.contains("TinyLFU+GD*(P)"), "{csv}");
+
+    // A bad spec in either position is a usage error, not a panic.
+    for bad in ["--policy tinylfu+nonsense", "--policies lru,frobnicate"] {
+        let err = run(&argv(&format!(
+            "sweep --trace {} {bad} --fractions 0.05",
+            path.display()
+        )))
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("nonsense") || err.to_string().contains("frobnicate"),
+            "{err}"
+        );
+    }
+    fs::remove_file(path).ok();
+}
+
+#[test]
+fn simulate_composed_spec_reports_composed_label() {
+    let path = generate_trace("composed.wct");
+    let out = run(&argv(&format!(
+        "simulate --trace {} --policy tinylfu+lru --capacity 1%",
+        path.display()
+    )))
+    .unwrap();
+    assert!(out.contains("TinyLFU+LRU"), "{out}");
+    assert!(out.contains("Overall"), "{out}");
+    fs::remove_file(path).ok();
+}
+
+#[test]
 fn convert_roundtrip_text_binary_dense() {
     // text -> binary via the CLI, then prove the zero-copy WCTB loader
     // sees exactly the same dense view as the text path.

@@ -31,6 +31,7 @@ use webcache_trace::{ByteSize, DocId, DocumentType, TypeMap};
 
 use crate::admission::{AdmissionController, AdmissionRule};
 use crate::policy::ReplacementPolicy;
+use crate::spec::PolicySpec;
 
 /// Per-type occupancy counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -145,6 +146,9 @@ pub struct Cache {
     occupancy: TypeMap<Occupancy>,
     policy: Box<dyn ReplacementPolicy>,
     admission: AdmissionController,
+    /// Cached `admission.wants_record()`: keeps the hit path free of a
+    /// virtual call for the filters that don't observe hits.
+    record_hits: bool,
     rejected_by_admission: u64,
 }
 
@@ -170,6 +174,8 @@ impl Cache {
         rule: AdmissionRule,
     ) -> Self {
         assert!(!capacity.is_zero(), "cache capacity must be positive");
+        let admission = AdmissionController::new(rule);
+        let record_hits = admission.wants_record();
         Cache {
             capacity,
             used: ByteSize::ZERO,
@@ -178,9 +184,38 @@ impl Cache {
             slots: SlotIndex::Map(FxHashMap::default()),
             occupancy: TypeMap::default(),
             policy,
-            admission: AdmissionController::new(rule),
+            admission,
+            record_hits,
             rejected_by_admission: 0,
         }
+    }
+
+    /// Creates an empty cache from a composed [`PolicySpec`] — the
+    /// redesigned construction entry point (`"tinylfu+slru".parse()`).
+    /// Accepts a bare [`PolicyKind`](crate::PolicyKind) too, which means
+    /// admit-everything.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_spec(capacity: ByteSize, spec: impl Into<PolicySpec>) -> Self {
+        let spec = spec.into();
+        Cache::with_admission(capacity, spec.build(), spec.admission)
+    }
+
+    /// Dense-slot counterpart of [`Cache::with_spec`]; see
+    /// [`Cache::with_dense_slots`] for the dense-id contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_dense_spec(
+        capacity: ByteSize,
+        spec: impl Into<PolicySpec>,
+        distinct_documents: usize,
+    ) -> Self {
+        let spec = spec.into();
+        Cache::with_dense_slots(capacity, spec.build(), spec.admission, distinct_documents)
     }
 
     /// Creates an empty cache whose document ids are promised to be dense
@@ -203,6 +238,8 @@ impl Cache {
         assert!(!capacity.is_zero(), "cache capacity must be positive");
         let mut policy = policy;
         policy.reserve_slots(distinct_documents);
+        let admission = AdmissionController::new(rule);
+        let record_hits = admission.wants_record();
         Cache {
             capacity,
             used: ByteSize::ZERO,
@@ -211,7 +248,8 @@ impl Cache {
             slots: SlotIndex::Identity,
             occupancy: TypeMap::default(),
             policy,
-            admission: AdmissionController::new(rule),
+            admission,
+            record_hits,
             rejected_by_admission: 0,
         }
     }
@@ -253,9 +291,14 @@ impl Cache {
         self.live == 0
     }
 
-    /// The replacement policy's display label (e.g. `"GD*(P)"`).
+    /// The policy's display label: the replacement label (`"GD*(P)"`),
+    /// prefixed with the admission label when a filter is composed in
+    /// front (`"TinyLFU+SLRU"`) — matching [`PolicySpec::label`].
     pub fn policy_label(&self) -> String {
-        self.policy.label()
+        match self.admission.rule().label_prefix() {
+            Some(prefix) => format!("{prefix}+{}", self.policy.label()),
+            None => self.policy.label(),
+        }
     }
 
     /// Whether `doc` is resident, *without* touching policy state.
@@ -289,6 +332,11 @@ impl Cache {
             Some(entry) => {
                 self.policy
                     .on_hit_typed(Self::handle(slot), entry.size, entry.doc_type);
+                if self.record_hits {
+                    // Frequency-based admission sees the whole access
+                    // stream, not just miss-fills.
+                    self.admission.record(Self::handle(slot));
+                }
                 true
             }
             None => false,
@@ -337,7 +385,11 @@ impl Cache {
             self.policy.remove(handle);
             self.detach(slot);
         }
-        if !self.admission.admit(handle, size) {
+        // Pressure: would storing this document force evictions? Filters
+        // that only guard a contended cache (TinyLFU) admit freely below
+        // capacity; the hard predicates ignore the flag.
+        let pressure = self.used + size > self.capacity;
+        if !self.admission.admit_with_pressure(handle, size, pressure) {
             self.rejected_by_admission += 1;
             return InsertDisposition::RejectedByAdmission;
         }
@@ -564,6 +616,81 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = lru_cache(0);
+    }
+
+    #[test]
+    fn spec_construction_composes_label_and_admission() {
+        use crate::spec::PolicySpec;
+        let spec: PolicySpec = "tinylfu+slru".parse().unwrap();
+        let mut c = Cache::with_spec(ByteSize::new(100), spec);
+        assert_eq!(c.policy_label(), "TinyLFU+SLRU");
+
+        // Below capacity, TinyLFU admits everything (and records).
+        assert!(c
+            .insert(doc(1), DocumentType::Html, ByteSize::new(60))
+            .inserted());
+        // Under pressure a cold one-timer is rejected instead of
+        // displacing the resident document.
+        let outcome = c.insert(doc(2), DocumentType::Image, ByteSize::new(60));
+        assert_eq!(outcome.disposition, InsertDisposition::RejectedByAdmission);
+        assert!(outcome.evicted.is_empty());
+        assert!(c.contains(doc(1)));
+        // Its second appearance clears the sketch's frequency gate.
+        assert!(c
+            .insert(doc(2), DocumentType::Image, ByteSize::new(60))
+            .inserted());
+        assert!(!c.contains(doc(1)), "now the resident was displaced");
+        assert_eq!(c.admission_rejections(), 1);
+        c.debug_validate();
+    }
+
+    #[test]
+    fn tinylfu_protects_hot_documents_via_recorded_hits() {
+        let mut c = Cache::with_spec(
+            ByteSize::new(100),
+            "tinylfu+lru".parse::<crate::spec::PolicySpec>().unwrap(),
+        );
+        c.insert(doc(1), DocumentType::Html, ByteSize::new(100));
+        for _ in 0..5 {
+            assert!(c.access(doc(1)), "hits feed the sketch");
+        }
+        // A one-timer flood can't get past admission while doc 1 is hot.
+        for i in 10..20 {
+            let outcome = c.insert(doc(i), DocumentType::Image, ByteSize::new(50));
+            assert_eq!(
+                outcome.disposition,
+                InsertDisposition::RejectedByAdmission,
+                "one-timer {i} must not displace the hot document"
+            );
+        }
+        assert!(c.contains(doc(1)));
+        c.debug_validate();
+    }
+
+    #[test]
+    fn bare_kind_spec_matches_plain_construction() {
+        let mut a = Cache::with_spec(ByteSize::new(500), PolicyKind::Lru);
+        let mut b = lru_cache(500);
+        assert_eq!(a.policy_label(), b.policy_label());
+        for i in 0..50 {
+            let d = doc(i % 7);
+            let ty = DocumentType::ALL[(i % 5) as usize];
+            if !a.access(d) {
+                let size = ByteSize::new((i % 13 + 1) * 20);
+                assert_eq!(
+                    a.insert(d, ty, size).evicted,
+                    {
+                        b.access(d);
+                        b.insert(d, ty, size).evicted
+                    },
+                    "spec and plain construction diverged at step {i}"
+                );
+            } else {
+                assert!(b.access(d));
+            }
+        }
+        a.debug_validate();
+        b.debug_validate();
     }
 
     #[test]

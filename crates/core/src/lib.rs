@@ -51,13 +51,20 @@ pub mod float;
 pub mod policy;
 pub mod pqueue;
 pub mod sharded;
+pub mod sketch;
+pub mod spec;
 
-pub use admission::{AdmissionController, AdmissionRule};
+pub use admission::{
+    AdmissionController, AdmissionPolicy, AdmissionRule, AdmissionSpec, AdmitAll, MaxSizeFilter,
+    SecondHitFilter, TinyLfuFilter,
+};
 pub use cache::{Cache, Eviction, EvictionOutcome, InsertDisposition, Occupancy};
 pub use cost::CostModel;
 pub use float::OrderedF64;
-pub use policy::{BetaMode, PolicyKind, ReplacementPolicy};
+pub use policy::{BetaMode, PolicyKind, ReplacementPolicy, S3Fifo};
 pub use sharded::{
     validate_shard_count, ShardBalance, ShardConfigError, ShardCounters, ShardSnapshot,
     ShardedEngine,
 };
+pub use sketch::FrequencySketch;
+pub use spec::{ParseSpecError, PolicySpec, ReplacementKind, DEFAULT_SECOND_HIT_WINDOW};

@@ -34,7 +34,7 @@ use webcache_trace::{fxhash, ByteSize, DocId, DocumentType};
 
 use crate::admission::AdmissionRule;
 use crate::cache::Cache;
-use crate::policy::PolicyKind;
+use crate::spec::PolicySpec;
 
 /// Rejected shard configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -228,26 +228,34 @@ pub struct ShardedEngine {
 
 impl ShardedEngine {
     /// Builds an engine of `shards` shards splitting `capacity` evenly,
-    /// each with a fresh instance of `kind` and sparse-id document
-    /// interning (the general-purpose path; replay drivers with a dense
-    /// trace should use [`ShardedEngine::with_dense_shards`]).
+    /// each with a fresh instance of `spec`'s replacement policy and its
+    /// own admission-filter state, using sparse-id document interning
+    /// (the general-purpose path; replay drivers with a dense trace
+    /// should use [`ShardedEngine::with_dense_shards`]).
+    ///
+    /// `spec` is anything convertible to a [`PolicySpec`] — a composed
+    /// spec or a bare [`PolicyKind`]. When the spec names an admission
+    /// filter it wins over the `admission` fallback (see
+    /// [`PolicySpec::admission_or`]).
     ///
     /// # Errors
     ///
     /// [`ShardConfigError`] when `shards` is zero or not a power of two.
     pub fn new(
         capacity: ByteSize,
-        kind: PolicyKind,
+        spec: impl Into<PolicySpec>,
         admission: AdmissionRule,
         shards: usize,
     ) -> Result<ShardedEngine, ShardConfigError> {
+        let spec = spec.into();
+        let admission = spec.admission_or(admission);
         validate_shard_count(shards)?;
         let shard_capacity = Self::split_capacity(capacity, shards);
         let shards = (0..shards)
             .map(|_| Shard {
                 cache: Mutex::new(Cache::with_admission(
                     shard_capacity,
-                    kind.build(),
+                    spec.build(),
                     admission,
                 )),
                 counters: ShardCounters::default(),
@@ -257,7 +265,7 @@ impl ShardedEngine {
             shards,
             capacity,
             shard_capacity,
-            policy_label: kind.label(),
+            policy_label: PolicySpec::new(admission, spec.replacement).label(),
         })
     }
 
@@ -280,17 +288,19 @@ impl ShardedEngine {
     /// shard count).
     pub fn with_dense_shards(
         capacity: ByteSize,
-        kind: PolicyKind,
+        spec: impl Into<PolicySpec>,
         admission: AdmissionRule,
         per_shard_distinct: &[usize],
         batched: bool,
     ) -> Result<ShardedEngine, ShardConfigError> {
+        let spec = spec.into();
+        let admission = spec.admission_or(admission);
         validate_shard_count(per_shard_distinct.len())?;
         let shard_capacity = Self::split_capacity(capacity, per_shard_distinct.len());
         let shards = per_shard_distinct
             .iter()
             .map(|&distinct| {
-                let mut policy = kind.build();
+                let mut policy = spec.build();
                 if batched {
                     policy.set_batched(true);
                 }
@@ -309,7 +319,7 @@ impl ShardedEngine {
             shards,
             capacity,
             shard_capacity,
-            policy_label: kind.label(),
+            policy_label: PolicySpec::new(admission, spec.replacement).label(),
         })
     }
 
@@ -467,6 +477,7 @@ impl ShardedEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::PolicyKind;
 
     fn engine(shards: usize) -> ShardedEngine {
         ShardedEngine::new(

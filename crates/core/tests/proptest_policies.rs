@@ -250,3 +250,47 @@ mod admission_props {
         }
     }
 }
+
+mod spec_round_trip {
+    use proptest::prelude::*;
+    use webcache_core::{AdmissionSpec, PolicyKind, PolicySpec};
+    use webcache_trace::ByteSize;
+
+    fn arb_admission() -> impl Strategy<Value = AdmissionSpec> {
+        prop_oneof![
+            Just(AdmissionSpec::All),
+            Just(AdmissionSpec::TinyLfu),
+            (1usize..1_000_000).prop_map(AdmissionSpec::SecondHit),
+            (1u64..1u64 << 50).prop_map(|b| AdmissionSpec::MaxSize(ByteSize::new(b))),
+        ]
+    }
+
+    proptest! {
+        /// `Display` then `FromStr` is the identity for every spec: any
+        /// admission half (arbitrary windows and byte ceilings) composed
+        /// with any replacement kind survives the round trip.
+        #[test]
+        fn display_from_str_is_identity(
+            admission in arb_admission(),
+            replacement in prop::sample::select(PolicyKind::ALL.to_vec()),
+        ) {
+            let spec = PolicySpec::new(admission, replacement);
+            let reparsed: PolicySpec = spec.to_string().parse().unwrap_or_else(|e| {
+                panic!("{spec} failed to re-parse: {e}")
+            });
+            prop_assert_eq!(reparsed, spec);
+        }
+
+        /// The canonical label also parses after lowercasing — the form
+        /// a user types on the command line.
+        #[test]
+        fn lowercased_label_also_parses(
+            admission in arb_admission(),
+            replacement in prop::sample::select(PolicyKind::ALL.to_vec()),
+        ) {
+            let spec = PolicySpec::new(admission, replacement);
+            let lower: PolicySpec = spec.to_string().to_ascii_lowercase().parse().unwrap();
+            prop_assert_eq!(lower, spec);
+        }
+    }
+}

@@ -31,7 +31,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
-use webcache_core::{Cache, Eviction, PolicyKind, ShardBalance, ShardConfigError, ShardedEngine};
+use webcache_core::{Cache, Eviction, PolicySpec, ShardBalance, ShardConfigError, ShardedEngine};
 use webcache_trace::{ByteSize, DenseTrace, DocumentType, TypeMap};
 
 use crate::live::{LiveStatus, LiveSummary, TraceSource};
@@ -211,8 +211,9 @@ impl ConcurrentReport {
 /// See the [module docs](self).
 #[derive(Debug, Clone, Copy)]
 pub struct ConcurrentSimulator {
-    /// The replacement policy, instantiated once per shard.
-    pub kind: PolicyKind,
+    /// The policy spec; the replacement half is instantiated once per
+    /// shard, the admission half once per shard's cache.
+    pub spec: PolicySpec,
     /// Simulation parameters; `capacity` is the total budget split
     /// evenly across shards, `occupancy_samples` is ignored.
     pub config: SimulationConfig,
@@ -221,10 +222,17 @@ pub struct ConcurrentSimulator {
 }
 
 impl ConcurrentSimulator {
-    /// A concurrent simulator with the default batch size.
-    pub fn new(kind: PolicyKind, config: SimulationConfig) -> ConcurrentSimulator {
+    /// A concurrent simulator with the default batch size. Accepts a
+    /// bare [`PolicyKind`](webcache_core::PolicyKind) or a composed
+    /// spec; a spec-level admission filter overrides
+    /// [`SimulationConfig::admission_rule`], mirroring
+    /// [`Simulator::from_spec`](crate::Simulator::from_spec).
+    pub fn new(spec: impl Into<PolicySpec>, config: SimulationConfig) -> ConcurrentSimulator {
+        let spec = spec.into();
+        let mut config = config;
+        config.admission_rule = spec.admission_or(config.admission_rule);
         ConcurrentSimulator {
-            kind,
+            spec,
             config,
             batch_size: DEFAULT_BATCH_SIZE,
         }
@@ -301,7 +309,7 @@ impl ConcurrentSimulator {
         let started = Instant::now();
         let engine = ShardedEngine::with_dense_shards(
             self.config.capacity,
-            self.kind,
+            self.spec,
             self.config.admission_rule,
             sharded.per_shard_distinct(),
             true,
@@ -585,8 +593,8 @@ pub struct ConcurrentPassSummary {
 pub struct ShardedReplayLoop {
     /// Cache/simulation parameters, applied to every pass.
     pub config: SimulationConfig,
-    /// The replacement policy, freshly instantiated per shard per pass.
-    pub kind: PolicyKind,
+    /// The policy spec, freshly instantiated per shard per pass.
+    pub spec: PolicySpec,
     /// Target aggregate request rate; `None` replays flat out.
     pub rate: Option<f64>,
     /// Pass budget; `None` loops until shutdown.
@@ -616,7 +624,7 @@ impl ShardedReplayLoop {
         F: FnMut(&ConcurrentPassSummary),
     {
         webcache_core::validate_shard_count(self.shards)?;
-        let simulator = ConcurrentSimulator::new(self.kind, self.config);
+        let simulator = ConcurrentSimulator::new(self.spec, self.config);
         status.set_replaying(true);
         let mut passes = 0u64;
         let mut requests = 0u64;
@@ -662,6 +670,7 @@ impl ShardedReplayLoop {
 mod tests {
     use super::*;
     use crate::live::FixedSource;
+    use webcache_core::PolicyKind;
     use webcache_trace::{DocId, Request, Timestamp, Trace};
 
     fn mixed_trace(requests: usize, distinct: u64) -> Trace {
@@ -722,6 +731,26 @@ mod tests {
             assert!(concurrent.completed);
             assert_eq!(concurrent.requests, dense.len() as u64);
         }
+    }
+
+    #[test]
+    fn composed_spec_single_shard_matches_the_serial_spec_run() {
+        let trace = mixed_trace(2_000, 131);
+        let dense = DenseTrace::build(&trace);
+        let config = config(8_000);
+        let spec: PolicySpec = "tinylfu+lru".parse().unwrap();
+        let serial = crate::simulator::Simulator::from_spec(spec, config).run_dense(&dense);
+        let concurrent = ConcurrentSimulator::new(spec, config)
+            .run(&dense, 1, 1)
+            .unwrap();
+        assert_eq!(concurrent.policy, "TinyLFU+LRU");
+        assert_eq!(concurrent.policy, serial.policy);
+        assert_eq!(concurrent.by_type(), serial.by_type());
+        assert_eq!(
+            concurrent.config.admission_rule,
+            webcache_core::AdmissionSpec::TinyLfu,
+            "spec admission folds into the effective config"
+        );
     }
 
     #[test]
@@ -795,7 +824,7 @@ mod tests {
         let mut seen = Vec::new();
         let summary = ShardedReplayLoop {
             config: config(8_000),
-            kind: PolicyKind::Lru,
+            spec: PolicyKind::Lru.into(),
             rate: None,
             max_passes: Some(3),
             shards: 4,
@@ -821,7 +850,7 @@ mod tests {
         let shutdown = AtomicBool::new(false);
         let err = ShardedReplayLoop {
             config: config(1_000),
-            kind: PolicyKind::Lru,
+            spec: PolicyKind::Lru.into(),
             rate: None,
             max_passes: Some(1),
             shards: 6,

@@ -6,7 +6,7 @@ use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
-use webcache_core::PolicyKind;
+use webcache_core::PolicySpec;
 use webcache_obs::TraceRecorder;
 use webcache_trace::{ByteSize, DenseTrace, DocumentType, Trace};
 
@@ -19,8 +19,8 @@ pub const PAPER_SIZE_FRACTIONS: [f64; 7] = [0.005, 0.01, 0.025, 0.05, 0.10, 0.20
 /// One (policy, capacity) grid cell and its simulation outcome.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepPoint {
-    /// The replacement scheme simulated.
-    pub policy: PolicyKind,
+    /// The policy spec simulated (admission + replacement).
+    pub policy: PolicySpec,
     /// Cache capacity of the run.
     pub capacity: ByteSize,
     /// Full per-type report.
@@ -35,7 +35,7 @@ pub struct SweepReport {
     /// Derived from `points`; rebuilt on construction, excluded from
     /// equality.
     #[serde(skip)]
-    index: Vec<(PolicyKind, ByteSize, u32)>,
+    index: Vec<(PolicySpec, ByteSize, u32)>,
 }
 
 impl PartialEq for SweepReport {
@@ -47,7 +47,7 @@ impl PartialEq for SweepReport {
 impl SweepReport {
     /// Builds a report from grid points (in their display order).
     fn from_points(points: Vec<SweepPoint>) -> Self {
-        let mut index: Vec<(PolicyKind, ByteSize, u32)> = points
+        let mut index: Vec<(PolicySpec, ByteSize, u32)> = points
             .iter()
             .enumerate()
             .map(|(i, p)| (p.policy, p.capacity, i as u32))
@@ -61,8 +61,10 @@ impl SweepReport {
         &self.points
     }
 
-    /// The point for an exact (policy, capacity) pair.
-    pub fn get(&self, policy: PolicyKind, capacity: ByteSize) -> Option<&SweepPoint> {
+    /// The point for an exact (policy, capacity) pair. Accepts a bare
+    /// [`PolicyKind`](webcache_core::PolicyKind) or a full spec.
+    pub fn get(&self, policy: impl Into<PolicySpec>, capacity: ByteSize) -> Option<&SweepPoint> {
+        let policy = policy.into();
         let at = self
             .index
             .partition_point(|&(p, c, _)| (p, c) < (policy, capacity));
@@ -80,8 +82,8 @@ impl SweepReport {
         caps
     }
 
-    /// The distinct policies, in first-appearance order.
-    pub fn policies(&self) -> Vec<PolicyKind> {
+    /// The distinct policy specs, in first-appearance order.
+    pub fn policies(&self) -> Vec<PolicySpec> {
         let mut seen = Vec::new();
         for p in &self.points {
             if !seen.contains(&p.policy) {
@@ -95,10 +97,10 @@ impl SweepReport {
     /// document type (the curves of Figures 2/3, left columns).
     pub fn hit_rate_series(
         &self,
-        policy: PolicyKind,
+        policy: impl Into<PolicySpec>,
         ty: Option<DocumentType>,
     ) -> Vec<(ByteSize, f64)> {
-        self.series(policy, |report| match ty {
+        self.series(policy.into(), |report| match ty {
             Some(ty) => report.by_type()[ty].hit_rate(),
             None => report.overall().hit_rate(),
         })
@@ -107,10 +109,10 @@ impl SweepReport {
     /// `(capacity, byte hit rate)` series (the right columns).
     pub fn byte_hit_rate_series(
         &self,
-        policy: PolicyKind,
+        policy: impl Into<PolicySpec>,
         ty: Option<DocumentType>,
     ) -> Vec<(ByteSize, f64)> {
-        self.series(policy, |report| match ty {
+        self.series(policy.into(), |report| match ty {
             Some(ty) => report.by_type()[ty].byte_hit_rate(),
             None => report.overall().byte_hit_rate(),
         })
@@ -118,7 +120,7 @@ impl SweepReport {
 
     fn series(
         &self,
-        policy: PolicyKind,
+        policy: PolicySpec,
         metric: impl Fn(&SimulationReport) -> f64,
     ) -> Vec<(ByteSize, f64)> {
         let mut out: Vec<(ByteSize, f64)> = self
@@ -142,8 +144,8 @@ pub struct SweepProgress {
     pub total: usize,
     /// Index of the worker thread that ran the cell (`0..threads`).
     pub worker: usize,
-    /// Policy of the finished cell.
-    pub policy: PolicyKind,
+    /// Policy spec of the finished cell.
+    pub policy: PolicySpec,
     /// Capacity of the finished cell.
     pub capacity: ByteSize,
     /// Requests replayed by the cell (the trace length).
@@ -157,7 +159,7 @@ pub struct SweepProgress {
 /// A grid of simulations: every configured policy at every capacity.
 #[derive(Debug, Clone)]
 pub struct CacheSizeSweep {
-    policies: Vec<PolicyKind>,
+    policies: Vec<PolicySpec>,
     capacities: Vec<ByteSize>,
     template: SimulationConfig,
     batched: bool,
@@ -166,12 +168,15 @@ pub struct CacheSizeSweep {
 
 impl CacheSizeSweep {
     /// Creates a sweep over the given policies and capacities with the
-    /// paper's default simulation settings.
+    /// paper's default simulation settings. Policies may be bare
+    /// [`PolicyKind`](webcache_core::PolicyKind)s or full composed
+    /// [`PolicySpec`]s (`tinylfu+slru`).
     ///
     /// # Panics
     ///
     /// Panics when either list is empty or any capacity is zero.
-    pub fn new(policies: Vec<PolicyKind>, capacities: Vec<ByteSize>) -> Self {
+    pub fn new<P: Into<PolicySpec>>(policies: Vec<P>, capacities: Vec<ByteSize>) -> Self {
+        let policies: Vec<PolicySpec> = policies.into_iter().map(Into::into).collect();
         assert!(!policies.is_empty(), "sweep needs at least one policy");
         assert!(!capacities.is_empty(), "sweep needs at least one capacity");
         assert!(
@@ -281,7 +286,7 @@ impl CacheSizeSweep {
             crate::concurrent::ShardedTrace::build(&dense, self.shards)
                 .expect("with_shards validated the count")
         });
-        let mut tasks: Vec<(PolicyKind, ByteSize)> = Vec::new();
+        let mut tasks: Vec<(PolicySpec, ByteSize)> = Vec::new();
         for &policy in &self.policies {
             for &capacity in &self.capacities {
                 tasks.push((policy, capacity));
@@ -330,7 +335,7 @@ impl CacheSizeSweep {
                             .run_sharded(dense, split, 1)
                             .to_simulation_report()
                     } else {
-                        let simulator = Simulator::new(policy.build(), config);
+                        let simulator = Simulator::from_spec(policy, config);
                         if self.batched {
                             simulator.run_dense_batched(dense)
                         } else {
@@ -386,6 +391,7 @@ impl CacheSizeSweep {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use webcache_core::PolicyKind;
     use webcache_trace::{DocId, Request, Timestamp};
 
     fn tiny_trace() -> Trace {
@@ -414,7 +420,10 @@ mod tests {
         );
         let report = sweep.run_with_threads(&trace, 4);
         assert_eq!(report.points().len(), 4);
-        assert_eq!(report.policies(), vec![PolicyKind::Lru, PolicyKind::LfuDa]);
+        assert_eq!(
+            report.policies(),
+            vec![PolicyKind::Lru.into(), PolicyKind::LfuDa.into()]
+        );
         assert_eq!(
             report.capacities(),
             vec![ByteSize::new(2_000), ByteSize::new(8_000)]
@@ -482,6 +491,25 @@ mod tests {
     fn sweep_rejects_non_power_of_two_shards() {
         let _ =
             CacheSizeSweep::new(vec![PolicyKind::Lru], vec![ByteSize::new(1_000)]).with_shards(3);
+    }
+
+    #[test]
+    fn composed_specs_sweep_alongside_bare_kinds() {
+        let trace = tiny_trace();
+        let composed: PolicySpec = "tinylfu+slru".parse().unwrap();
+        let specs = vec![composed, PolicyKind::Lru.into()];
+        let report = CacheSizeSweep::new(specs, vec![ByteSize::new(2_000), ByteSize::new(8_000)])
+            .run_with_threads(&trace, 2);
+        assert_eq!(report.points().len(), 4);
+        assert_eq!(
+            report.policies(),
+            vec![composed, PolicyKind::Lru.into()],
+            "first-appearance order, specs kept distinct"
+        );
+        let series = report.hit_rate_series(composed, None);
+        assert_eq!(series.len(), 2);
+        let point = report.get(composed, ByteSize::new(8_000)).unwrap();
+        assert_eq!(point.report.policy, "TinyLFU+SLRU");
     }
 
     #[test]
@@ -578,7 +606,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one policy")]
     fn empty_policy_list_rejected() {
-        let _ = CacheSizeSweep::new(vec![], vec![ByteSize::new(1)]);
+        let _ = CacheSizeSweep::new(Vec::<PolicySpec>::new(), vec![ByteSize::new(1)]);
     }
 
     #[test]
@@ -613,7 +641,7 @@ mod tests {
                 p.capacity,
             )
         });
-        let cells: Vec<(PolicyKind, ByteSize)> =
+        let cells: Vec<(PolicySpec, ByteSize)> =
             seen.iter().map(|p| (p.policy, p.capacity)).collect();
         let mut expected = Vec::new();
         for &policy in &sweep.policies {

@@ -17,7 +17,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use webcache_core::{Cache, PolicyKind};
+use webcache_core::{Cache, PolicyKind, PolicySpec};
 use webcache_trace::{ByteSize, DocId, Trace};
 
 use crate::metrics::HitStats;
@@ -30,12 +30,12 @@ pub struct HierarchyConfig {
     pub leaf_count: usize,
     /// Byte capacity of each leaf cache.
     pub leaf_capacity: ByteSize,
-    /// Replacement scheme of the leaves.
-    pub leaf_policy: PolicyKind,
+    /// Policy spec of the leaves (admission + replacement).
+    pub leaf_policy: PolicySpec,
     /// Byte capacity of the shared parent (backbone) cache.
     pub parent_capacity: ByteSize,
-    /// Replacement scheme of the parent.
-    pub parent_policy: PolicyKind,
+    /// Policy spec of the parent (admission + replacement).
+    pub parent_policy: PolicySpec,
     /// Fraction of the trace used for warm-up (not counted).
     pub warmup_fraction: f64,
     /// Modification-detection rule (applied identically at both levels).
@@ -51,25 +51,25 @@ impl HierarchyConfig {
         HierarchyConfig {
             leaf_count,
             leaf_capacity,
-            leaf_policy: PolicyKind::GdStar(CostModel::Constant),
+            leaf_policy: PolicyKind::GdStar(CostModel::Constant).into(),
             parent_capacity,
-            parent_policy: PolicyKind::GdStar(CostModel::Packet),
+            parent_policy: PolicyKind::GdStar(CostModel::Packet).into(),
             warmup_fraction: 0.10,
             modification_rule: ModificationRule::default(),
         }
     }
 
-    /// Overrides the leaf policy.
+    /// Overrides the leaf policy (a bare kind or a composed spec).
     #[must_use]
-    pub fn with_leaf_policy(mut self, policy: PolicyKind) -> Self {
-        self.leaf_policy = policy;
+    pub fn with_leaf_policy(mut self, policy: impl Into<PolicySpec>) -> Self {
+        self.leaf_policy = policy.into();
         self
     }
 
-    /// Overrides the parent policy.
+    /// Overrides the parent policy (a bare kind or a composed spec).
     #[must_use]
-    pub fn with_parent_policy(mut self, policy: PolicyKind) -> Self {
-        self.parent_policy = policy;
+    pub fn with_parent_policy(mut self, policy: impl Into<PolicySpec>) -> Self {
+        self.parent_policy = policy.into();
         self
     }
 
@@ -137,9 +137,9 @@ impl HierarchyReport {
 pub fn simulate_hierarchy(trace: &Trace, config: HierarchyConfig) -> HierarchyReport {
     config.validate();
     let mut leaves: Vec<Cache> = (0..config.leaf_count)
-        .map(|_| Cache::new(config.leaf_capacity, config.leaf_policy.instantiate()))
+        .map(|_| Cache::with_spec(config.leaf_capacity, config.leaf_policy))
         .collect();
-    let mut parent = Cache::new(config.parent_capacity, config.parent_policy.instantiate());
+    let mut parent = Cache::with_spec(config.parent_capacity, config.parent_policy);
 
     let warmup_end = trace.warmup_boundary(config.warmup_fraction);
     let mut leaf_stats = HitStats::default();

@@ -20,7 +20,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use webcache_core::PolicyKind;
+use webcache_core::PolicySpec;
 use webcache_trace::{DenseTrace, Trace};
 
 use crate::observe::{AccessEvent, AccessKind, Observer};
@@ -139,8 +139,8 @@ pub struct LiveSummary {
 pub struct ReplayLoop {
     /// Cache/simulation parameters, applied to every pass.
     pub config: SimulationConfig,
-    /// The replacement policy, freshly instantiated per pass.
-    pub kind: PolicyKind,
+    /// The policy spec, freshly instantiated per pass.
+    pub spec: PolicySpec,
     /// Target request rate (requests/second); `None` replays flat out.
     pub rate: Option<f64>,
     /// Pass budget; `None` loops until shutdown.
@@ -174,7 +174,7 @@ impl ReplayLoop {
                 break;
             };
             let pass_start = Instant::now();
-            let simulator = Simulator::new(self.kind.build(), self.config);
+            let simulator = Simulator::from_spec(self.spec, self.config);
             let report = match self.rate {
                 Some(rate) => {
                     let mut paced = Pacer::new(&mut *observer, rate, shutdown);
@@ -282,6 +282,7 @@ impl<O: Observer> Observer for Pacer<'_, O> {
 mod tests {
     use super::*;
     use crate::observe::NoopObserver;
+    use webcache_core::PolicyKind;
     use webcache_trace::{ByteSize, DocId, DocumentType, Request, Timestamp};
 
     fn small_trace(requests: usize) -> Trace {
@@ -303,7 +304,7 @@ mod tests {
                 .capacity(ByteSize::from_kib(8))
                 .warmup_fraction(0.0)
                 .build(),
-            kind: PolicyKind::Lru,
+            spec: PolicyKind::Lru.into(),
             rate,
             max_passes,
         }

@@ -4,7 +4,7 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
-use webcache_core::{AdmissionRule, Cache, ReplacementPolicy};
+use webcache_core::{AdmissionRule, Cache, PolicySpec, ReplacementPolicy};
 use webcache_trace::{ByteSize, DenseTrace, DocumentType, Trace, TypeMap};
 
 use crate::metrics::HitStats;
@@ -292,6 +292,21 @@ impl Simulator {
     /// Creates a simulator that will drive a fresh cache.
     pub fn new(policy: Box<dyn ReplacementPolicy>, config: SimulationConfig) -> Self {
         Simulator { policy, config }
+    }
+
+    /// Creates a simulator from a composed [`PolicySpec`] (or a bare
+    /// [`PolicyKind`](webcache_core::PolicyKind)) — the redesigned entry
+    /// point. A spec-level admission filter overrides
+    /// [`SimulationConfig::admission_rule`]; a bare replacement spec
+    /// keeps the config's rule (see [`PolicySpec::admission_or`]).
+    pub fn from_spec(spec: impl Into<PolicySpec>, config: SimulationConfig) -> Self {
+        let spec = spec.into();
+        let mut config = config;
+        config.admission_rule = spec.admission_or(config.admission_rule);
+        Simulator {
+            policy: spec.build(),
+            config,
+        }
     }
 
     /// How many requests to skip for warm-up and how often to sample
@@ -906,5 +921,27 @@ mod tests {
         )
         .run(&trace.into());
         assert_eq!(report.policy, "GD*(P)");
+    }
+
+    #[test]
+    fn from_spec_composes_admission_and_label() {
+        use webcache_core::PolicySpec;
+        let trace: Trace = vec![req(1, 10)].into();
+        let spec: PolicySpec = "tinylfu+slru".parse().unwrap();
+        let report =
+            Simulator::from_spec(spec, SimulationConfig::new(ByteSize::new(100))).run(&trace);
+        assert_eq!(report.policy, "TinyLFU+SLRU");
+        assert_eq!(
+            report.config.admission_rule,
+            webcache_core::AdmissionSpec::TinyLfu,
+            "spec admission must land in the effective config"
+        );
+
+        // A bare kind inherits the config's admission rule.
+        let config = SimulationConfig::new(ByteSize::new(100))
+            .with_admission_rule(AdmissionRule::SecondHit(8));
+        let report = Simulator::from_spec(PolicyKind::Lru, config).run(&trace);
+        assert_eq!(report.policy, "2HIT:8+LRU");
+        assert_eq!(report.config.admission_rule, AdmissionRule::SecondHit(8));
     }
 }

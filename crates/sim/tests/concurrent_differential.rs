@@ -12,7 +12,7 @@
 
 use proptest::prelude::*;
 
-use webcache_core::PolicyKind;
+use webcache_core::{AdmissionSpec, PolicyKind, PolicySpec};
 use webcache_sim::{
     ConcurrentSimulator, ShardedTrace, SimulationConfig, Simulator, WindowSpec, WindowedMetrics,
 };
@@ -34,8 +34,18 @@ fn arb_trace() -> impl Strategy<Value = Trace> {
     })
 }
 
-fn arb_policy() -> impl Strategy<Value = PolicyKind> {
-    prop::sample::select(PolicyKind::ALL.to_vec())
+/// Every replacement kind, bare or composed with the TinyLFU admission
+/// half — the sharded engine must agree with the serial simulator for
+/// the full spec surface, not just the bare kinds.
+fn arb_spec() -> impl Strategy<Value = PolicySpec> {
+    (
+        prop::sample::select(PolicyKind::ALL.to_vec()),
+        prop_oneof![Just(AdmissionSpec::All), Just(AdmissionSpec::TinyLfu)],
+    )
+        .prop_map(|(replacement, admission)| PolicySpec {
+            admission,
+            replacement,
+        })
 }
 
 proptest! {
@@ -46,15 +56,15 @@ proptest! {
     #[test]
     fn single_shard_engine_matches_serial_cache(
         trace in arb_trace(),
-        kind in arb_policy(),
+        spec in arb_spec(),
         capacity in 1_000u64..200_000,
         warmup in 0.0f64..0.5,
     ) {
         let dense = DenseTrace::build(&trace);
         let config = SimulationConfig::new(ByteSize::new(capacity))
             .with_warmup_fraction(warmup);
-        let serial = Simulator::new(kind.build(), config).run_dense_batched(&dense);
-        let concurrent = ConcurrentSimulator::new(kind, config)
+        let serial = Simulator::from_spec(spec, config).run_dense_batched(&dense);
+        let concurrent = ConcurrentSimulator::new(spec, config)
             .run(&dense, 1, 1)
             .expect("1 is a valid shard count");
         prop_assert_eq!(&concurrent.policy, &serial.policy);
@@ -69,14 +79,14 @@ proptest! {
     #[test]
     fn merged_report_is_independent_of_client_count(
         trace in arb_trace(),
-        kind in arb_policy(),
+        spec in arb_spec(),
         capacity in 1_000u64..200_000,
         shards in prop::sample::select(vec![2usize, 4, 8]),
     ) {
         let dense = DenseTrace::build(&trace);
         let config = SimulationConfig::new(ByteSize::new(capacity));
         let sharded = ShardedTrace::build(&dense, shards).unwrap();
-        let sim = ConcurrentSimulator::new(kind, config);
+        let sim = ConcurrentSimulator::new(spec, config);
         let baseline = sim.run_sharded(&dense, &sharded, 1);
         for clients in [2usize, 4, 8] {
             let report = sim.run_sharded(&dense, &sharded, clients);

@@ -180,6 +180,7 @@ mod dense_vs_hashed {
     fn arb_admission() -> impl Strategy<Value = AdmissionRule> {
         prop_oneof![
             Just(AdmissionRule::All),
+            Just(AdmissionRule::TinyLfu),
             (1u64..50_000).prop_map(|s| AdmissionRule::MaxSize(ByteSize::new(s))),
             (1usize..64).prop_map(AdmissionRule::SecondHit),
         ]
@@ -272,7 +273,7 @@ mod dense_vs_hashed {
         );
         for point in report.points() {
             let config = SimulationConfig::new(point.capacity);
-            let hashed = Simulator::new(point.policy.instantiate(), config).run_hashed(&trace);
+            let hashed = Simulator::from_spec(point.policy, config).run_hashed(&trace);
             assert_eq!(
                 point.report, hashed,
                 "sweep cell ({:?}, {}) diverged from the hashed replay",
@@ -433,6 +434,7 @@ mod batched_vs_serial {
     fn arb_admission() -> impl Strategy<Value = AdmissionRule> {
         prop_oneof![
             Just(AdmissionRule::All),
+            Just(AdmissionRule::TinyLfu),
             (1u64..50_000).prop_map(|s| AdmissionRule::MaxSize(ByteSize::new(s))),
             (1usize..64).prop_map(AdmissionRule::SecondHit),
         ]
