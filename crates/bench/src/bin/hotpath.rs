@@ -18,6 +18,13 @@
 //!   zero-cost claim of the observability layer.
 //! * `windowed` — dense replay with a [`WindowedMetrics`] observer
 //!   attached, putting a number on what observability costs when used.
+//! * `recorder` — dense replay through the [`FlightSink`]-instrumented
+//!   build with a [`FlightObserver`] attached (ring of 4096 decision
+//!   records, reason channel drained per event): what the flight
+//!   recorder costs when switched ON. The paired `recorder_overhead`
+//!   column (median of `t_recorder / t_serial`) is the honest price;
+//!   the recorder-OFF price is the `instr-off` column, which the
+//!   `--check-regress` gate holds to the `dense` baseline.
 //! * `conc1/2/4/8` — the concurrent sharded replay
 //!   ([`ConcurrentSimulator`], 8 shards) driven by 1/2/4/8 client
 //!   threads, aggregate req/s. The paired `conc8_speedup` column
@@ -83,9 +90,10 @@ use std::time::Instant;
 
 use webcache_bench::{dfn_trace, SEED_DEFAULT};
 use webcache_core::PolicyKind;
+use webcache_obs::{FlightSink, ReasonChannel, SharedRecorder};
 use webcache_sim::{
-    ConcurrentSimulator, NoopObserver, ShardedTrace, SimulationConfig, Simulator, WindowedMetrics,
-    DEFAULT_BATCH_SIZE,
+    ConcurrentSimulator, FlightObserver, NoopObserver, ShardedTrace, SimulationConfig, Simulator,
+    WindowedMetrics, DEFAULT_BATCH_SIZE,
 };
 use webcache_trace::{ByteSize, DenseTrace, Trace};
 
@@ -107,6 +115,10 @@ const ANCHOR_STEPS_PER_REQUEST: u64 = 16;
 /// Shard count of the concurrent columns (the issue's acceptance
 /// configuration: 8 clients over 8 shards).
 const CONC_SHARDS: usize = 8;
+
+/// Flight-recorder ring capacity of the `recorder` column — the serve
+/// daemon's default (`--flight-capacity`).
+const RECORDER_CAPACITY: usize = 4096;
 
 /// Client-thread counts of the concurrent columns.
 const CONC_CLIENTS: [usize; 4] = [1, 2, 4, 8];
@@ -146,6 +158,14 @@ struct Cell {
     batched_rps: f64,
     instr_off_rps: f64,
     windowed_rps: f64,
+    /// Dense replay with the flight recorder ON (instrumented sink +
+    /// observer + ring).
+    recorder_rps: f64,
+    /// Median over iterations of paired `t_recorder / t_serial`: the
+    /// relative cost of switching the flight recorder on.
+    recorder_overhead: f64,
+    /// Median over iterations of `t_anchor / t_recorder`.
+    recorder_norm: f64,
     /// Median over iterations of paired `t_serial / t_batched`.
     batched_speedup: f64,
     /// Median over iterations of `t_anchor / t_serial`.
@@ -237,26 +257,30 @@ fn main() -> ExitCode {
 
     let mut cells = Vec::new();
     println!(
-        "{:<10} {:>14} {:>14} {:>14} {:>16} {:>15} {:>9}",
+        "{:<10} {:>14} {:>14} {:>14} {:>16} {:>15} {:>15} {:>9} {:>9}",
         "policy",
         "hashed req/s",
         "dense req/s",
         "batched req/s",
         "instr-off req/s",
         "windowed req/s",
-        "paired"
+        "recorder req/s",
+        "paired",
+        "rec-cost"
     );
     for kind in PolicyKind::ALL {
         let cell = measure(kind, &trace, &dense, &sharded, capacity, iters);
         println!(
-            "{:<10} {:>14.0} {:>14.0} {:>14.0} {:>16.0} {:>15.0} {:>8.2}x",
+            "{:<10} {:>14.0} {:>14.0} {:>14.0} {:>16.0} {:>15.0} {:>15.0} {:>8.2}x {:>8.2}x",
             cell.label,
             cell.hashed_rps,
             cell.dense_rps,
             cell.batched_rps,
             cell.instr_off_rps,
             cell.windowed_rps,
-            cell.batched_speedup
+            cell.recorder_rps,
+            cell.batched_speedup,
+            cell.recorder_overhead
         );
         cells.push(cell);
     }
@@ -434,6 +458,9 @@ fn measure(
     let mut best_batched = f64::INFINITY;
     let mut best_instr_off = f64::INFINITY;
     let mut best_windowed = f64::INFINITY;
+    let mut best_recorder = f64::INFINITY;
+    let mut recorder_overheads = Vec::with_capacity(iters);
+    let mut recorder_norms = Vec::with_capacity(iters);
     let mut speedups = Vec::with_capacity(iters);
     let mut dense_norms = Vec::with_capacity(iters);
     let mut batched_norms = Vec::with_capacity(iters);
@@ -507,6 +534,26 @@ fn measure(
         );
         best_windowed = best_windowed.min(start.elapsed().as_secs_f64());
         std::hint::black_box(&metrics);
+
+        // Recorder ON: the instrumented build pushes eviction reasons
+        // through the sink channel and the flight observer drains them
+        // into the ring — the serve daemon's serial-mode hot path.
+        let evictions = ReasonChannel::new();
+        let mut flight = FlightObserver::with_reasons(
+            SharedRecorder::new(RECORDER_CAPACITY),
+            evictions.clone(),
+            ReasonChannel::new(),
+        );
+        let start = Instant::now();
+        std::hint::black_box(
+            Simulator::new(kind.build_instrumented(FlightSink::new(evictions)), config)
+                .run_dense_observed(dense, &mut flight),
+        );
+        let t_recorder = start.elapsed().as_secs_f64();
+        best_recorder = best_recorder.min(t_recorder);
+        recorder_overheads.push(t_recorder / t_serial);
+        recorder_norms.push(t_anchor / t_recorder);
+        std::hint::black_box(&flight);
     }
     // Keep the batched replay honest: the timed runs above are
     // black-boxed, so re-check equality here once per cell.
@@ -525,6 +572,9 @@ fn measure(
         batched_rps: requests / best_batched,
         instr_off_rps: requests / best_instr_off,
         windowed_rps: requests / best_windowed,
+        recorder_rps: requests / best_recorder,
+        recorder_overhead: median(&mut recorder_overheads),
+        recorder_norm: median(&mut recorder_norms),
         batched_speedup: median(&mut speedups),
         dense_norm: median(&mut dense_norms),
         batched_norm: median(&mut batched_norms),
@@ -702,6 +752,8 @@ fn render_json(
             s,
             "    {{\"policy\": \"{}\", \"hashed_rps\": {:.0}, \"dense_rps\": {:.0}, \
              \"batched_rps\": {:.0}, \"instr_off_rps\": {:.0}, \"windowed_rps\": {:.0}, \
+             \"recorder_rps\": {:.0}, \"recorder_overhead\": {:.3}, \
+             \"recorder_norm\": {:.4}, \
              \"speedup\": {:.3}, \"batched_speedup\": {:.3}, \"dense_norm\": {:.4}, \
              \"batched_norm\": {:.4}, \"conc1_rps\": {:.0}, \"conc2_rps\": {:.0}, \
              \"conc4_rps\": {:.0}, \"conc8_rps\": {:.0}, \"conc8_speedup\": {:.3}, \
@@ -712,6 +764,9 @@ fn render_json(
             cell.batched_rps,
             cell.instr_off_rps,
             cell.windowed_rps,
+            cell.recorder_rps,
+            cell.recorder_overhead,
+            cell.recorder_norm,
             cell.dense_rps / cell.hashed_rps,
             cell.batched_speedup,
             cell.dense_norm,
@@ -740,8 +795,9 @@ fn usage(error: &str) -> ExitCode {
          \n\
          Times every replacement policy over the scaled DFN workload through\n\
          the hashed, dense and batched simulator paths (plus the unit-sink\n\
-         instrumented build and the dense path with a windowed-metrics\n\
-         observer attached) and writes the requests/s comparison to a JSON\n\
+         instrumented build, the dense path with a windowed-metrics\n\
+         observer attached, and the flight-recorder-ON path: instrumented\n\
+         sink + decision ring) and writes the requests/s comparison to a JSON\n\
          file (default BENCH_hotpath.json). Serial and batched replays are\n\
          interleaved with a fixed spin anchor every iteration; the paired\n\
          medians (batched_speedup, dense_norm, batched_norm) are immune to\n\

@@ -21,6 +21,7 @@
 pub mod args;
 pub mod capacity;
 mod commands;
+pub mod forensics;
 pub mod serve;
 
 pub use args::{ArgError, Args};
@@ -123,17 +124,31 @@ subcommands:
                [--seed N] [--rate REQ_PER_SEC] [--passes N]
                [--port PORT] [--log-level trace|debug|info|warn|error]
                [--log-file FILE] [--anomaly-window N] [--quick]
-               [--shards N] [--clients M]
+               [--shards N] [--clients M] [--flight-capacity N]
+               [--bundle-dir DIR] [--max-bundles N]
                replay continuously while answering GET /metrics
-               (Prometheus text), /healthz and /snapshot on
-               127.0.0.1:9184 (default); JSONL event log on stderr or
-               --log-file; online anomaly detectors raise
-               webcache_anomaly_total and rate-limited warn records;
-               --shards N (power of two) with --clients M replays
-               through the concurrent sharded engine and exports
-               per-shard request/byte/hit-rate balance metrics (the
-               per-event observers are single-stream and stay off);
-               Ctrl-C shuts down cleanly
+               (Prometheus text), /healthz, /snapshot, /debug/flight
+               and /debug/doc?id=N on 127.0.0.1:9184 (default); JSONL
+               event log on stderr or --log-file; online anomaly
+               detectors raise webcache_anomaly_total and rate-limited
+               warn records; online regret metrics (wasted evictions,
+               gap to clairvoyant) export as webcache_regret_*; the
+               flight recorder keeps the last --flight-capacity
+               (default 4096) eviction/admission decision records with
+               policy reason payloads; with --bundle-dir, an anomaly
+               warning writes a post-mortem bundle (flight.jsonl +
+               registry.json + manifest.json, at most --max-bundles,
+               default 8); --shards N (power of two) with --clients M
+               replays through the concurrent sharded engine and
+               exports per-shard balance metrics (per-event observers
+               are single-stream and stay off; flight recording stays
+               on, without reason payloads); Ctrl-C shuts down cleanly
+  inspect      --bundle DIR_OR_JSONL [--window N] [--top N]
+               eviction forensics over a post-mortem bundle (or a bare
+               flight.jsonl): per-type eviction-age and
+               reuse-distance-at-eviction histograms, wasted evictions
+               within --window (default 1024), top-regret documents,
+               and the policy reason payloads behind evictions
   help         print this text
 
 policies: every SPEC is [admission+]replacement
@@ -177,6 +192,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "hierarchy" => commands::hierarchy(&Args::parse(rest, &[])?),
         "profile" => commands::profile(&Args::parse_with_repeats(rest, &["quick"], &["policy"])?),
         "serve" => serve::serve(&Args::parse(rest, &["quick"])?),
+        "inspect" => forensics::inspect(&Args::parse(rest, &[])?),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(CliError::Usage(format!("unknown subcommand `{other}`"))),
     }

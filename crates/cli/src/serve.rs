@@ -1,18 +1,28 @@
 //! `webcache serve` — the live observability daemon.
 //!
 //! Runs a continuous replay ([`ReplayLoop`]) on a background thread
-//! while the calling thread answers HTTP requests:
+//! while the calling thread answers HTTP requests. Every endpoint lives
+//! in one routing table ([`route_paths`] lists them):
 //!
 //! * `GET /metrics` — Prometheus text exposition of the live registry
-//!   (simulator counters, anomaly totals, serve-loop gauges);
+//!   (simulator counters, anomaly totals, regret gauges, serve-loop
+//!   gauges);
 //! * `GET /healthz` — liveness plus replay progress as JSON;
-//! * `GET /snapshot` — the full registry snapshot as JSON.
+//! * `GET /snapshot` — the full registry snapshot as JSON;
+//! * `GET /debug/flight` — the flight recorder's retained decision
+//!   records (merged across shards, ordered by request index) as JSON;
+//! * `GET /debug/doc?id=N` — the retained decision history of one
+//!   document as JSON.
 //!
 //! The replay is fed either by one fixed trace file replayed pass after
 //! pass, or by the endless [`WorkloadStream`] generator (one epoch per
 //! pass). Observers — profiling counters, the anomaly detectors, the
-//! structured event log — persist across passes, so EWMA baselines and
-//! totals accumulate for the daemon's lifetime.
+//! regret tracker, the flight recorder, the structured event log —
+//! persist across passes, so EWMA baselines, rings and totals accumulate
+//! for the daemon's lifetime. With `--bundle-dir` set, an anomaly that
+//! logs a warning also snapshots the flight ring and the registry into a
+//! post-mortem bundle (see [`crate::forensics`]), rate limited by the
+//! anomaly cooldown and capped by `--max-bundles`.
 //!
 //! Shutdown is cooperative: SIGINT (or anything else raising the shared
 //! flag) stops the HTTP accept loop within one poll interval and the
@@ -20,26 +30,36 @@
 //! and returns a summary.
 
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::sync::atomic::AtomicBool;
-use std::time::Instant;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use webcache_core::PolicySpec;
 use webcache_obs::{
-    Counter, Gauge, HttpRequest, HttpResponse, HttpServer, Level, Logger, Registry,
+    merge_sorted, Counter, FlightSink, Gauge, HttpRequest, HttpResponse, HttpServer, Level, Logger,
+    ReasonChannel, Registry, SharedRecorder,
 };
 use webcache_sim::{
-    AnomalyConfig, AnomalyObserver, FixedSource, LiveStatus, LogObserver, ProfileObserver,
-    ReplayLoop, ShardedReplayLoop, SimulationConfig, TraceSource,
+    AnomalyConfig, AnomalyObserver, AnomalyTrigger, FixedSource, FlightObserver, LiveStatus,
+    LogObserver, ProfileObserver, RegretConfig, RegretTracker, ReplayLoop, ShardedReplayLoop,
+    SimulationConfig, Simulator, TraceSource,
 };
 use webcache_trace::{DenseTrace, Trace};
 use webcache_workload::{WorkloadProfile, WorkloadStream};
 
 use crate::args::Args;
 use crate::capacity::{parse_capacity, CapacitySpec};
+use crate::forensics::{self, BundleMeta};
 use crate::CliError;
 
 /// Default listen port (loopback only).
 pub const DEFAULT_PORT: u16 = 9184;
+
+/// Default flight-recorder ring capacity (decision records retained).
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 4096;
+
+/// Default cap on post-mortem bundles written per serve run.
+pub const DEFAULT_MAX_BUNDLES: usize = 8;
 
 fn usage(msg: impl Into<String>) -> CliError {
     CliError::Usage(msg.into())
@@ -122,6 +142,9 @@ pub struct ServeOptions {
     anomaly: AnomalyConfig,
     shards: usize,
     clients: usize,
+    flight_capacity: usize,
+    bundle_dir: Option<PathBuf>,
+    max_bundles: usize,
 }
 
 impl std::fmt::Debug for ServeOptions {
@@ -133,6 +156,8 @@ impl std::fmt::Debug for ServeOptions {
             .field("max_passes", &self.max_passes)
             .field("shards", &self.shards)
             .field("clients", &self.clients)
+            .field("flight_capacity", &self.flight_capacity)
+            .field("bundle_dir", &self.bundle_dir)
             .finish_non_exhaustive()
     }
 }
@@ -235,6 +260,19 @@ impl ServeOptions {
             }
             anomaly.window = window;
         }
+        let flight_capacity: usize = args
+            .get_parsed("flight-capacity")?
+            .unwrap_or(DEFAULT_FLIGHT_CAPACITY);
+        if flight_capacity == 0 {
+            return Err(usage("--flight-capacity expects a positive record count"));
+        }
+        let bundle_dir: Option<PathBuf> = args.get("bundle-dir").map(PathBuf::from);
+        let max_bundles: usize = args
+            .get_parsed("max-bundles")?
+            .unwrap_or(DEFAULT_MAX_BUNDLES);
+        if max_bundles == 0 {
+            return Err(usage("--max-bundles expects a bundle count ≥ 1"));
+        }
 
         Ok(ServeOptions {
             source,
@@ -250,12 +288,121 @@ impl ServeOptions {
             anomaly,
             shards,
             clients,
+            flight_capacity,
+            bundle_dir,
+            max_bundles,
         })
     }
 }
 
-/// The known endpoint paths, for per-path request counters.
-const PATHS: [&str; 3] = ["/metrics", "/healthz", "/snapshot"];
+/// Everything a route handler can reach: shared read-only views of the
+/// daemon's state.
+struct RouteContext<'a> {
+    registry: &'a Registry,
+    status: &'a LiveStatus,
+    policy: &'a str,
+    started: Instant,
+    /// One flight ring per shard (exactly one in serial mode).
+    flight: &'a [SharedRecorder],
+}
+
+/// One servable endpoint: its path and its handler.
+type Route = (
+    &'static str,
+    fn(&RouteContext<'_>, &HttpRequest) -> HttpResponse,
+);
+
+/// The routing table. Adding an endpoint means adding a row here — the
+/// dispatcher, the per-path request counters and the 404 coverage test
+/// all iterate this table.
+const ROUTES: [Route; 5] = [
+    ("/metrics", route_metrics),
+    ("/healthz", route_healthz),
+    ("/snapshot", route_snapshot),
+    ("/debug/flight", route_debug_flight),
+    ("/debug/doc", route_debug_doc),
+];
+
+/// The endpoint paths served, in routing-table order (also the `path`
+/// label values of `webcache_http_requests_total`).
+pub fn route_paths() -> impl Iterator<Item = &'static str> {
+    ROUTES.iter().map(|(path, _)| *path)
+}
+
+fn route_metrics(ctx: &RouteContext<'_>, _req: &HttpRequest) -> HttpResponse {
+    HttpResponse::text(ctx.registry.prometheus_text())
+}
+
+fn route_snapshot(ctx: &RouteContext<'_>, _req: &HttpRequest) -> HttpResponse {
+    HttpResponse::json(ctx.registry.json_snapshot())
+}
+
+fn route_healthz(ctx: &RouteContext<'_>, _req: &HttpRequest) -> HttpResponse {
+    HttpResponse::json(format!(
+        "{{\"status\": \"ok\", \"replaying\": {}, \"passes\": {}, \
+         \"requests_replayed\": {}, \"last_pass_req_per_sec\": {:.1}, \
+         \"uptime_ms\": {}, \"policy\": \"{}\"}}",
+        ctx.status.replaying(),
+        ctx.status.passes(),
+        ctx.status.requests(),
+        ctx.status.last_pass_req_per_sec(),
+        ctx.started.elapsed().as_millis(),
+        ctx.policy,
+    ))
+}
+
+/// Renders decision records as a JSON array body.
+fn records_json(records: &[webcache_obs::DecisionRecord]) -> String {
+    let rendered: Vec<String> = records.iter().map(|r| r.to_json()).collect();
+    rendered.join(", ")
+}
+
+fn route_debug_flight(ctx: &RouteContext<'_>, _req: &HttpRequest) -> HttpResponse {
+    let records = merge_sorted(ctx.flight);
+    let total: u64 = ctx.flight.iter().map(SharedRecorder::total).sum();
+    let capacity: usize = ctx.flight.iter().map(SharedRecorder::capacity).sum();
+    HttpResponse::json(format!(
+        "{{\"total\": {total}, \"capacity\": {capacity}, \"shards\": {}, \"records\": [{}]}}",
+        ctx.flight.len(),
+        records_json(&records),
+    ))
+}
+
+fn route_debug_doc(ctx: &RouteContext<'_>, req: &HttpRequest) -> HttpResponse {
+    let id = req.query.as_deref().and_then(|q| {
+        q.split('&').find_map(|pair| {
+            let (key, value) = pair.split_once('=')?;
+            (key == "id").then(|| value.parse::<u64>().ok()).flatten()
+        })
+    });
+    let Some(id) = id else {
+        return HttpResponse::status(400, "expected ?id=<numeric document id>\n");
+    };
+    let mut records: Vec<webcache_obs::DecisionRecord> = ctx
+        .flight
+        .iter()
+        .flat_map(|r| r.records_for_doc(id))
+        .collect();
+    records.sort_by_key(|r| r.index);
+    HttpResponse::json(format!(
+        "{{\"doc\": {id}, \"records\": [{}]}}",
+        records_json(&records),
+    ))
+}
+
+/// Routes one HTTP request through [`ROUTES`].
+fn respond(req: &HttpRequest, ctx: &RouteContext<'_>, http_counters: &[Counter]) -> HttpResponse {
+    match ROUTES.iter().position(|(path, _)| *path == req.path) {
+        Some(i) => {
+            http_counters[i].inc();
+            (ROUTES[i].1)(ctx, req)
+        }
+        None => {
+            http_counters[ROUTES.len()].inc();
+            HttpResponse::not_found()
+        }
+    }
+}
 
 /// `webcache serve` with an injectable shutdown flag and readiness
 /// callback (the binary passes [`sigint_flag`]; tests pass their own
@@ -284,6 +431,9 @@ pub fn serve_with(
         anomaly,
         shards,
         clients,
+        flight_capacity,
+        bundle_dir,
+        max_bundles,
     } = opts;
     let server = HttpServer::bind(("127.0.0.1", port))?;
     let addr = server.local_addr();
@@ -291,6 +441,15 @@ pub fn serve_with(
 
     let registry = Registry::new();
     let label = spec.label();
+    let build_info = registry.gauge(
+        "webcache_build_info",
+        "Build metadata carried in labels; the value is always 1.",
+        &[
+            ("version", env!("CARGO_PKG_VERSION")),
+            ("features", "default"),
+        ],
+    );
+    build_info.set(1.0);
     let passes_total = registry.counter(
         "webcache_serve_passes_total",
         "Completed replay passes.",
@@ -316,9 +475,8 @@ pub fn serve_with(
         "1 while the replay loop is running, else 0.",
         &[],
     );
-    let http_counters: Vec<Counter> = PATHS
-        .iter()
-        .chain(std::iter::once(&"other"))
+    let http_counters: Vec<Counter> = route_paths()
+        .chain(std::iter::once("other"))
         .map(|path| {
             registry.counter(
                 "webcache_http_requests_total",
@@ -365,14 +523,87 @@ pub fn serve_with(
         &[],
     );
 
+    // One flight ring per shard; serial mode uses ring 0. HTTP handlers
+    // snapshot the rings while the replay thread records into them.
+    let recorders: Vec<SharedRecorder> = (0..shards)
+        .map(|_| SharedRecorder::new(flight_capacity))
+        .collect();
+
     let profile_obs = ProfileObserver::register(&registry, &label);
-    let anomaly_obs = AnomalyObserver::register(&registry, logger.clone(), anomaly);
+    let mut anomaly_obs = AnomalyObserver::register(&registry, logger.clone(), anomaly);
+    if let Some(dir) = bundle_dir {
+        // Post-mortem bundles: triggered when an anomaly logs a warning
+        // (same rate limit), snapshotting the flight ring and the full
+        // registry at the moment of detection.
+        let registry = registry.clone();
+        let recorders = recorders.clone();
+        let logger = logger.clone();
+        let policy = label.clone();
+        let capacity_bytes = config.capacity.as_u64();
+        let mut seq: u32 = 0;
+        anomaly_obs.set_trigger(AnomalyTrigger::new(move |kind, doc_type| {
+            if seq as usize >= max_bundles {
+                return;
+            }
+            let unix_ms = SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_millis())
+                .unwrap_or(0);
+            let records = merge_sorted(&recorders);
+            let jsonl: String = records
+                .iter()
+                .map(|r| format!("{}\n", r.to_json()))
+                .collect();
+            let meta = BundleMeta {
+                kind: kind.label(),
+                doc_type,
+                seq,
+                policy: &policy,
+                capacity_bytes,
+                unix_ms,
+            };
+            match forensics::write_bundle(&dir, &meta, &jsonl, &registry.json_snapshot()) {
+                Ok(path) => {
+                    seq += 1;
+                    logger.info(
+                        "serve",
+                        "post-mortem bundle written",
+                        &[
+                            ("path", path.display().to_string().into()),
+                            ("kind", kind.label().into()),
+                            ("records", (records.len() as u64).into()),
+                        ],
+                    );
+                }
+                Err(e) => logger.warn(
+                    "serve",
+                    "post-mortem bundle write failed",
+                    &[("error", e.to_string().into())],
+                ),
+            }
+        }));
+    }
     let log_obs = LogObserver::new(logger.clone());
-    let mut observer = (profile_obs, (anomaly_obs, log_obs));
+    let regret_obs = RegretTracker::with_registry(RegretConfig::default(), &registry);
+    let evict_reasons = ReasonChannel::new();
+    let admit_reasons = ReasonChannel::new();
+    // The flight observer is first in the chain so the ring already
+    // holds the current event when the anomaly trigger snapshots it.
+    let flight_obs = FlightObserver::with_reasons(
+        recorders[0].clone(),
+        evict_reasons.clone(),
+        admit_reasons.clone(),
+    );
+    let mut observer = (
+        flight_obs,
+        (regret_obs, (profile_obs, (anomaly_obs, log_obs))),
+    );
 
     // Concurrent mode trades the per-event observers (profiler, anomaly
-    // detectors, event log — single-stream by design) for client-thread
-    // parallelism and per-shard balance metrics.
+    // detectors, regret tracker, event log — single-stream by design)
+    // for client-thread parallelism and per-shard balance metrics; the
+    // flight recorders stay on via per-shard observers, without reason
+    // channels (the sharded caches are not sink-instrumented).
     let concurrent = shards > 1 || clients > 1;
     let replay = ReplayLoop {
         config,
@@ -399,6 +630,7 @@ pub fn serve_with(
     );
     replaying_gauge.set(1.0);
 
+    let shard_recorders = recorders.clone();
     let (summary, http_served) = std::thread::scope(|scope| {
         let replay_logger = logger.clone();
         let replay_handle = {
@@ -414,25 +646,69 @@ pub fn serve_with(
             scope.spawn(move || {
                 let summary = if concurrent {
                     sharded_replay
-                        .run(&mut source, status, shutdown, |pass| {
+                        .run_observed(
+                            &mut source,
+                            status,
+                            shutdown,
+                            |shard| FlightObserver::new(shard_recorders[shard].clone()),
+                            |pass| {
+                                let hit_rate = pass.report.overall().hit_rate();
+                                passes_total.inc();
+                                requests_total.add(pass.requests);
+                                rps_gauge.set(pass.req_per_sec);
+                                hit_rate_gauge.set(hit_rate);
+                                for summary in &pass.report.per_shard {
+                                    let (requests, bytes, rate) = &shard_metrics[summary.shard];
+                                    requests.add(summary.requests);
+                                    bytes.add(summary.bytes_requested);
+                                    rate.set(if summary.requests > 0 {
+                                        summary.hits as f64 / summary.requests as f64
+                                    } else {
+                                        0.0
+                                    });
+                                }
+                                let balance = pass.report.balance();
+                                request_imbalance_gauge.set(balance.request_imbalance);
+                                byte_imbalance_gauge.set(balance.byte_imbalance);
+                                replay_logger.info(
+                                    "serve",
+                                    "pass complete",
+                                    &[
+                                        ("pass", pass.pass.into()),
+                                        ("requests", pass.requests.into()),
+                                        ("req_per_sec", pass.req_per_sec.into()),
+                                        ("hit_rate", hit_rate.into()),
+                                        ("request_imbalance", balance.request_imbalance.into()),
+                                    ],
+                                );
+                            },
+                        )
+                        .expect("shard count validated in from_args")
+                } else {
+                    // Instrumented serial replay: the policy pushes its
+                    // eviction reasons and the cache its admission
+                    // verdicts into the channels the flight observer
+                    // drains.
+                    replay.run_with(
+                        &mut source,
+                        &mut observer,
+                        status,
+                        shutdown,
+                        move || {
+                            let mut sim = Simulator::from_spec_instrumented(
+                                spec,
+                                config,
+                                FlightSink::new(evict_reasons.clone()),
+                            );
+                            sim.set_admit_reasons(admit_reasons.clone());
+                            sim
+                        },
+                        |pass| {
                             let hit_rate = pass.report.overall().hit_rate();
                             passes_total.inc();
                             requests_total.add(pass.requests);
                             rps_gauge.set(pass.req_per_sec);
                             hit_rate_gauge.set(hit_rate);
-                            for summary in &pass.report.per_shard {
-                                let (requests, bytes, rate) = &shard_metrics[summary.shard];
-                                requests.add(summary.requests);
-                                bytes.add(summary.bytes_requested);
-                                rate.set(if summary.requests > 0 {
-                                    summary.hits as f64 / summary.requests as f64
-                                } else {
-                                    0.0
-                                });
-                            }
-                            let balance = pass.report.balance();
-                            request_imbalance_gauge.set(balance.request_imbalance);
-                            byte_imbalance_gauge.set(balance.byte_imbalance);
                             replay_logger.info(
                                 "serve",
                                 "pass complete",
@@ -441,29 +717,10 @@ pub fn serve_with(
                                     ("requests", pass.requests.into()),
                                     ("req_per_sec", pass.req_per_sec.into()),
                                     ("hit_rate", hit_rate.into()),
-                                    ("request_imbalance", balance.request_imbalance.into()),
                                 ],
                             );
-                        })
-                        .expect("shard count validated in from_args")
-                } else {
-                    replay.run(&mut source, &mut observer, status, shutdown, |pass| {
-                        let hit_rate = pass.report.overall().hit_rate();
-                        passes_total.inc();
-                        requests_total.add(pass.requests);
-                        rps_gauge.set(pass.req_per_sec);
-                        hit_rate_gauge.set(hit_rate);
-                        replay_logger.info(
-                            "serve",
-                            "pass complete",
-                            &[
-                                ("pass", pass.pass.into()),
-                                ("requests", pass.requests.into()),
-                                ("req_per_sec", pass.req_per_sec.into()),
-                                ("hit_rate", hit_rate.into()),
-                            ],
-                        );
-                    })
+                        },
+                    )
                 };
                 replaying_gauge.set(0.0);
                 summary
@@ -471,7 +728,14 @@ pub fn serve_with(
         };
         on_ready(addr);
         let served = server.serve(shutdown, |req| {
-            respond(req, &registry, &status, &label, started, &http_counters)
+            let ctx = RouteContext {
+                registry: &registry,
+                status: &status,
+                policy: &label,
+                started,
+                flight: &recorders,
+            };
+            respond(req, &ctx, &http_counters)
         });
         let summary = replay_handle.join().expect("replay thread");
         served.map(|n| (summary, n))
@@ -490,35 +754,6 @@ pub fn serve_with(
         "served {http_served} HTTP requests on {addr}; replayed {} requests over {} passes\n",
         summary.requests, summary.passes,
     ))
-}
-
-/// Routes one HTTP request.
-fn respond(
-    req: &HttpRequest,
-    registry: &Registry,
-    status: &LiveStatus,
-    policy: &str,
-    started: Instant,
-    http_counters: &[Counter],
-) -> HttpResponse {
-    let known = PATHS.iter().position(|p| *p == req.path);
-    http_counters[known.unwrap_or(PATHS.len())].inc();
-    match req.path.as_str() {
-        "/metrics" => HttpResponse::text(registry.prometheus_text()),
-        "/snapshot" => HttpResponse::json(registry.json_snapshot()),
-        "/healthz" => HttpResponse::json(format!(
-            "{{\"status\": \"ok\", \"replaying\": {}, \"passes\": {}, \
-             \"requests_replayed\": {}, \"last_pass_req_per_sec\": {:.1}, \
-             \"uptime_ms\": {}, \"policy\": \"{}\"}}",
-            status.replaying(),
-            status.passes(),
-            status.requests(),
-            status.last_pass_req_per_sec(),
-            started.elapsed().as_millis(),
-            policy,
-        )),
-        _ => HttpResponse::not_found(),
-    }
 }
 
 /// `webcache serve` as invoked by the binary: SIGINT-driven shutdown.

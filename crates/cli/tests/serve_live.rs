@@ -180,6 +180,173 @@ fn cliff_trace_fires_anomaly_once_and_endpoints_answer() {
     fs::remove_file(log_path).ok();
 }
 
+/// Like [`cliff_trace`], but sized to evict: window 2's cold flood keeps
+/// re-requesting the 8-document hot set every 64 requests, so a small
+/// cache churns the hot documents out and back in — wasted evictions the
+/// forensics report must surface.
+fn forensic_trace() -> Trace {
+    let mut trace = Trace::with_capacity(1100);
+    let mut push = |i: u64, doc: u64| {
+        trace.push(Request::new(
+            Timestamp::from_millis(i),
+            DocId::new(doc),
+            DocumentType::Html,
+            ByteSize::new(900),
+        ));
+    };
+    for i in 0..512u64 {
+        push(i, i % 8);
+    }
+    for i in 512..1100u64 {
+        if i % 8 == 0 {
+            push(i, (i / 8) % 8);
+        } else {
+            push(i, 1000 + i);
+        }
+    }
+    trace
+}
+
+#[test]
+fn anomaly_writes_one_bundle_that_round_trips_through_inspect() {
+    let trace_path = temp_path("forensic.wctb");
+    let bundle_dir = temp_path("bundles");
+    fs::write(
+        &trace_path,
+        webcache_trace::format_bin::to_bytes(&forensic_trace()),
+    )
+    .unwrap();
+    let _ = fs::remove_dir_all(&bundle_dir);
+
+    // 16KiB holds ~18 of the 900-byte documents: the hot set fits during
+    // window 1 (seeding the hit-rate baseline with ~98%), then window
+    // 2's cold flood evicts constantly and collapses the hit rate.
+    // GDS(1) attaches greedy_dual reason payloads to every eviction.
+    let args = Args::parse(
+        &argv(&format!(
+            "--trace {} --policy gds1 --capacity 16KiB --warmup 0 --passes 1 --port 0 \
+             --anomaly-window 500 --log-level error --flight-capacity 2048 \
+             --bundle-dir {} --max-bundles 1",
+            trace_path.display(),
+            bundle_dir.display()
+        )),
+        &["quick"],
+    )
+    .unwrap();
+    let opts = ServeOptions::from_args(&args).unwrap();
+
+    static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+    let (tx, rx) = mpsc::channel();
+    let daemon = std::thread::spawn(move || {
+        serve_with(opts, &SHUTDOWN, move |addr| tx.send(addr).unwrap()).unwrap()
+    });
+    let addr = rx.recv_timeout(Duration::from_secs(10)).expect("ready");
+    await_replay_done(addr, Duration::from_secs(30));
+
+    // Every routing-table path answers (non-404) — the table is the
+    // single source of truth, so a new endpoint is covered by default.
+    for path in webcache_cli::serve::route_paths() {
+        let probe = if path == "/debug/doc" {
+            "/debug/doc?id=0".to_owned()
+        } else {
+            path.to_owned()
+        };
+        let (status, body) = http_get(addr, &probe);
+        assert_eq!(status, 200, "{probe}: {body}");
+    }
+    for unknown in ["/nope", "/debug", "/debug/flightier"] {
+        let (status, _) = http_get(addr, unknown);
+        assert_eq!(status, 404, "{unknown} should not route");
+    }
+
+    // /metrics carries the build-info gauge and the regret families.
+    let (status, metrics) = http_get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("webcache_build_info{")
+            && metrics.contains(env!("CARGO_PKG_VERSION"))
+            && metrics.contains("features=\"default\""),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("webcache_regret_wasted_evictions_total{doc_type=\"HTML\"}"),
+        "{metrics}"
+    );
+
+    // /debug/flight is valid JSON holding eviction records with their
+    // policy reason payloads.
+    let (status, flight) = http_get(addr, "/debug/flight");
+    assert_eq!(status, 200);
+    let parsed = webcache_obs::json::parse(&flight).expect("flight parses");
+    assert!(parsed.get("records").is_some(), "{flight}");
+    assert!(flight.contains("\"total\": "), "{flight}");
+    assert!(flight.contains("\"event\": \"evict\""), "{flight}");
+    assert!(flight.contains("greedy_dual"), "{flight}");
+
+    // /debug/doc narrows to one document; a missing or junk id is a 400.
+    let (status, doc) = http_get(addr, "/debug/doc?id=0");
+    assert_eq!(status, 200);
+    webcache_obs::json::parse(&doc).expect("doc parses");
+    assert!(doc.starts_with("{\"doc\": 0, "), "{doc}");
+    assert!(doc.contains("\"records\": ["), "{doc}");
+    for bad in ["/debug/doc", "/debug/doc?id=junk", "/debug/doc?doc=0"] {
+        let (status, _) = http_get(addr, bad);
+        assert_eq!(status, 400, "{bad} should reject");
+    }
+
+    SHUTDOWN.store(true, Ordering::SeqCst);
+    daemon.join().expect("daemon thread");
+
+    // Exactly one bundle, despite several detectors firing on window 2:
+    // --max-bundles 1 caps the trigger.
+    let bundles: Vec<PathBuf> = fs::read_dir(&bundle_dir)
+        .expect("bundle dir exists")
+        .map(|e| e.unwrap().path())
+        .filter(|p| {
+            p.file_name()
+                .is_some_and(|n| n.to_string_lossy().starts_with("bundle-"))
+        })
+        .collect();
+    assert_eq!(bundles.len(), 1, "expected exactly one bundle: {bundles:?}");
+    let bundle = &bundles[0];
+
+    // The bundle's JSONL parses back into eviction records with reasons.
+    let jsonl = fs::read_to_string(bundle.join("flight.jsonl")).unwrap();
+    let records = webcache_obs::FlightRecorder::parse_jsonl(&jsonl).expect("jsonl parses");
+    assert!(
+        records
+            .iter()
+            .any(|r| r.event == webcache_obs::EventKind::Evict
+                && r.reason.kind != webcache_obs::ReasonKind::None),
+        "no eviction record with a reason payload in the bundle"
+    );
+    webcache_obs::json::parse(&fs::read_to_string(bundle.join("registry.json")).unwrap())
+        .expect("registry.json parses");
+    webcache_obs::json::parse(&fs::read_to_string(bundle.join("manifest.json")).unwrap())
+        .expect("manifest.json parses");
+
+    // `webcache inspect` over the bundle reports the forensics.
+    let report = webcache_cli::run(&argv(&format!("inspect --bundle {}", bundle.display())))
+        .expect("inspect succeeds");
+    for needle in [
+        "with a policy reason payload)",
+        "greedy_dual",
+        "wasted evictions",
+        "eviction age",
+        "reuse distance at eviction",
+        "top regret documents",
+    ] {
+        assert!(report.contains(needle), "missing {needle:?} in:\n{report}");
+    }
+    assert!(
+        !report.contains("(no wasted evictions in the record window)"),
+        "hot-set churn must register as wasted evictions:\n{report}"
+    );
+
+    fs::remove_file(trace_path).ok();
+    let _ = fs::remove_dir_all(&bundle_dir);
+}
+
 #[test]
 fn sharded_daemon_exports_per_shard_balance_metrics() {
     let args = Args::parse(
@@ -225,6 +392,14 @@ fn sharded_daemon_exports_per_shard_balance_metrics() {
         metrics.contains("webcache_serve_passes_total 2"),
         "{metrics}"
     );
+    // The concurrent engine records flight events too (one ring per
+    // shard, no reason payloads): /debug/flight merges all four rings.
+    let (status, flight) = http_get(addr, "/debug/flight");
+    assert_eq!(status, 200);
+    let parsed = webcache_obs::json::parse(&flight).expect("flight parses");
+    assert!(parsed.get("records").is_some(), "{flight}");
+    assert!(flight.contains("\"shards\": 4"), "{flight}");
+    assert!(flight.contains("\"event\": "), "{flight}");
     // Every shard actually received traffic on a realistic workload.
     for line in metrics.lines() {
         if let Some(rest) = line.strip_prefix("webcache_serve_shard_requests_total{") {
@@ -278,22 +453,24 @@ fn workload_mode_replays_the_endless_generator() {
 #[test]
 fn serve_usage_errors() {
     for bad in [
-        "",                                  // no source
-        "--trace a.wct --workload dfn",      // both sources
-        "--workload mars",                   // unknown profile
-        "--workload dfn --log-level loud",   // unknown level
-        "--workload dfn --warmup 1.5",       // warmup out of range
-        "--workload dfn --rate 0",           // non-positive rate
-        "--workload dfn --rate nan",         // parses as f64 but is useless
-        "--workload dfn --rate inf",         // likewise
-        "--workload dfn --rate -3",          // negative
-        "--workload dfn --rate fast",        // non-numeric
-        "--workload dfn --anomaly-window 0", // empty window
-        "--workload dfn --shards 0",         // zero shards
-        "--workload dfn --shards 6",         // not a power of two
-        "--workload dfn --shards four",      // non-numeric
-        "--workload dfn --clients 0",        // zero clients
-        "--workload dfn --clients many",     // non-numeric
+        "",                                   // no source
+        "--trace a.wct --workload dfn",       // both sources
+        "--workload mars",                    // unknown profile
+        "--workload dfn --log-level loud",    // unknown level
+        "--workload dfn --warmup 1.5",        // warmup out of range
+        "--workload dfn --rate 0",            // non-positive rate
+        "--workload dfn --rate nan",          // parses as f64 but is useless
+        "--workload dfn --rate inf",          // likewise
+        "--workload dfn --rate -3",           // negative
+        "--workload dfn --rate fast",         // non-numeric
+        "--workload dfn --anomaly-window 0",  // empty window
+        "--workload dfn --shards 0",          // zero shards
+        "--workload dfn --shards 6",          // not a power of two
+        "--workload dfn --shards four",       // non-numeric
+        "--workload dfn --clients 0",         // zero clients
+        "--workload dfn --clients many",      // non-numeric
+        "--workload dfn --flight-capacity 0", // empty flight ring
+        "--workload dfn --max-bundles 0",     // bundle cap below 1
     ] {
         let args = Args::parse(&argv(bad), &["quick"]).unwrap();
         assert!(

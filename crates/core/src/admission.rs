@@ -101,6 +101,13 @@ pub trait AdmissionPolicy: fmt::Debug + Send {
     fn remembered(&self) -> usize {
         0
     }
+
+    /// The reason payload behind the most recent
+    /// [`AdmissionPolicy::admit`] verdict, for the flight recorder.
+    /// Filters without an articulable reason return the none-kind.
+    fn last_reason(&self) -> webcache_obs::Reason {
+        webcache_obs::Reason::none()
+    }
 }
 
 /// Admits everything — [`AdmissionSpec::All`].
@@ -117,18 +124,30 @@ impl AdmissionPolicy for AdmitAll {
 #[derive(Debug)]
 pub struct MaxSizeFilter {
     limit: ByteSize,
+    /// Size consulted by the most recent verdict (flight-recorder
+    /// reason payload).
+    last_size: ByteSize,
 }
 
 impl MaxSizeFilter {
     /// A filter admitting documents of at most `limit` bytes.
     pub fn new(limit: ByteSize) -> Self {
-        MaxSizeFilter { limit }
+        MaxSizeFilter {
+            limit,
+            last_size: ByteSize::ZERO,
+        }
     }
 }
 
 impl AdmissionPolicy for MaxSizeFilter {
-    fn admit(&mut self, _doc: DocId, size: ByteSize, _pressure: bool) -> bool {
+    fn admit(&mut self, doc: DocId, size: ByteSize, _pressure: bool) -> bool {
+        let _ = doc;
+        self.last_size = size;
         size <= self.limit
+    }
+
+    fn last_reason(&self) -> webcache_obs::Reason {
+        webcache_obs::Reason::max_size(self.last_size.as_f64(), self.limit.as_f64())
     }
 }
 
@@ -149,6 +168,9 @@ pub struct SecondHitFilter {
     order: VecDeque<(u32, u64)>,
     /// Monotone stamp distinguishing re-insertions of the same slot.
     seq: u64,
+    /// Whether the most recent verdict found the doc remembered
+    /// (flight-recorder reason payload).
+    last_seen: bool,
 }
 
 impl SecondHitFilter {
@@ -164,6 +186,7 @@ impl SecondHitFilter {
             pending: HashMap::new(),
             order: VecDeque::new(),
             seq: 0,
+            last_seen: false,
         }
     }
 }
@@ -174,8 +197,10 @@ impl AdmissionPolicy for SecondHitFilter {
         if self.pending.remove(&slot).is_some() {
             // Second fetch: admit. (The stale entry in `order` is
             // skipped when it surfaces.)
+            self.last_seen = true;
             return true;
         }
+        self.last_seen = false;
         self.seq += 1;
         self.pending.insert(slot, self.seq);
         self.order.push_back((slot, self.seq));
@@ -201,6 +226,10 @@ impl AdmissionPolicy for SecondHitFilter {
     fn remembered(&self) -> usize {
         self.pending.len()
     }
+
+    fn last_reason(&self) -> webcache_obs::Reason {
+        webcache_obs::Reason::second_hit(self.last_seen)
+    }
 }
 
 /// Frequency-sketch filter — [`AdmissionSpec::TinyLfu`].
@@ -212,13 +241,20 @@ impl AdmissionPolicy for SecondHitFilter {
 #[derive(Debug)]
 pub struct TinyLfuFilter {
     sketch: FrequencySketch,
+    /// Estimate behind the most recent verdict (flight-recorder reason
+    /// payload).
+    last_estimate: u32,
 }
+
+/// The frequency estimate a pressured TinyLFU candidate must reach.
+pub const TINYLFU_ADMIT_THRESHOLD: u32 = 2;
 
 impl TinyLfuFilter {
     /// A filter over a default-width sketch.
     pub fn new() -> Self {
         TinyLfuFilter {
             sketch: FrequencySketch::new(),
+            last_estimate: 0,
         }
     }
 }
@@ -232,7 +268,8 @@ impl Default for TinyLfuFilter {
 impl AdmissionPolicy for TinyLfuFilter {
     fn admit(&mut self, doc: DocId, _size: ByteSize, pressure: bool) -> bool {
         let estimate = self.sketch.record(doc.as_u64());
-        !pressure || estimate >= 2
+        self.last_estimate = estimate;
+        !pressure || estimate >= TINYLFU_ADMIT_THRESHOLD
     }
 
     fn record(&mut self, doc: DocId) {
@@ -241,6 +278,13 @@ impl AdmissionPolicy for TinyLfuFilter {
 
     fn wants_record(&self) -> bool {
         true
+    }
+
+    fn last_reason(&self) -> webcache_obs::Reason {
+        webcache_obs::Reason::tinylfu(
+            f64::from(self.last_estimate),
+            f64::from(TINYLFU_ADMIT_THRESHOLD),
+        )
     }
 }
 
@@ -310,6 +354,12 @@ impl AdmissionController {
     /// memory.
     pub fn remembered(&self) -> usize {
         self.policy.remembered()
+    }
+
+    /// The reason payload behind the most recent admission verdict
+    /// (none-kind for filters without one), for the flight recorder.
+    pub fn last_reason(&self) -> webcache_obs::Reason {
+        self.policy.last_reason()
     }
 }
 

@@ -150,6 +150,11 @@ pub struct Cache {
     /// virtual call for the filters that don't observe hits.
     record_hits: bool,
     rejected_by_admission: u64,
+    /// Flight-recorder seam: when set, every consulted admission
+    /// verdict that becomes an observer-visible event (Inserted or
+    /// RejectedByAdmission — not TooLarge, which emits no event) pushes
+    /// the filter's reason here, in event order.
+    admit_reasons: Option<webcache_obs::ReasonChannel>,
 }
 
 impl Cache {
@@ -187,6 +192,7 @@ impl Cache {
             admission,
             record_hits,
             rejected_by_admission: 0,
+            admit_reasons: None,
         }
     }
 
@@ -251,7 +257,16 @@ impl Cache {
             admission,
             record_hits,
             rejected_by_admission: 0,
+            admit_reasons: None,
         }
+    }
+
+    /// Routes admission-verdict reasons into `reasons` for the flight
+    /// recorder: one push per Inserted or RejectedByAdmission outcome,
+    /// in event order (TooLarge pushes nothing — it emits no observer
+    /// event either, keeping the FIFO pairing exact).
+    pub fn set_admit_reasons(&mut self, reasons: webcache_obs::ReasonChannel) {
+        self.admit_reasons = Some(reasons);
     }
 
     /// The slot-valued handle policies and admission are addressed with.
@@ -391,6 +406,9 @@ impl Cache {
         let pressure = self.used + size > self.capacity;
         if !self.admission.admit_with_pressure(handle, size, pressure) {
             self.rejected_by_admission += 1;
+            if let Some(reasons) = &self.admit_reasons {
+                reasons.push(self.admission.last_reason());
+            }
             return InsertDisposition::RejectedByAdmission;
         }
         if size > self.capacity {
@@ -423,6 +441,9 @@ impl Cache {
         occ.documents += 1;
         occ.bytes += size;
         self.policy.on_insert_typed(handle, size, doc_type);
+        if let Some(reasons) = &self.admit_reasons {
+            reasons.push(self.admission.last_reason());
+        }
         InsertDisposition::Inserted
     }
 

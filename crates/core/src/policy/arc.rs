@@ -26,6 +26,7 @@
 
 use std::collections::VecDeque;
 
+use webcache_obs::{MetricsSink, Reason};
 use webcache_trace::{ByteSize, DocId};
 
 use super::{slot_entry, slot_of, ReplacementPolicy};
@@ -43,8 +44,13 @@ type SlotState = (u8, u64, u64);
 const EMPTY: SlotState = (NONE, 0, 0);
 
 /// ARC replacement state. See the module-level documentation above.
+///
+/// `M` is the [`MetricsSink`] receiving eviction-reason events (queue
+/// provenance: T1 or T2, with the adaptation target); the default `()`
+/// compiles the instrumentation away entirely. ARC has no heap, so it
+/// never emits heap-op events.
 #[derive(Debug, Default)]
-pub struct Arc {
+pub struct Arc<M: MetricsSink = ()> {
     /// Front = most recent. Entries are (doc, generation).
     t1: VecDeque<(DocId, u64)>,
     t2: VecDeque<(DocId, u64)>,
@@ -60,12 +66,35 @@ pub struct Arc {
     /// Adaptation target: the byte budget T1 aspires to.
     p: u64,
     generation: u64,
+    sink: M,
 }
 
 impl Arc {
     /// Creates an empty ARC tracker.
     pub fn new() -> Self {
         Arc::default()
+    }
+}
+
+impl<M: MetricsSink> Arc<M> {
+    /// Like [`Arc::new`], but routing eviction reasons into `sink`.
+    pub fn with_sink(sink: M) -> Self {
+        Arc {
+            t1: VecDeque::new(),
+            t2: VecDeque::new(),
+            b1: VecDeque::new(),
+            b2: VecDeque::new(),
+            state: Vec::new(),
+            t1_count: 0,
+            t2_count: 0,
+            b1_count: 0,
+            b2_count: 0,
+            t1_bytes: 0,
+            t2_bytes: 0,
+            p: 0,
+            generation: 0,
+            sink,
+        }
     }
 
     /// The current byte-valued adaptation target for `T1` (diagnostic).
@@ -139,7 +168,7 @@ impl Arc {
     }
 }
 
-impl ReplacementPolicy for Arc {
+impl<M: MetricsSink> ReplacementPolicy for Arc<M> {
     fn label(&self) -> String {
         "ARC".to_owned()
     }
@@ -197,12 +226,14 @@ impl ReplacementPolicy for Arc {
         // remembering the victim in the matching ghost list. `>=` keeps
         // the initial `p = 0` state T1-draining, the classic behavior.
         let from_t1 = self.t1_count > 0 && (self.t1_bytes >= self.p || self.t2_count == 0);
+        let (t1_bytes, target) = (self.t1_bytes as f64, self.p as f64);
         let victim = if from_t1 {
             let (doc, size) = Self::pop_live(&mut self.t1, &self.state, T1)?;
             self.t1_count -= 1;
             self.t1_bytes -= size;
             self.push(doc, B1, size);
             self.b1_count += 1;
+            self.sink.evict_reason(Reason::arc_t1(t1_bytes, target));
             doc
         } else {
             let (doc, size) = Self::pop_live(&mut self.t2, &self.state, T2)?;
@@ -210,6 +241,7 @@ impl ReplacementPolicy for Arc {
             self.t2_bytes -= size;
             self.push(doc, B2, size);
             self.b2_count += 1;
+            self.sink.evict_reason(Reason::arc_t2(t1_bytes, target));
             doc
         };
         self.trim_ghosts();

@@ -113,7 +113,10 @@ impl<M: MetricsSink> ReplacementPolicy for Gds<M> {
     fn evict(&mut self) -> Option<DocId> {
         let (doc, key, cost) = self.heap.pop_min_counted()?;
         self.sink.heap_op(HeapOp::PopMin, cost);
-        self.inflation = key.value.get();
+        let h = key.value.get();
+        self.sink
+            .evict_reason(webcache_obs::Reason::greedy_dual(h, self.inflation));
+        self.inflation = h;
         self.sink.inflation(self.inflation);
         Some(doc)
     }

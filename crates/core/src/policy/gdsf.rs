@@ -108,7 +108,10 @@ impl<M: MetricsSink> ReplacementPolicy for Gdsf<M> {
         let (doc, key, cost) = self.heap.pop_min_counted()?;
         self.sink.heap_op(HeapOp::PopMin, cost);
         self.docs[slot_of(doc)] = (ByteSize::ZERO, 0);
-        self.inflation = key.value.get();
+        let h = key.value.get();
+        self.sink
+            .evict_reason(webcache_obs::Reason::greedy_dual(h, self.inflation));
+        self.inflation = h;
         self.sink.inflation(self.inflation);
         Some(doc)
     }

@@ -407,7 +407,10 @@ impl<M: MetricsSink> ReplacementPolicy for GdStar<M> {
         let (doc, key, cost) = self.heap.pop_min_counted()?;
         self.sink.heap_op(HeapOp::PopMin, cost);
         self.docs[slot_of(doc)] = None;
-        self.inflation = key.value.get();
+        let h = key.value.get();
+        self.sink
+            .evict_reason(webcache_obs::Reason::greedy_dual(h, self.inflation));
+        self.inflation = h;
         self.sink.inflation(self.inflation);
         Some(doc)
     }

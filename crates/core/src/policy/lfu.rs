@@ -85,7 +85,10 @@ impl<M: MetricsSink> ReplacementPolicy for Lfu<M> {
     fn evict(&mut self) -> Option<DocId> {
         let (doc, _, cost) = self.heap.pop_min_counted()?;
         self.sink.heap_op(HeapOp::PopMin, cost);
+        let count = self.counts[slot_of(doc)];
         self.counts[slot_of(doc)] = 0;
+        self.sink
+            .evict_reason(webcache_obs::Reason::frequency(count as f64));
         Some(doc)
     }
 

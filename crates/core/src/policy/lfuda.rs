@@ -99,9 +99,13 @@ impl<M: MetricsSink> ReplacementPolicy for LfuDa<M> {
     fn evict(&mut self) -> Option<DocId> {
         let (doc, key, cost) = self.heap.pop_min_counted()?;
         self.sink.heap_op(HeapOp::PopMin, cost);
+        let count = self.counts[slot_of(doc)];
         self.counts[slot_of(doc)] = 0;
+        let key = key.value.get();
+        self.sink
+            .evict_reason(webcache_obs::Reason::lfu_da(key, count as f64));
         // Dynamic aging: the cache age inflates to the victim's key.
-        self.age = key.value.get();
+        self.age = key;
         self.sink.inflation(self.age);
         Some(doc)
     }

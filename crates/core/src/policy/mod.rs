@@ -277,8 +277,11 @@ impl PolicyKind {
     /// (heap-operation costs, inflation steps) into `sink`.
     ///
     /// The list-based schemes (LRU, FIFO, SLRU, LRU-2) maintain no
-    /// priority heap and report no events — the sink is dropped for them.
-    /// `build_instrumented(())` is exactly [`PolicyKind::build`].
+    /// priority heap and report no events — the sink is dropped for
+    /// them. ARC and S3-FIFO are heap-free too but do report eviction
+    /// *reasons* (queue provenance) through the sink's `evict_reason`
+    /// channel. `build_instrumented(())` is exactly
+    /// [`PolicyKind::build`].
     pub fn build_instrumented<M: webcache_obs::MetricsSink>(
         &self,
         sink: M,
@@ -296,8 +299,8 @@ impl PolicyKind {
             PolicyKind::GdStar(cost) => {
                 Box::new(GdStar::with_sink(cost, BetaMode::default(), sink))
             }
-            PolicyKind::Arc => Box::new(Arc::new()),
-            PolicyKind::S3Fifo => Box::new(S3Fifo::new()),
+            PolicyKind::Arc => Box::new(Arc::with_sink(sink)),
+            PolicyKind::S3Fifo => Box::new(S3Fifo::with_sink(sink)),
         }
     }
 

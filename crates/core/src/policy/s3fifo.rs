@@ -24,6 +24,7 @@
 
 use std::collections::VecDeque;
 
+use webcache_obs::{MetricsSink, Reason};
 use webcache_trace::{ByteSize, DocId};
 
 use super::{slot_entry, slot_of, ReplacementPolicy};
@@ -43,8 +44,13 @@ type SlotState = (u8, u8, u64, u64);
 const EMPTY: SlotState = (NONE, 0, 0, 0);
 
 /// S3-FIFO replacement state. See the module-level documentation above.
+///
+/// `M` is the [`MetricsSink`] receiving eviction-reason events (queue
+/// provenance: small or main, with the victim's 2-bit counter); the
+/// default `()` compiles the instrumentation away entirely. S3-FIFO has
+/// no heap, so it never emits heap-op events.
 #[derive(Debug, Default)]
-pub struct S3Fifo {
+pub struct S3Fifo<M: MetricsSink = ()> {
     /// Front = newest. Entries are (doc, generation).
     small: VecDeque<(DocId, u64)>,
     main: VecDeque<(DocId, u64)>,
@@ -56,12 +62,32 @@ pub struct S3Fifo {
     small_bytes: u64,
     main_bytes: u64,
     generation: u64,
+    sink: M,
 }
 
 impl S3Fifo {
     /// Creates an empty S3-FIFO tracker.
     pub fn new() -> Self {
         S3Fifo::default()
+    }
+}
+
+impl<M: MetricsSink> S3Fifo<M> {
+    /// Like [`S3Fifo::new`], but routing eviction reasons into `sink`.
+    pub fn with_sink(sink: M) -> Self {
+        S3Fifo {
+            small: VecDeque::new(),
+            main: VecDeque::new(),
+            ghost: VecDeque::new(),
+            state: Vec::new(),
+            small_count: 0,
+            main_count: 0,
+            ghost_count: 0,
+            small_bytes: 0,
+            main_bytes: 0,
+            generation: 0,
+            sink,
+        }
     }
 
     fn state_of(&self, doc: DocId) -> SlotState {
@@ -125,7 +151,7 @@ impl S3Fifo {
     }
 }
 
-impl ReplacementPolicy for S3Fifo {
+impl<M: MetricsSink> ReplacementPolicy for S3Fifo<M> {
     fn label(&self) -> String {
         "S3-FIFO".to_owned()
     }
@@ -176,6 +202,7 @@ impl ReplacementPolicy for S3Fifo {
                 self.push(doc, GHOST, 0, size);
                 self.ghost_count += 1;
                 self.trim_ghost();
+                self.sink.evict_reason(Reason::s3_small(f64::from(freq)));
                 return Some(doc);
             }
             if self.main_count > 0 {
@@ -194,6 +221,7 @@ impl ReplacementPolicy for S3Fifo {
                 // had its probationary chance.
                 self.clear_state(doc);
                 self.trim_ghost();
+                self.sink.evict_reason(Reason::s3_main(f64::from(freq)));
                 return Some(doc);
             }
             return None;

@@ -72,8 +72,11 @@ impl<M: MetricsSink> ReplacementPolicy for SizeBased<M> {
     }
 
     fn evict(&mut self) -> Option<DocId> {
-        let (doc, _, cost) = self.heap.pop_min_counted()?;
+        let (doc, key, cost) = self.heap.pop_min_counted()?;
         self.sink.heap_op(HeapOp::PopMin, cost);
+        // Keys are negated sizes; negate back for the audit record.
+        self.sink
+            .evict_reason(webcache_obs::Reason::size(-key.value.get()));
         Some(doc)
     }
 

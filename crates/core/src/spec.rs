@@ -99,6 +99,16 @@ impl PolicySpec {
         self.replacement.build()
     }
 
+    /// Like [`PolicySpec::build`], but routing the replacement policy's
+    /// internal events (heap costs, inflation, eviction reasons) into
+    /// `sink`. `build_instrumented(())` is exactly [`PolicySpec::build`].
+    pub fn build_instrumented<M: webcache_obs::MetricsSink>(
+        &self,
+        sink: M,
+    ) -> Box<dyn ReplacementPolicy> {
+        self.replacement.build_instrumented(sink)
+    }
+
     /// Parses the `[admission "+"] replacement` grammar, returning
     /// `None` for anything malformed. `FromStr` wraps this with a
     /// descriptive error.

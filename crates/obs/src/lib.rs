@@ -18,6 +18,11 @@
 //!   methods, so un-instrumented policies monomorphize to exactly the
 //!   code they had before the seam existed — the same discipline as the
 //!   simulator's `Observer`/`NoopObserver` pair.
+//! * [`flight`] — a fixed-capacity [`FlightRecorder`] ring of
+//!   decision-level audit records ([`DecisionRecord`]) with per-policy
+//!   [`Reason`] payloads, JSONL dump/parse, and the [`ReasonChannel`] /
+//!   [`FlightSink`] plumbing that carries policy eviction reasons out
+//!   through the [`MetricsSink`] seam.
 //! * [`json`] — a minimal JSON value parser, used by the schema-validity
 //!   tests and the hotpath bench's `--check-regress` mode.
 //! * [`log`] — a leveled structured logger emitting one JSON object per
@@ -29,6 +34,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod flight;
 pub mod http;
 pub mod json;
 pub mod log;
@@ -36,6 +42,10 @@ pub mod registry;
 pub mod sink;
 pub mod span;
 
+pub use flight::{
+    merge_sorted, DecisionRecord, EventKind, FlightRecorder, FlightSink, Reason, ReasonChannel,
+    ReasonKind, SharedRecorder,
+};
 pub use http::{HttpRequest, HttpResponse, HttpServer};
 pub use log::{FieldValue, Level, LogCapture, Logger};
 pub use registry::{Counter, Gauge, Histogram, Registry, Series};

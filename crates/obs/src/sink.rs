@@ -104,6 +104,16 @@ pub trait MetricsSink: std::fmt::Debug + Send + 'static {
     fn inflation(&mut self, l: f64) {
         let _ = l;
     }
+
+    /// The policy chose an eviction victim for the stated reason.
+    ///
+    /// Called exactly once per `evict()` victim, in victim order, so a
+    /// flight recorder can pair reasons with the cache's eviction
+    /// events FIFO-style (see [`crate::flight`]).
+    #[inline(always)]
+    fn evict_reason(&mut self, reason: crate::flight::Reason) {
+        let _ = reason;
+    }
 }
 
 /// The no-op sink: the default for every policy.

@@ -30,6 +30,8 @@
 //! never fires: a detector needs history before "anomalous" means
 //! anything. The trailing partial window is never judged.
 
+use std::fmt;
+
 use webcache_core::Eviction;
 use webcache_obs::{Counter, Logger, Registry};
 use webcache_trace::DocumentType;
@@ -117,6 +119,29 @@ impl Default for AnomalyConfig {
     }
 }
 
+/// Callback invoked when a detection actually *logs* (i.e. outside the
+/// cooldown). Receives the anomaly kind and the `doc_type` label. This
+/// is the hook the serve path uses to write post-mortem bundles: rate
+/// limiting the trigger exactly like the warn log keeps a sustained
+/// incident from burying the disk in bundles.
+pub struct AnomalyTrigger(TriggerFn);
+
+/// The boxed callback type behind [`AnomalyTrigger`].
+type TriggerFn = Box<dyn FnMut(AnomalyKind, &str) + Send>;
+
+impl AnomalyTrigger {
+    /// Wraps a callback for [`AnomalyObserver::set_trigger`].
+    pub fn new(f: impl FnMut(AnomalyKind, &str) + Send + 'static) -> Self {
+        AnomalyTrigger(Box::new(f))
+    }
+}
+
+impl fmt::Debug for AnomalyTrigger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("AnomalyTrigger(..)")
+    }
+}
+
 /// Windowed EWMA anomaly detectors over the replay event stream. See the
 /// [module docs](self).
 #[derive(Debug)]
@@ -145,6 +170,7 @@ pub struct AnomalyObserver {
     storm_total: Counter,
     reject_total: Counter,
     thrash_total: Counter,
+    trigger: Option<AnomalyTrigger>,
 }
 
 impl AnomalyObserver {
@@ -194,7 +220,14 @@ impl AnomalyObserver {
             storm_total: overall(AnomalyKind::EvictionStorm),
             reject_total: overall(AnomalyKind::AdmissionRejectSpike),
             thrash_total: overall(AnomalyKind::OccupancyThrash),
+            trigger: None,
         }
+    }
+
+    /// Installs the post-detection callback, fired under the same rate
+    /// limit as the warn log (see [`AnomalyTrigger`]).
+    pub fn set_trigger(&mut self, trigger: AnomalyTrigger) {
+        self.trigger = Some(trigger);
     }
 
     /// Total detections of `kind` so far (summed over document types for
@@ -214,13 +247,14 @@ impl AnomalyObserver {
     }
 
     /// Counts the detection and, outside the cooldown, logs the warn
-    /// record and starts a new cooldown.
+    /// record, runs the trigger (if any), and starts a new cooldown.
     #[allow(clippy::too_many_arguments)]
     fn fire(
         counter: &Counter,
         cooldown: &mut u32,
         cooldown_windows: u32,
         logger: &Logger,
+        trigger: &mut Option<AnomalyTrigger>,
         window: u64,
         kind: AnomalyKind,
         doc_type: &str,
@@ -240,6 +274,9 @@ impl AnomalyObserver {
                     ("baseline", baseline.into()),
                 ],
             );
+            if let Some(AnomalyTrigger(f)) = trigger {
+                f(kind, doc_type);
+            }
             *cooldown = cooldown_windows;
         }
     }
@@ -271,6 +308,7 @@ impl AnomalyObserver {
                         &mut self.collapse_cooldown[t],
                         self.config.cooldown_windows,
                         &self.logger,
+                        &mut self.trigger,
                         window,
                         AnomalyKind::HitRateCollapse,
                         DocumentType::from_index(t).label(),
@@ -294,6 +332,7 @@ impl AnomalyObserver {
                     &mut self.storm_cooldown,
                     self.config.cooldown_windows,
                     &self.logger,
+                    &mut self.trigger,
                     window,
                     AnomalyKind::EvictionStorm,
                     "overall",
@@ -316,6 +355,7 @@ impl AnomalyObserver {
                     &mut self.reject_cooldown,
                     self.config.cooldown_windows,
                     &self.logger,
+                    &mut self.trigger,
                     window,
                     AnomalyKind::AdmissionRejectSpike,
                     "overall",
@@ -340,6 +380,7 @@ impl AnomalyObserver {
                     &mut self.thrash_cooldown,
                     self.config.cooldown_windows,
                     &self.logger,
+                    &mut self.trigger,
                     window,
                     AnomalyKind::OccupancyThrash,
                     "overall",
@@ -495,6 +536,30 @@ mod tests {
             text.contains("webcache_anomaly_total{kind=\"hit_rate_collapse\",doc_type=\"HTML\"} 1"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn trigger_fires_under_the_same_rate_limit_as_the_log() {
+        use std::sync::{Arc, Mutex};
+        let fired: Arc<Mutex<Vec<(AnomalyKind, String)>>> = Arc::new(Mutex::new(Vec::new()));
+        let registry = Registry::new();
+        let (logger, capture) = Logger::capture(Level::Warn);
+        let mut obs = AnomalyObserver::register(&registry, logger, config());
+        let sink = fired.clone();
+        obs.set_trigger(AnomalyTrigger::new(move |kind, doc_type| {
+            sink.lock().unwrap().push((kind, doc_type.to_string()));
+        }));
+        let sim_config = SimulationConfig::builder()
+            .capacity(ByteSize::new(10_000_000))
+            .warmup_fraction(0.0)
+            .build();
+        Simulator::new(PolicyKind::Lru.build(), sim_config).run_observed(&cliff_trace(), &mut obs);
+        let fired = fired.lock().unwrap();
+        assert_eq!(
+            *fired,
+            vec![(AnomalyKind::HitRateCollapse, "HTML".to_string())]
+        );
+        assert_eq!(capture.lines().len(), fired.len(), "trigger mirrors warn");
     }
 
     #[test]

@@ -55,6 +55,10 @@ pub struct ShardedTrace {
     shard_of_slot: Vec<u32>,
     /// Per global slot: the slot within the owning shard.
     local_slot: Vec<u32>,
+    /// Per shard: the global slot behind each shard-local slot (the
+    /// inverse of `local_slot`, for translating cache-level eviction
+    /// victims back to the global addressing observers see).
+    global_of_local: Vec<Vec<u32>>,
     /// Per shard: global request indices, in trace order.
     shard_requests: Vec<Vec<u32>>,
     /// Per shard: distinct documents routed to it.
@@ -85,10 +89,12 @@ impl ShardedTrace {
         // Global slots are numbered in first-appearance order, so walking
         // them in order hands out shard-local slots in first-appearance
         // order within each shard too.
+        let mut global_of_local: Vec<Vec<u32>> = vec![Vec::new(); shard_count];
         for slot in 0..distinct {
             let shard = ShardedEngine::route(DenseTrace::slot_doc(slot as u32), shard_count);
             shard_of_slot[slot] = shard as u32;
             local_slot[slot] = per_shard_distinct[shard] as u32;
+            global_of_local[shard].push(slot as u32);
             per_shard_distinct[shard] += 1;
         }
         let mut shard_requests: Vec<Vec<u32>> = vec![Vec::new(); shard_count];
@@ -99,6 +105,7 @@ impl ShardedTrace {
             shard_count,
             shard_of_slot,
             local_slot,
+            global_of_local,
             shard_requests,
             per_shard_distinct,
         })
@@ -440,6 +447,7 @@ fn replay_shard<O: Observer>(
     let sizes = trace.sizes();
     let types = trace.type_indices();
     let local = &sharded.local_slot;
+    let global_of = &sharded.global_of_local[shard];
 
     let mut last_transfer: Vec<u64> = vec![NO_TRANSFER; distinct];
     let mut modified_flags = vec![false; batch_size.min(requests.len().max(1))];
@@ -504,6 +512,12 @@ fn replay_shard<O: Observer>(
             observer.on_access(event, access_kind(hit, modified));
             if !hit {
                 let disposition = cache.insert_into(doc, doc_type, size, &mut evicted);
+                // The cache addresses documents by shard-local slot;
+                // translate victims back to global slots so observers
+                // see the same document ids a serial replay would.
+                for eviction in &mut evicted {
+                    eviction.doc = DenseTrace::slot_doc(global_of[eviction.doc.as_u64() as usize]);
+                }
                 notify_insert(observer, event, disposition, &evicted);
             }
 
@@ -617,10 +631,38 @@ impl ShardedReplayLoop {
         source: &mut S,
         status: &LiveStatus,
         shutdown: &AtomicBool,
+        on_pass: F,
+    ) -> Result<LiveSummary, ShardConfigError>
+    where
+        S: TraceSource,
+        F: FnMut(&ConcurrentPassSummary),
+    {
+        self.run_observed(source, status, shutdown, |_| NoopObserver, on_pass)
+    }
+
+    /// Like [`ShardedReplayLoop::run`], with one observer per shard per
+    /// pass built by `factory(shard)`. Observers see global request
+    /// indices (see [`ConcurrentSimulator::run_sharded_observed`]); a
+    /// factory handing each shard a clone of a shared flight-recorder
+    /// ring is how the serve path keeps a decision trail in concurrent
+    /// mode. Per-pass observer state is discarded at pass end — durable
+    /// state must live behind the factory's shared handles.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardConfigError`] for an invalid shard count.
+    pub fn run_observed<S, O, OF, F>(
+        &self,
+        source: &mut S,
+        status: &LiveStatus,
+        shutdown: &AtomicBool,
+        factory: OF,
         mut on_pass: F,
     ) -> Result<LiveSummary, ShardConfigError>
     where
         S: TraceSource,
+        O: Observer + Send,
+        OF: Fn(usize) -> O + Sync,
         F: FnMut(&ConcurrentPassSummary),
     {
         webcache_core::validate_shard_count(self.shards)?;
@@ -642,7 +684,7 @@ impl ShardedReplayLoop {
                 self.clients,
                 self.rate,
                 Some(shutdown),
-                |_| NoopObserver,
+                &factory,
             );
             if !report.completed {
                 break;

@@ -44,6 +44,7 @@
 pub mod anomaly;
 pub mod concurrent;
 pub mod experiment;
+pub mod flight;
 pub mod hierarchy;
 pub mod latency;
 pub mod live;
@@ -53,16 +54,18 @@ pub mod observe;
 pub mod occupancy;
 pub mod oracle;
 pub mod profile;
+pub mod regret;
 pub mod report;
 pub mod simulator;
 pub mod windowed;
 
-pub use anomaly::{AnomalyConfig, AnomalyKind, AnomalyObserver};
+pub use anomaly::{AnomalyConfig, AnomalyKind, AnomalyObserver, AnomalyTrigger};
 pub use concurrent::{
     ConcurrentPassSummary, ConcurrentReport, ConcurrentSimulator, ShardSummary, ShardedReplayLoop,
     ShardedTrace,
 };
 pub use experiment::{CacheSizeSweep, SweepPoint, SweepProgress, SweepReport};
+pub use flight::FlightObserver;
 pub use hierarchy::{simulate_hierarchy, HierarchyConfig, HierarchyReport};
 pub use latency::{LatencyEstimate, LatencyModel, LinkModel};
 pub use live::{FixedSource, LiveStatus, LiveSummary, PassSummary, ReplayLoop, TraceSource};
@@ -72,6 +75,7 @@ pub use observe::{AccessEvent, AccessKind, NoopObserver, Observer, RunMeta};
 pub use occupancy::{OccupancySample, OccupancySeries};
 pub use oracle::{clairvoyant, clairvoyant_overall};
 pub use profile::ProfileObserver;
+pub use regret::{RegretConfig, RegretTracker};
 pub use report::Metric;
 pub use simulator::{
     ModificationRule, SimulationConfig, SimulationConfigBuilder, SimulationReport, Simulator,

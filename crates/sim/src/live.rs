@@ -159,12 +159,44 @@ impl ReplayLoop {
         observer: &mut O,
         status: &LiveStatus,
         shutdown: &AtomicBool,
+        on_pass: F,
+    ) -> LiveSummary
+    where
+        S: TraceSource,
+        O: Observer,
+        F: FnMut(&PassSummary),
+    {
+        let (spec, config) = (self.spec, self.config);
+        self.run_with(
+            source,
+            observer,
+            status,
+            shutdown,
+            move || Simulator::from_spec(spec, config),
+            on_pass,
+        )
+    }
+
+    /// Like [`ReplayLoop::run`], but each pass's simulator comes from
+    /// `make_simulator` instead of `Simulator::from_spec(spec, config)`.
+    /// This is the seam for instrumented replay: a factory can build the
+    /// policy with a metrics sink and attach admission-reason channels
+    /// (see `Simulator::from_spec_instrumented`), while the pass loop,
+    /// pacing and status plumbing stay identical.
+    pub fn run_with<S, O, F, M>(
+        &self,
+        source: &mut S,
+        observer: &mut O,
+        status: &LiveStatus,
+        shutdown: &AtomicBool,
+        mut make_simulator: M,
         mut on_pass: F,
     ) -> LiveSummary
     where
         S: TraceSource,
         O: Observer,
         F: FnMut(&PassSummary),
+        M: FnMut() -> Simulator,
     {
         status.replaying.store(true, Ordering::Relaxed);
         let mut passes = 0u64;
@@ -174,7 +206,7 @@ impl ReplayLoop {
                 break;
             };
             let pass_start = Instant::now();
-            let simulator = Simulator::from_spec(self.spec, self.config);
+            let simulator = make_simulator();
             let report = match self.rate {
                 Some(rate) => {
                     let mut paced = Pacer::new(&mut *observer, rate, shutdown);

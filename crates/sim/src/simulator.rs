@@ -286,12 +286,21 @@ pub const DEFAULT_BATCH_SIZE: usize = 128;
 pub struct Simulator {
     policy: Box<dyn ReplacementPolicy>,
     config: SimulationConfig,
+    /// Flight-recorder seam: handed to the cache so admission verdicts
+    /// push their reasons for the
+    /// [`FlightObserver`](crate::flight::FlightObserver) to pair with
+    /// insert/reject events.
+    admit_reasons: Option<webcache_obs::ReasonChannel>,
 }
 
 impl Simulator {
     /// Creates a simulator that will drive a fresh cache.
     pub fn new(policy: Box<dyn ReplacementPolicy>, config: SimulationConfig) -> Self {
-        Simulator { policy, config }
+        Simulator {
+            policy,
+            config,
+            admit_reasons: None,
+        }
     }
 
     /// Creates a simulator from a composed [`PolicySpec`] (or a bare
@@ -306,7 +315,33 @@ impl Simulator {
         Simulator {
             policy: spec.build(),
             config,
+            admit_reasons: None,
         }
+    }
+
+    /// Like [`Simulator::from_spec`], but building the replacement
+    /// policy with [`PolicySpec::build_instrumented`] so its internal
+    /// events (heap costs, inflation, eviction reasons) reach `sink`.
+    pub fn from_spec_instrumented<M: webcache_obs::MetricsSink>(
+        spec: impl Into<PolicySpec>,
+        config: SimulationConfig,
+        sink: M,
+    ) -> Self {
+        let spec = spec.into();
+        let mut config = config;
+        config.admission_rule = spec.admission_or(config.admission_rule);
+        Simulator {
+            policy: spec.build_instrumented(sink),
+            config,
+            admit_reasons: None,
+        }
+    }
+
+    /// Routes admission-verdict reasons into `reasons` (see
+    /// [`Cache::set_admit_reasons`]): one push per Inserted or
+    /// RejectedByAdmission outcome, in observer-event order.
+    pub fn set_admit_reasons(&mut self, reasons: webcache_obs::ReasonChannel) {
+        self.admit_reasons = Some(reasons);
     }
 
     /// How many requests to skip for warm-up and how often to sample
@@ -370,6 +405,9 @@ impl Simulator {
             self.config.admission_rule,
             trace.distinct_documents(),
         );
+        if let Some(reasons) = self.admit_reasons {
+            cache.set_admit_reasons(reasons);
+        }
         let mut last_transfer: Vec<u64> = vec![NO_TRANSFER; trace.distinct_documents()];
 
         let mut by_type: TypeMap<HitStats> = TypeMap::default();
@@ -484,6 +522,9 @@ impl Simulator {
             self.config.admission_rule,
             trace.distinct_documents(),
         );
+        if let Some(reasons) = self.admit_reasons.take() {
+            cache.set_admit_reasons(reasons);
+        }
         let mut last_transfer: Vec<u64> = vec![NO_TRANSFER; trace.distinct_documents()];
 
         let mut by_type: TypeMap<HitStats> = TypeMap::default();
@@ -594,6 +635,9 @@ impl Simulator {
             self.policy,
             self.config.admission_rule,
         );
+        if let Some(reasons) = self.admit_reasons {
+            cache.set_admit_reasons(reasons);
+        }
         let mut last_transfer: HashMap<u64, u64> = HashMap::new();
 
         let mut by_type: TypeMap<HitStats> = TypeMap::default();
