@@ -25,6 +25,12 @@
 //!   column (median of `t_recorder / t_serial`) is the honest price;
 //!   the recorder-OFF price is the `instr-off` column, which the
 //!   `--check-regress` gate holds to the `dense` baseline.
+//! * `latency-obs` — dense replay with a [`LatencyObserver`] attached
+//!   (two-link latency model driven per request, log2-bucket windowed
+//!   histograms): the serve daemon's tail-latency instrumentation
+//!   switched ON. The paired `latency_obs_overhead` column (median of
+//!   `t_latency / t_serial`) prices it; observer-OFF stays the `dense`
+//!   column, which the gate holds to baseline.
 //! * `conc1/2/4/8` — the concurrent sharded replay
 //!   ([`ConcurrentSimulator`], 8 shards) driven by 1/2/4/8 client
 //!   threads, aggregate req/s. The paired `conc8_speedup` column
@@ -91,9 +97,10 @@ use std::time::Instant;
 use webcache_bench::{dfn_trace, SEED_DEFAULT};
 use webcache_core::PolicyKind;
 use webcache_obs::{FlightSink, ReasonChannel, SharedRecorder};
+use webcache_sim::latency_obs::DEFAULT_LATENCY_WINDOWS;
 use webcache_sim::{
-    ConcurrentSimulator, FlightObserver, NoopObserver, ShardedTrace, SimulationConfig, Simulator,
-    WindowedMetrics, DEFAULT_BATCH_SIZE,
+    ConcurrentSimulator, FlightObserver, LatencyModel, LatencyObserver, NoopObserver, ShardedTrace,
+    SimulationConfig, Simulator, WindowedMetrics, DEFAULT_BATCH_SIZE,
 };
 use webcache_trace::{ByteSize, DenseTrace, Trace};
 
@@ -166,6 +173,12 @@ struct Cell {
     recorder_overhead: f64,
     /// Median over iterations of `t_anchor / t_recorder`.
     recorder_norm: f64,
+    /// Dense replay with the latency observer ON (two-link model +
+    /// windowed percentile histograms per document type).
+    latency_obs_rps: f64,
+    /// Median over iterations of paired `t_latency / t_serial`: the
+    /// relative cost of switching the latency observer on.
+    latency_obs_overhead: f64,
     /// Median over iterations of paired `t_serial / t_batched`.
     batched_speedup: f64,
     /// Median over iterations of `t_anchor / t_serial`.
@@ -257,7 +270,7 @@ fn main() -> ExitCode {
 
     let mut cells = Vec::new();
     println!(
-        "{:<10} {:>14} {:>14} {:>14} {:>16} {:>15} {:>15} {:>9} {:>9}",
+        "{:<10} {:>14} {:>14} {:>14} {:>16} {:>15} {:>15} {:>14} {:>9} {:>9} {:>9}",
         "policy",
         "hashed req/s",
         "dense req/s",
@@ -265,13 +278,15 @@ fn main() -> ExitCode {
         "instr-off req/s",
         "windowed req/s",
         "recorder req/s",
+        "lat-obs req/s",
         "paired",
-        "rec-cost"
+        "rec-cost",
+        "lat-cost"
     );
     for kind in PolicyKind::ALL {
         let cell = measure(kind, &trace, &dense, &sharded, capacity, iters);
         println!(
-            "{:<10} {:>14.0} {:>14.0} {:>14.0} {:>16.0} {:>15.0} {:>15.0} {:>8.2}x {:>8.2}x",
+            "{:<10} {:>14.0} {:>14.0} {:>14.0} {:>16.0} {:>15.0} {:>15.0} {:>14.0} {:>8.2}x {:>8.2}x {:>8.2}x",
             cell.label,
             cell.hashed_rps,
             cell.dense_rps,
@@ -279,8 +294,10 @@ fn main() -> ExitCode {
             cell.instr_off_rps,
             cell.windowed_rps,
             cell.recorder_rps,
+            cell.latency_obs_rps,
             cell.batched_speedup,
-            cell.recorder_overhead
+            cell.recorder_overhead,
+            cell.latency_obs_overhead
         );
         cells.push(cell);
     }
@@ -458,7 +475,9 @@ fn measure(
     let mut best_batched = f64::INFINITY;
     let mut best_instr_off = f64::INFINITY;
     let mut best_windowed = f64::INFINITY;
+    let mut best_latency_obs = f64::INFINITY;
     let mut best_recorder = f64::INFINITY;
+    let mut latency_obs_overheads = Vec::with_capacity(iters);
     let mut recorder_overheads = Vec::with_capacity(iters);
     let mut recorder_norms = Vec::with_capacity(iters);
     let mut speedups = Vec::with_capacity(iters);
@@ -535,6 +554,21 @@ fn measure(
         best_windowed = best_windowed.min(start.elapsed().as_secs_f64());
         std::hint::black_box(&metrics);
 
+        // Latency observer ON: the two-link model priced per request
+        // into windowed log2-bucket histograms — the serve daemon's
+        // tail-latency instrumentation. Paired against `t_serial` from
+        // this same iteration.
+        let mut latency =
+            LatencyObserver::new(LatencyModel::campus_2001(), DEFAULT_LATENCY_WINDOWS);
+        let start = Instant::now();
+        std::hint::black_box(
+            Simulator::new(kind.build(), config).run_dense_observed(dense, &mut latency),
+        );
+        let t_latency = start.elapsed().as_secs_f64();
+        best_latency_obs = best_latency_obs.min(t_latency);
+        latency_obs_overheads.push(t_latency / t_serial);
+        std::hint::black_box(&latency);
+
         // Recorder ON: the instrumented build pushes eviction reasons
         // through the sink channel and the flight observer drains them
         // into the ring — the serve daemon's serial-mode hot path.
@@ -572,6 +606,8 @@ fn measure(
         batched_rps: requests / best_batched,
         instr_off_rps: requests / best_instr_off,
         windowed_rps: requests / best_windowed,
+        latency_obs_rps: requests / best_latency_obs,
+        latency_obs_overhead: median(&mut latency_obs_overheads),
         recorder_rps: requests / best_recorder,
         recorder_overhead: median(&mut recorder_overheads),
         recorder_norm: median(&mut recorder_norms),
@@ -754,6 +790,7 @@ fn render_json(
              \"batched_rps\": {:.0}, \"instr_off_rps\": {:.0}, \"windowed_rps\": {:.0}, \
              \"recorder_rps\": {:.0}, \"recorder_overhead\": {:.3}, \
              \"recorder_norm\": {:.4}, \
+             \"latency_obs_rps\": {:.0}, \"latency_obs_overhead\": {:.3}, \
              \"speedup\": {:.3}, \"batched_speedup\": {:.3}, \"dense_norm\": {:.4}, \
              \"batched_norm\": {:.4}, \"conc1_rps\": {:.0}, \"conc2_rps\": {:.0}, \
              \"conc4_rps\": {:.0}, \"conc8_rps\": {:.0}, \"conc8_speedup\": {:.3}, \
@@ -767,6 +804,8 @@ fn render_json(
             cell.recorder_rps,
             cell.recorder_overhead,
             cell.recorder_norm,
+            cell.latency_obs_rps,
+            cell.latency_obs_overhead,
             cell.dense_rps / cell.hashed_rps,
             cell.batched_speedup,
             cell.dense_norm,

@@ -23,6 +23,7 @@ pub mod capacity;
 mod commands;
 pub mod forensics;
 pub mod serve;
+pub mod top;
 
 pub use args::{ArgError, Args};
 pub use capacity::parse_capacity;
@@ -126,9 +127,14 @@ subcommands:
                [--log-file FILE] [--anomaly-window N] [--quick]
                [--shards N] [--clients M] [--flight-capacity N]
                [--bundle-dir DIR] [--max-bundles N]
+               [--slo-hit-rate FRAC] [--slo-p99-ms MS] [--slo-window N]
+               [--slo-burn MULT] [--dash-history N]
                replay continuously while answering GET /metrics
-               (Prometheus text), /healthz, /snapshot, /debug/flight
-               and /debug/doc?id=N on 127.0.0.1:9184 (default); JSONL
+               (Prometheus text), /healthz, /snapshot, /debug/flight,
+               /debug/doc?id=N, /query?metric=NAME&last=N (trailing
+               window of any metric from the per-pass snapshot ring,
+               depth --dash-history, default 120) and /dash (live HTML
+               dashboard with sparklines) on 127.0.0.1:9184; JSONL
                event log on stderr or --log-file; online anomaly
                detectors raise webcache_anomaly_total and rate-limited
                warn records; online regret metrics (wasted evictions,
@@ -142,7 +148,23 @@ subcommands:
                replays through the concurrent sharded engine and
                exports per-shard balance metrics (per-event observers
                are single-stream and stay off; flight recording stays
-               on, without reason payloads); Ctrl-C shuts down cleanly
+               on, without reason payloads); modeled per-request
+               latency (two-link model: hits ride the fast local link,
+               misses the slow origin link) exports p50/p90/p99/p999
+               gauges per document type from windowed histograms;
+               per-shard lock wait/hold histograms and contention
+               ratios export as webcache_shard_lock_*; --slo-hit-rate
+               and/or --slo-p99-ms arm multi-window burn-rate alerts
+               (threshold --slo-burn, default 2.0x; long window
+               --slo-window passes, default 12) that log once per
+               breach episode and write a post-mortem bundle when
+               --bundle-dir is set; Ctrl-C shuts down cleanly
+  top          [--host H] [--port PORT] [--once] [--interval SECS]
+               [--frames N]
+               live terminal status view of a serve daemon (polls
+               /snapshot): replay progress, modeled-latency quantiles
+               per document type, per-shard lock contention, SLO burn
+               rates; --once prints a single frame and exits
   inspect      --bundle DIR_OR_JSONL [--window N] [--top N]
                eviction forensics over a post-mortem bundle (or a bare
                flight.jsonl): per-type eviction-age and
@@ -192,6 +214,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "hierarchy" => commands::hierarchy(&Args::parse(rest, &[])?),
         "profile" => commands::profile(&Args::parse_with_repeats(rest, &["quick"], &["policy"])?),
         "serve" => serve::serve(&Args::parse(rest, &["quick"])?),
+        "top" => top::top(&Args::parse(rest, &["once"])?),
         "inspect" => forensics::inspect(&Args::parse(rest, &[])?),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(CliError::Usage(format!("unknown subcommand `{other}`"))),

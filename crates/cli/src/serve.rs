@@ -12,7 +12,21 @@
 //! * `GET /debug/flight` — the flight recorder's retained decision
 //!   records (merged across shards, ordered by request index) as JSON;
 //! * `GET /debug/doc?id=N` — the retained decision history of one
-//!   document as JSON.
+//!   document as JSON;
+//! * `GET /query?metric=NAME&last=N` — the trailing window of any
+//!   registered metric from the in-process snapshot ring as JSON;
+//! * `GET /dash` — a self-contained, self-refreshing HTML dashboard
+//!   with inline-SVG sparklines rendered from the snapshot ring.
+//!
+//! Every pass boundary also drives the tail-latency machinery: the
+//! [`LatencyObserver`] rotates its windowed percentile histograms and
+//! republishes per-document-type `p50/p90/p99/p999` gauges, the
+//! [`SloTracker`] folds the pass into its burn-rate windows (a breach
+//! entering both the short and long window fires once and, with
+//! `--bundle-dir`, writes a post-mortem bundle through the same writer
+//! as the anomaly trigger), per-shard lock contention gauges refresh
+//! from the [`ShardLockProbe`]s, and the registry is sampled into the
+//! [`SnapshotRing`] that backs `/query` and `/dash`.
 //!
 //! The replay is fed either by one fixed trace file replayed pass after
 //! pass, or by the endless [`WorkloadStream`] generator (one epoch per
@@ -32,17 +46,20 @@
 use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::sync::atomic::AtomicBool;
+use std::sync::{Arc, Mutex};
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
-use webcache_core::PolicySpec;
+use webcache_core::{PolicySpec, ShardLockProbe};
 use webcache_obs::{
     merge_sorted, Counter, FlightSink, Gauge, HttpRequest, HttpResponse, HttpServer, Level, Logger,
-    ReasonChannel, Registry, SharedRecorder,
+    ReasonChannel, Registry, SharedRecorder, SnapshotRing,
 };
+use webcache_sim::latency_obs::DEFAULT_LATENCY_WINDOWS;
 use webcache_sim::{
-    AnomalyConfig, AnomalyObserver, AnomalyTrigger, FixedSource, FlightObserver, LiveStatus,
-    LogObserver, ProfileObserver, RegretConfig, RegretTracker, ReplayLoop, ShardedReplayLoop,
-    SimulationConfig, Simulator, TraceSource,
+    AnomalyConfig, AnomalyObserver, AnomalyTrigger, FixedSource, FlightObserver, LatencyModel,
+    LatencyObserver, LiveStatus, LogObserver, ProfileObserver, RegretConfig, RegretTracker,
+    ReplayLoop, ShardedReplayLoop, SimulationConfig, Simulator, SloConfig, SloTracker, SloTrigger,
+    TraceSource,
 };
 use webcache_trace::{DenseTrace, Trace};
 use webcache_workload::{WorkloadProfile, WorkloadStream};
@@ -60,6 +77,13 @@ pub const DEFAULT_FLIGHT_CAPACITY: usize = 4096;
 
 /// Default cap on post-mortem bundles written per serve run.
 pub const DEFAULT_MAX_BUNDLES: usize = 8;
+
+/// Default snapshot-ring depth backing `/query` and `/dash` (one
+/// snapshot per completed pass).
+pub const DEFAULT_DASH_HISTORY: usize = 120;
+
+/// Points returned by `/query` when `last` is not given.
+pub const DEFAULT_QUERY_LAST: usize = 32;
 
 fn usage(msg: impl Into<String>) -> CliError {
     CliError::Usage(msg.into())
@@ -145,6 +169,8 @@ pub struct ServeOptions {
     flight_capacity: usize,
     bundle_dir: Option<PathBuf>,
     max_bundles: usize,
+    slo: SloConfig,
+    dash_history: usize,
 }
 
 impl std::fmt::Debug for ServeOptions {
@@ -158,6 +184,8 @@ impl std::fmt::Debug for ServeOptions {
             .field("clients", &self.clients)
             .field("flight_capacity", &self.flight_capacity)
             .field("bundle_dir", &self.bundle_dir)
+            .field("slo", &self.slo)
+            .field("dash_history", &self.dash_history)
             .finish_non_exhaustive()
     }
 }
@@ -274,6 +302,40 @@ impl ServeOptions {
             return Err(usage("--max-bundles expects a bundle count ≥ 1"));
         }
 
+        let mut slo = SloConfig::default();
+        if let Some(target) = args.get_parsed::<f64>("slo-hit-rate")? {
+            if !target.is_finite() || target <= 0.0 || target >= 1.0 {
+                return Err(usage("--slo-hit-rate expects a hit-rate floor in (0, 1)"));
+            }
+            slo.hit_rate = Some(target);
+        }
+        if let Some(ms) = args.get_parsed::<f64>("slo-p99-ms")? {
+            if !ms.is_finite() || ms <= 0.0 {
+                return Err(usage(
+                    "--slo-p99-ms expects a finite millisecond budget > 0",
+                ));
+            }
+            slo.p99_latency_us = ((ms * 1_000.0) as u64).max(1).into();
+        }
+        if let Some(window) = args.get_parsed::<usize>("slo-window")? {
+            if window == 0 {
+                return Err(usage("--slo-window expects a pass count ≥ 1"));
+            }
+            slo.window_passes = window;
+        }
+        if let Some(burn) = args.get_parsed::<f64>("slo-burn")? {
+            if !burn.is_finite() || burn <= 0.0 {
+                return Err(usage("--slo-burn expects a finite burn-rate multiple > 0"));
+            }
+            slo.burn_threshold = burn;
+        }
+        let dash_history: usize = args
+            .get_parsed("dash-history")?
+            .unwrap_or(DEFAULT_DASH_HISTORY);
+        if dash_history == 0 {
+            return Err(usage("--dash-history expects a snapshot count ≥ 1"));
+        }
+
         Ok(ServeOptions {
             source,
             spec,
@@ -291,7 +353,80 @@ impl ServeOptions {
             flight_capacity,
             bundle_dir,
             max_bundles,
+            slo,
+            dash_history,
         })
+    }
+}
+
+/// Wall-clock milliseconds since the Unix epoch (0 if the clock is
+/// before the epoch), used to timestamp ring snapshots.
+fn unix_ms_now() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// Writes post-mortem bundles for *any* alerting source — anomaly
+/// detectors and SLO burn-rate breaches share one writer behind an
+/// `Arc<Mutex<..>>`, so the `--max-bundles` cap and the bundle sequence
+/// are global to the serve run rather than per trigger.
+struct BundleWriter {
+    dir: PathBuf,
+    registry: Registry,
+    recorders: Vec<SharedRecorder>,
+    logger: Logger,
+    policy: String,
+    capacity_bytes: u64,
+    max_bundles: usize,
+    seq: u32,
+}
+
+impl BundleWriter {
+    /// Snapshots the flight rings and the registry into one bundle
+    /// directory named after `kind` (rate limiting is the trigger's
+    /// job; the writer only enforces the global cap).
+    fn write(&mut self, kind: &str, doc_type: &str) {
+        if self.seq as usize >= self.max_bundles {
+            return;
+        }
+        let unix_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis())
+            .unwrap_or(0);
+        let records = merge_sorted(&self.recorders);
+        let jsonl: String = records
+            .iter()
+            .map(|r| format!("{}\n", r.to_json()))
+            .collect();
+        let meta = BundleMeta {
+            kind,
+            doc_type,
+            seq: self.seq,
+            policy: &self.policy,
+            capacity_bytes: self.capacity_bytes,
+            unix_ms,
+        };
+        match forensics::write_bundle(&self.dir, &meta, &jsonl, &self.registry.json_snapshot()) {
+            Ok(path) => {
+                self.seq += 1;
+                self.logger.info(
+                    "serve",
+                    "post-mortem bundle written",
+                    &[
+                        ("path", path.display().to_string().into()),
+                        ("kind", kind.to_owned().into()),
+                        ("records", (records.len() as u64).into()),
+                    ],
+                );
+            }
+            Err(e) => self.logger.warn(
+                "serve",
+                "post-mortem bundle write failed",
+                &[("error", e.to_string().into())],
+            ),
+        }
     }
 }
 
@@ -304,6 +439,9 @@ struct RouteContext<'a> {
     started: Instant,
     /// One flight ring per shard (exactly one in serial mode).
     flight: &'a [SharedRecorder],
+    /// The mini-TSDB behind `/query` and `/dash`, captured once per
+    /// completed pass.
+    ring: &'a SnapshotRing,
 }
 
 /// One servable endpoint: its path and its handler.
@@ -315,12 +453,14 @@ type Route = (
 /// The routing table. Adding an endpoint means adding a row here — the
 /// dispatcher, the per-path request counters and the 404 coverage test
 /// all iterate this table.
-const ROUTES: [Route; 5] = [
+const ROUTES: [Route; 7] = [
     ("/metrics", route_metrics),
     ("/healthz", route_healthz),
     ("/snapshot", route_snapshot),
     ("/debug/flight", route_debug_flight),
     ("/debug/doc", route_debug_doc),
+    ("/query", route_query),
+    ("/dash", route_dash),
 ];
 
 /// The endpoint paths served, in routing-table order (also the `path`
@@ -390,6 +530,171 @@ fn route_debug_doc(ctx: &RouteContext<'_>, req: &HttpRequest) -> HttpResponse {
     ))
 }
 
+/// Extracts one query-string parameter (`?key=value&...`).
+fn query_param<'q>(req: &'q HttpRequest, key: &str) -> Option<&'q str> {
+    req.query.as_deref().and_then(|q| {
+        q.split('&').find_map(|pair| {
+            let (k, value) = pair.split_once('=')?;
+            (k == key).then_some(value)
+        })
+    })
+}
+
+fn route_query(ctx: &RouteContext<'_>, req: &HttpRequest) -> HttpResponse {
+    let Some(metric) = query_param(req, "metric").filter(|m| !m.is_empty()) else {
+        return HttpResponse::status(
+            400,
+            "expected ?metric=<flat sample name>[&last=N]; see /query?metric= on a \
+             name from /snapshot (histograms export <name>_count and <name>_sum)\n",
+        );
+    };
+    let last = match query_param(req, "last") {
+        None => DEFAULT_QUERY_LAST,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => return HttpResponse::status(400, "last expects a positive point count\n"),
+        },
+    };
+    match ctx.ring.query_json(metric, last) {
+        Some(body) => HttpResponse::json(body),
+        None => HttpResponse::status(
+            404,
+            format!(
+                "unknown metric `{metric}`; known: {}\n",
+                ctx.ring.metric_names().join(", "),
+            ),
+        ),
+    }
+}
+
+/// The `/dash` panel list: title, metric, and the label subset selecting
+/// one series out of the metric's family.
+#[allow(clippy::type_complexity)]
+const DASH_PANELS: [(&str, &str, &[(&str, &str)]); 8] = [
+    (
+        "Hit rate (last pass)",
+        "webcache_serve_last_pass_hit_rate",
+        &[],
+    ),
+    (
+        "Replay throughput (req/s)",
+        "webcache_serve_last_pass_req_per_sec",
+        &[],
+    ),
+    (
+        "Modeled latency p50, overall (µs)",
+        "webcache_modeled_latency_us",
+        &[("doc_type", "overall"), ("quantile", "p50")],
+    ),
+    (
+        "Modeled latency p99, overall (µs)",
+        "webcache_modeled_latency_us",
+        &[("doc_type", "overall"), ("quantile", "p99")],
+    ),
+    (
+        "Requests replayed (total)",
+        "webcache_serve_requests_total",
+        &[],
+    ),
+    (
+        "SLO burn rate: hit_rate (short window)",
+        "webcache_slo_burn_rate",
+        &[("slo", "hit_rate"), ("window", "short")],
+    ),
+    (
+        "SLO burn rate: latency_p99 (short window)",
+        "webcache_slo_burn_rate",
+        &[("slo", "latency_p99"), ("window", "short")],
+    ),
+    (
+        "Lock contention ratio (shard 0)",
+        "webcache_shard_lock_contention_ratio",
+        &[("shard", "0")],
+    ),
+];
+
+/// Renders one sparkline as an inline SVG polyline (fixed 240×48
+/// viewport, y-normalised over the series' own range).
+fn sparkline_svg(series: &[(u64, f64)]) -> String {
+    const W: f64 = 240.0;
+    const H: f64 = 48.0;
+    const PAD: f64 = 3.0;
+    if series.is_empty() {
+        return format!(
+            "<svg viewBox=\"0 0 {W} {H}\" width=\"{W}\" height=\"{H}\">\
+             <text x=\"8\" y=\"30\" class=\"nodata\">no data yet</text></svg>"
+        );
+    }
+    let min = series.iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min);
+    let max = series
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).max(1e-12);
+    let n = series.len();
+    let points: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, &(_, v))| {
+            let x = if n == 1 {
+                W / 2.0
+            } else {
+                PAD + i as f64 / (n - 1) as f64 * (W - 2.0 * PAD)
+            };
+            let y = H - PAD - (v - min) / span * (H - 2.0 * PAD);
+            format!("{x:.1},{y:.1}")
+        })
+        .collect();
+    format!(
+        "<svg viewBox=\"0 0 {W} {H}\" width=\"{W}\" height=\"{H}\">\
+         <polyline fill=\"none\" stroke=\"#2a9d6f\" stroke-width=\"1.5\" points=\"{}\"/></svg>",
+        points.join(" "),
+    )
+}
+
+fn route_dash(ctx: &RouteContext<'_>, _req: &HttpRequest) -> HttpResponse {
+    use std::fmt::Write as _;
+    let mut page = String::with_capacity(8 * 1024);
+    page.push_str(
+        "<!doctype html>\n<html><head><meta charset=\"utf-8\">\
+         <meta http-equiv=\"refresh\" content=\"2\">\
+         <title>webcache dash</title><style>\
+         body{font-family:monospace;background:#101418;color:#d8dee4;margin:1.5em}\
+         h1{font-size:1.2em}.meta{color:#7a8691}\
+         .grid{display:flex;flex-wrap:wrap;gap:1em}\
+         .panel{background:#161c22;border:1px solid #242c34;border-radius:4px;padding:.6em .8em}\
+         .panel h2{font-size:.8em;margin:0 0 .4em;color:#9fb0bf;font-weight:normal}\
+         .last{color:#2a9d6f;font-size:.9em}\
+         .nodata{fill:#566069;font-size:11px}\
+         </style></head><body>\n",
+    );
+    let _ = writeln!(
+        page,
+        "<h1>webcache live dashboard</h1>\
+         <p class=\"meta\">policy {} · pass {} · {} requests replayed · \
+         up {} s · {} snapshots retained (refreshes every 2 s)</p>\n<div class=\"grid\">",
+        ctx.policy,
+        ctx.status.passes(),
+        ctx.status.requests(),
+        ctx.started.elapsed().as_secs(),
+        ctx.ring.len(),
+    );
+    for (title, metric, labels) in DASH_PANELS {
+        let series = ctx.ring.series(metric, labels);
+        let last = series
+            .last()
+            .map(|&(_, v)| format!("{v:.3}"))
+            .unwrap_or_else(|| "—".to_owned());
+        let _ = writeln!(
+            page,
+            "<div class=\"panel\"><h2>{title}</h2>{}<div class=\"last\">last: {last}</div></div>",
+            sparkline_svg(&series),
+        );
+    }
+    page.push_str("</div></body></html>\n");
+    HttpResponse::html(page)
+}
+
 /// Routes one HTTP request through [`ROUTES`].
 fn respond(req: &HttpRequest, ctx: &RouteContext<'_>, http_counters: &[Counter]) -> HttpResponse {
     match ROUTES.iter().position(|(path, _)| *path == req.path) {
@@ -434,6 +739,8 @@ pub fn serve_with(
         flight_capacity,
         bundle_dir,
         max_bundles,
+        slo,
+        dash_history,
     } = opts;
     let server = HttpServer::bind(("127.0.0.1", port))?;
     let addr = server.local_addr();
@@ -523,6 +830,58 @@ pub fn serve_with(
         &[],
     );
 
+    // Lock contention instrumentation: one probe per shard, its
+    // histograms/counters attached under stable per-shard labels (the
+    // serial daemon registers shard 0 too, keeping the exposition
+    // surface configuration-independent).
+    let lock_probes: Vec<ShardLockProbe> = (0..shards).map(|_| ShardLockProbe::new()).collect();
+    let contention_gauges: Vec<Gauge> = shard_labels
+        .iter()
+        .zip(&lock_probes)
+        .map(|(s, probe)| {
+            let labels = [("shard", s.as_str())];
+            registry.attach_histogram(
+                "webcache_shard_lock_wait_us",
+                "Microseconds spent waiting for the shard's stripe lock \
+                 (uncontended acquisitions observe 0).",
+                &labels,
+                &probe.wait_us,
+            );
+            registry.attach_histogram(
+                "webcache_shard_lock_hold_us",
+                "Microseconds the shard's stripe lock was held per acquisition.",
+                &labels,
+                &probe.hold_us,
+            );
+            registry.attach_counter(
+                "webcache_shard_lock_acquire_total",
+                "Stripe-lock acquisitions through the probed paths.",
+                &labels,
+                &probe.acquisitions,
+            );
+            registry.attach_counter(
+                "webcache_shard_lock_contended_total",
+                "Stripe-lock acquisitions that found the lock held.",
+                &labels,
+                &probe.contended,
+            );
+            registry.gauge(
+                "webcache_shard_lock_contention_ratio",
+                "Fraction of stripe-lock acquisitions that had to block.",
+                &labels,
+            )
+        })
+        .collect();
+
+    // Tail-latency & SLO machinery: modeled per-request latency into
+    // windowed percentile histograms, burn-rate tracking against the
+    // configured objectives, and the snapshot ring behind /query and
+    // /dash.
+    let latency_model = LatencyModel::campus_2001();
+    let latency_obs = LatencyObserver::register(latency_model, DEFAULT_LATENCY_WINDOWS, &registry);
+    let slo_tracker = SloTracker::register(slo, latency_model, &registry);
+    let ring = SnapshotRing::new(dash_history);
+
     // One flight ring per shard; serial mode uses ring 0. HTTP handlers
     // snapshot the rings while the replay thread records into them.
     let recorders: Vec<SharedRecorder> = (0..shards)
@@ -531,56 +890,35 @@ pub fn serve_with(
 
     let profile_obs = ProfileObserver::register(&registry, &label);
     let mut anomaly_obs = AnomalyObserver::register(&registry, logger.clone(), anomaly);
-    if let Some(dir) = bundle_dir {
-        // Post-mortem bundles: triggered when an anomaly logs a warning
-        // (same rate limit), snapshotting the flight ring and the full
-        // registry at the moment of detection.
-        let registry = registry.clone();
-        let recorders = recorders.clone();
-        let logger = logger.clone();
-        let policy = label.clone();
-        let capacity_bytes = config.capacity.as_u64();
-        let mut seq: u32 = 0;
+    // Post-mortem bundles: one writer shared by the anomaly trigger
+    // (rate limited by the anomaly cooldown) and the SLO burn-rate
+    // trigger (edge-triggered), so --max-bundles caps the run globally.
+    let bundle_writer = bundle_dir.map(|dir| {
+        Arc::new(Mutex::new(BundleWriter {
+            dir,
+            registry: registry.clone(),
+            recorders: recorders.clone(),
+            logger: logger.clone(),
+            policy: label.clone(),
+            capacity_bytes: config.capacity.as_u64(),
+            max_bundles,
+            seq: 0,
+        }))
+    });
+    if let Some(writer) = bundle_writer.clone() {
         anomaly_obs.set_trigger(AnomalyTrigger::new(move |kind, doc_type| {
-            if seq as usize >= max_bundles {
-                return;
-            }
-            let unix_ms = SystemTime::now()
-                .duration_since(UNIX_EPOCH)
-                .map(|d| d.as_millis())
-                .unwrap_or(0);
-            let records = merge_sorted(&recorders);
-            let jsonl: String = records
-                .iter()
-                .map(|r| format!("{}\n", r.to_json()))
-                .collect();
-            let meta = BundleMeta {
-                kind: kind.label(),
-                doc_type,
-                seq,
-                policy: &policy,
-                capacity_bytes,
-                unix_ms,
-            };
-            match forensics::write_bundle(&dir, &meta, &jsonl, &registry.json_snapshot()) {
-                Ok(path) => {
-                    seq += 1;
-                    logger.info(
-                        "serve",
-                        "post-mortem bundle written",
-                        &[
-                            ("path", path.display().to_string().into()),
-                            ("kind", kind.label().into()),
-                            ("records", (records.len() as u64).into()),
-                        ],
-                    );
-                }
-                Err(e) => logger.warn(
-                    "serve",
-                    "post-mortem bundle write failed",
-                    &[("error", e.to_string().into())],
-                ),
-            }
+            writer
+                .lock()
+                .expect("bundle writer")
+                .write(kind.label(), doc_type);
+        }));
+    }
+    if let Some(writer) = bundle_writer {
+        slo_tracker.set_trigger(SloTrigger::new(move |breach| {
+            writer
+                .lock()
+                .expect("bundle writer")
+                .write(&format!("slo_{}_burn", breach.slo), "overall");
         }));
     }
     let log_obs = LogObserver::new(logger.clone());
@@ -596,7 +934,16 @@ pub fn serve_with(
     );
     let mut observer = (
         flight_obs,
-        (regret_obs, (profile_obs, (anomaly_obs, log_obs))),
+        (
+            regret_obs,
+            (
+                profile_obs,
+                (
+                    anomaly_obs,
+                    (log_obs, (latency_obs.clone(), slo_tracker.clone())),
+                ),
+            ),
+        ),
     );
 
     // Concurrent mode trades the per-event observers (profiler, anomaly
@@ -618,6 +965,7 @@ pub fn serve_with(
         max_passes,
         shards,
         clients,
+        lock_probes: Some(lock_probes.clone()),
     };
     let status = LiveStatus::new();
     logger.info(
@@ -643,14 +991,45 @@ pub fn serve_with(
             let shard_metrics = &shard_metrics;
             let request_imbalance_gauge = request_imbalance_gauge.clone();
             let byte_imbalance_gauge = byte_imbalance_gauge.clone();
+            let lock_probes = &lock_probes;
+            let contention_gauges = &contention_gauges;
+            let pass_latency = latency_obs.clone();
+            let pass_slo = slo_tracker.clone();
+            let pass_ring = ring.clone();
+            let pass_registry = registry.clone();
             scope.spawn(move || {
+                // Pass-boundary bookkeeping shared by both replay
+                // modes: rotate the latency windows, fold the pass into
+                // the SLO burn windows (fired breaches are logged here;
+                // the bundle side effect rides the trigger), refresh
+                // the contention gauges, and sample the registry into
+                // the snapshot ring.
+                let end_of_pass = || {
+                    pass_latency.rotate_and_publish();
+                    for breach in pass_slo.evaluate() {
+                        replay_logger.warn(
+                            "serve",
+                            "slo breach",
+                            &[("slo", breach.slo.into()), ("detail", breach.detail.into())],
+                        );
+                    }
+                    for (probe, gauge) in lock_probes.iter().zip(contention_gauges.iter()) {
+                        gauge.set(probe.contention_ratio());
+                    }
+                    pass_ring.capture(&pass_registry, unix_ms_now());
+                };
                 let summary = if concurrent {
                     sharded_replay
                         .run_observed(
                             &mut source,
                             status,
                             shutdown,
-                            |shard| FlightObserver::new(shard_recorders[shard].clone()),
+                            |shard| {
+                                (
+                                    FlightObserver::new(shard_recorders[shard].clone()),
+                                    (pass_latency.clone(), pass_slo.clone()),
+                                )
+                            },
                             |pass| {
                                 let hit_rate = pass.report.overall().hit_rate();
                                 passes_total.inc();
@@ -681,6 +1060,7 @@ pub fn serve_with(
                                         ("request_imbalance", balance.request_imbalance.into()),
                                     ],
                                 );
+                                end_of_pass();
                             },
                         )
                         .expect("shard count validated in from_args")
@@ -719,6 +1099,7 @@ pub fn serve_with(
                                     ("hit_rate", hit_rate.into()),
                                 ],
                             );
+                            end_of_pass();
                         },
                     )
                 };
@@ -734,6 +1115,7 @@ pub fn serve_with(
                 policy: &label,
                 started,
                 flight: &recorders,
+                ring: &ring,
             };
             respond(req, &ctx, &http_counters)
         });

@@ -29,8 +29,8 @@ fn temp_path(name: &str) -> PathBuf {
     p
 }
 
-/// One short HTTP/1.1 exchange; returns (status, body).
-fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+/// One short HTTP/1.1 exchange; returns (status, headers, body).
+fn http_get_full(addr: SocketAddr, path: &str) -> (u16, String, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     write!(
         stream,
@@ -44,10 +44,16 @@ fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or_else(|| panic!("bad status line in {raw:?}"));
-    let body = raw
+    let (head, body) = raw
         .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_owned())
+        .map(|(h, b)| (h.to_owned(), b.to_owned()))
         .unwrap_or_default();
+    (status, head, body)
+}
+
+/// One short HTTP/1.1 exchange; returns (status, body).
+fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let (status, _, body) = http_get_full(addr, path);
     (status, body)
 }
 
@@ -245,14 +251,29 @@ fn anomaly_writes_one_bundle_that_round_trips_through_inspect() {
 
     // Every routing-table path answers (non-404) — the table is the
     // single source of truth, so a new endpoint is covered by default.
+    // Headers are part of the contract: no-store everywhere (these are
+    // live views) and a correct Content-Type per route.
     for path in webcache_cli::serve::route_paths() {
-        let probe = if path == "/debug/doc" {
-            "/debug/doc?id=0".to_owned()
-        } else {
-            path.to_owned()
+        let probe = match path {
+            "/debug/doc" => "/debug/doc?id=0".to_owned(),
+            "/query" => "/query?metric=webcache_serve_passes_total&last=8".to_owned(),
+            _ => path.to_owned(),
         };
-        let (status, body) = http_get(addr, &probe);
+        let (status, head, body) = http_get_full(addr, &probe);
         assert_eq!(status, 200, "{probe}: {body}");
+        assert!(
+            head.contains("Cache-Control: no-store"),
+            "{probe} must not be cacheable: {head}"
+        );
+        let expected_type = match path {
+            "/metrics" => "text/plain",
+            "/dash" => "text/html",
+            _ => "application/json",
+        };
+        assert!(
+            head.contains(&format!("Content-Type: {expected_type}")),
+            "{probe} content type: {head}"
+        );
     }
     for unknown in ["/nope", "/debug", "/debug/flightier"] {
         let (status, _) = http_get(addr, unknown);
@@ -293,6 +314,40 @@ fn anomaly_writes_one_bundle_that_round_trips_through_inspect() {
         let (status, _) = http_get(addr, bad);
         assert_eq!(status, 400, "{bad} should reject");
     }
+
+    // /query serves the trailing window of any registered metric from
+    // the per-pass snapshot ring.
+    let (status, q) = http_get(addr, "/query?metric=webcache_serve_passes_total");
+    assert_eq!(status, 200, "{q}");
+    let parsed = webcache_obs::json::parse(&q).expect("query parses");
+    assert_eq!(
+        parsed.get("metric").and_then(|v| v.as_str()),
+        Some("webcache_serve_passes_total"),
+        "{q}"
+    );
+    let points = parsed.get("points").and_then(|v| v.as_array());
+    assert!(points.is_some_and(|p| !p.is_empty()), "{q}");
+    // Histograms flatten to <name>_count / <name>_sum samples.
+    let (status, _) = http_get(addr, "/query?metric=webcache_shard_lock_wait_us_count");
+    assert_eq!(status, 200);
+    for (bad, want) in [
+        ("/query", 400),
+        ("/query?metric=", 400),
+        ("/query?metric=webcache_serve_passes_total&last=0", 400),
+        ("/query?metric=webcache_serve_passes_total&last=lots", 400),
+        ("/query?metric=no_such_metric", 404),
+    ] {
+        let (status, body) = http_get(addr, bad);
+        assert_eq!(status, want, "{bad}: {body}");
+    }
+
+    // /dash is a self-contained HTML page with inline-SVG sparklines.
+    let (status, dash) = http_get(addr, "/dash");
+    assert_eq!(status, 200);
+    assert!(dash.starts_with("<!doctype html>"), "{dash}");
+    assert!(dash.contains("webcache live dashboard"), "{dash}");
+    assert!(dash.contains("<svg"), "{dash}");
+    assert!(dash.contains("Modeled latency p99"), "{dash}");
 
     SHUTDOWN.store(true, Ordering::SeqCst);
     daemon.join().expect("daemon thread");
@@ -392,6 +447,54 @@ fn sharded_daemon_exports_per_shard_balance_metrics() {
         metrics.contains("webcache_serve_passes_total 2"),
         "{metrics}"
     );
+    // Lock contention instrumentation: every shard's probe saw real
+    // acquisitions, and the derived contention-ratio gauge exports.
+    for shard in 0..4 {
+        let acquire = metrics
+            .lines()
+            .find(|l| {
+                l.starts_with(&format!(
+                    "webcache_shard_lock_acquire_total{{shard=\"{shard}\"}}"
+                ))
+            })
+            .unwrap_or_else(|| panic!("missing shard {shard} lock acquisitions: {metrics}"));
+        let value: f64 = acquire
+            .split_whitespace()
+            .next_back()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.0);
+        assert!(value > 0.0, "shard {shard} never locked: {acquire}");
+        assert!(
+            metrics.contains(&format!(
+                "webcache_shard_lock_wait_us_count{{shard=\"{shard}\"}}"
+            )),
+            "missing shard {shard} wait histogram: {metrics}"
+        );
+        assert!(
+            metrics.contains(&format!(
+                "webcache_shard_lock_contention_ratio{{shard=\"{shard}\"}}"
+            )),
+            "missing shard {shard} contention ratio: {metrics}"
+        );
+    }
+    // The latency observer rides the concurrent factory too: per-type
+    // p50/p99 modeled-latency gauges export under WorkloadStream load.
+    for needle in [
+        "webcache_modeled_latency_us{doc_type=\"overall\",quantile=\"p50\"}",
+        "webcache_modeled_latency_us{doc_type=\"overall\",quantile=\"p99\"}",
+        "webcache_modeled_latency_us{doc_type=\"HTML\",quantile=\"p99\"}",
+        "webcache_modeled_latency_us{doc_type=\"Images\",quantile=\"p99\"}",
+    ] {
+        assert!(metrics.contains(needle), "missing {needle}: {metrics}");
+    }
+
+    // `webcache top --once` renders one frame from /snapshot.
+    let frame = webcache_cli::run(&argv(&format!("top --once --port {}", addr.port())))
+        .expect("top --once succeeds");
+    assert!(frame.contains("webcache top"), "{frame}");
+    assert!(frame.contains("modeled latency"), "{frame}");
+    assert!(frame.contains("shard 3"), "{frame}");
+
     // The concurrent engine records flight events too (one ring per
     // shard, no reason payloads): /debug/flight merges all four rings.
     let (status, flight) = http_get(addr, "/debug/flight");
@@ -450,6 +553,122 @@ fn workload_mode_replays_the_endless_generator() {
     daemon.join().expect("daemon thread");
 }
 
+/// All-cold traffic: every request misses, so the hit rate is flat at
+/// zero from the first window (no cliff — the anomaly detectors stay
+/// quiet) while any hit-rate SLO burns hot in both windows.
+fn cold_trace() -> Trace {
+    (0..1200u64)
+        .map(|i| {
+            Request::new(
+                Timestamp::from_millis(i),
+                DocId::new(i),
+                DocumentType::Html,
+                ByteSize::new(900),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn sustained_slo_breach_writes_exactly_one_burn_bundle() {
+    let trace_path = temp_path("slo.wctb");
+    let log_path = temp_path("slo.log");
+    let bundle_dir = temp_path("slo-bundles");
+    fs::write(
+        &trace_path,
+        webcache_trace::format_bin::to_bytes(&cold_trace()),
+    )
+    .unwrap();
+    fs::remove_file(&log_path).ok();
+    let _ = fs::remove_dir_all(&bundle_dir);
+
+    // 0% hit rate against a 90% floor burns at 10x in both windows from
+    // pass 1 on. The alert is edge-triggered, so three breaching passes
+    // under a generous --max-bundles still produce exactly one bundle.
+    let args = Args::parse(
+        &argv(&format!(
+            "--trace {} --policy lru --capacity 4MiB --warmup 0 --passes 3 --port 0 \
+             --log-level warn --log-file {} --slo-hit-rate 0.9 --slo-window 4 \
+             --bundle-dir {} --max-bundles 4",
+            trace_path.display(),
+            log_path.display(),
+            bundle_dir.display()
+        )),
+        &["quick"],
+    )
+    .unwrap();
+    let opts = ServeOptions::from_args(&args).unwrap();
+
+    static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+    let (tx, rx) = mpsc::channel();
+    let daemon = std::thread::spawn(move || {
+        serve_with(opts, &SHUTDOWN, move |addr| tx.send(addr).unwrap()).unwrap()
+    });
+    let addr = rx.recv_timeout(Duration::from_secs(10)).expect("ready");
+    let health = await_replay_done(addr, Duration::from_secs(30));
+    assert!(health.contains("\"passes\": 3"), "{health}");
+
+    let (status, metrics) = http_get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("webcache_slo_burn_rate{slo=\"hit_rate\",window=\"short\"} 10"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("webcache_slo_burn_rate{slo=\"hit_rate\",window=\"long\"} 10"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("webcache_slo_breach_total{slo=\"hit_rate\"} 1"),
+        "{metrics}"
+    );
+    // No latency SLO configured: its burn-rate family is absent.
+    assert!(!metrics.contains("slo=\"latency_p99\""), "{metrics}");
+    // The latency observer publishes regardless of SLO configuration;
+    // all-miss traffic pins p50 at origin-link latencies (>100ms).
+    let p50 = metrics
+        .lines()
+        .find(|l| {
+            l.starts_with("webcache_modeled_latency_us{doc_type=\"overall\",quantile=\"p50\"}")
+        })
+        .expect("overall p50 gauge");
+    let p50_us: f64 = p50.split_whitespace().next_back().unwrap().parse().unwrap();
+    assert!(p50_us > 100_000.0, "{p50}");
+
+    SHUTDOWN.store(true, Ordering::SeqCst);
+    daemon.join().expect("daemon thread");
+
+    // Exactly one bundle, and it is the SLO trigger's (the anomaly
+    // detectors had nothing to say about uniformly cold traffic).
+    let bundles: Vec<PathBuf> = fs::read_dir(&bundle_dir)
+        .expect("bundle dir exists")
+        .map(|e| e.unwrap().path())
+        .filter(|p| {
+            p.file_name()
+                .is_some_and(|n| n.to_string_lossy().starts_with("bundle-"))
+        })
+        .collect();
+    assert_eq!(bundles.len(), 1, "expected exactly one bundle: {bundles:?}");
+    let name = bundles[0]
+        .file_name()
+        .unwrap()
+        .to_string_lossy()
+        .into_owned();
+    assert!(name.contains("slo_hit_rate_burn"), "{name}");
+    let manifest = fs::read_to_string(bundles[0].join("manifest.json")).unwrap();
+    assert!(manifest.contains("slo_hit_rate_burn"), "{manifest}");
+
+    // Exactly one "slo breach" warn record (edge-triggered alerting).
+    let log = fs::read_to_string(&log_path).unwrap();
+    let warns: Vec<&str> = log.lines().filter(|l| l.contains("slo breach")).collect();
+    assert_eq!(warns.len(), 1, "one breach warn expected: {log}");
+    assert!(warns[0].contains("\"slo\":\"hit_rate\""), "{log}");
+
+    fs::remove_file(trace_path).ok();
+    fs::remove_file(log_path).ok();
+    let _ = fs::remove_dir_all(&bundle_dir);
+}
+
 #[test]
 fn serve_usage_errors() {
     for bad in [
@@ -471,6 +690,19 @@ fn serve_usage_errors() {
         "--workload dfn --clients many",      // non-numeric
         "--workload dfn --flight-capacity 0", // empty flight ring
         "--workload dfn --max-bundles 0",     // bundle cap below 1
+        "--workload dfn --max-bundles eight", // non-numeric
+        "--workload dfn --slo-hit-rate 0",    // floor must be > 0
+        "--workload dfn --slo-hit-rate 1",    // and < 1
+        "--workload dfn --slo-hit-rate nan",  // parses as f64 but useless
+        "--workload dfn --slo-hit-rate high", // non-numeric
+        "--workload dfn --slo-p99-ms 0",      // budget must be positive
+        "--workload dfn --slo-p99-ms -4",     // negative
+        "--workload dfn --slo-p99-ms inf",    // non-finite
+        "--workload dfn --slo-window 0",      // empty burn window
+        "--workload dfn --slo-burn 0",        // non-positive threshold
+        "--workload dfn --slo-burn nan",      // non-finite threshold
+        "--workload dfn --dash-history 0",    // empty snapshot ring
+        "--workload dfn --dash-history deep", // non-numeric
     ] {
         let args = Args::parse(&argv(bad), &["quick"]).unwrap();
         assert!(

@@ -28,8 +28,10 @@
 //! [`Cache`] bit-for-bit).
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, TryLockError};
+use std::time::Instant;
 
+use webcache_obs::{Counter, Histogram};
 use webcache_trace::{fxhash, ByteSize, DocId, DocumentType};
 
 use crate::admission::AdmissionRule;
@@ -209,6 +211,45 @@ impl ShardBalance {
     }
 }
 
+/// Contention instrumentation for one shard's stripe lock.
+///
+/// All four handles are the `webcache-obs` relaxed-atomic cells, so the
+/// probe can record from the engine while a registry exports the same
+/// cells (attach the handles with `Registry::attach_histogram` /
+/// `attach_counter`). Probes are opt-in per engine
+/// ([`ShardedEngine::set_lock_probes`]); without them the lock path is
+/// a single well-predicted branch over the plain `Mutex::lock`, the
+/// same no-op-by-default discipline as the policies' `MetricsSink`.
+#[derive(Debug, Clone, Default)]
+pub struct ShardLockProbe {
+    /// Microseconds spent blocked waiting for the stripe lock
+    /// (uncontended acquisitions observe 0).
+    pub wait_us: Histogram,
+    /// Microseconds the stripe lock was held per critical section.
+    pub hold_us: Histogram,
+    /// Total lock acquisitions through the probed paths.
+    pub acquisitions: Counter,
+    /// Acquisitions that found the lock held (`try_lock` failed).
+    pub contended: Counter,
+}
+
+impl ShardLockProbe {
+    /// Fresh, detached probe cells.
+    pub fn new() -> ShardLockProbe {
+        ShardLockProbe::default()
+    }
+
+    /// Fraction of acquisitions that had to block (0 when idle).
+    pub fn contention_ratio(&self) -> f64 {
+        let acquisitions = self.acquisitions.get();
+        if acquisitions == 0 {
+            0.0
+        } else {
+            self.contended.get() as f64 / acquisitions as f64
+        }
+    }
+}
+
 /// One shard: its cache behind the stripe lock, plus the lock-free
 /// counters beside it.
 #[derive(Debug)]
@@ -224,6 +265,7 @@ pub struct ShardedEngine {
     capacity: ByteSize,
     shard_capacity: ByteSize,
     policy_label: String,
+    lock_probes: Option<Vec<ShardLockProbe>>,
 }
 
 impl ShardedEngine {
@@ -266,6 +308,7 @@ impl ShardedEngine {
             capacity,
             shard_capacity,
             policy_label: PolicySpec::new(admission, spec.replacement).label(),
+            lock_probes: None,
         })
     }
 
@@ -320,7 +363,27 @@ impl ShardedEngine {
             capacity,
             shard_capacity,
             policy_label: PolicySpec::new(admission, spec.replacement).label(),
+            lock_probes: None,
         })
+    }
+
+    /// Installs one [`ShardLockProbe`] per shard; every subsequent
+    /// [`ShardedEngine::request`], [`ShardedEngine::invalidate`] and
+    /// [`ShardedEngine::with_shard`] times its lock wait and hold into
+    /// the probe cells. Install before sharing the engine across
+    /// threads (the setter takes `&mut self`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `probes.len()` differs from the shard count.
+    pub fn set_lock_probes(&mut self, probes: Vec<ShardLockProbe>) {
+        assert_eq!(probes.len(), self.shards.len(), "one lock probe per shard");
+        self.lock_probes = Some(probes);
+    }
+
+    /// The installed lock probes, if any.
+    pub fn lock_probes(&self) -> Option<&[ShardLockProbe]> {
+        self.lock_probes.as_deref()
     }
 
     /// Splits the total byte budget evenly, never below one byte per
@@ -376,41 +439,73 @@ impl ShardedEngine {
         self.policy_label.clone()
     }
 
+    /// Runs `f` with shard `index`'s cache locked, timing lock wait and
+    /// hold into the shard's [`ShardLockProbe`] when probes are
+    /// installed.
+    ///
+    /// The probed path is `try_lock`-then-block: an uncontended
+    /// acquisition observes a zero wait without ever reading the clock;
+    /// only the contended slow path (which is already paying a blocking
+    /// park) takes two `Instant` reads for the wait and two for the
+    /// hold.
+    fn locked<R>(&self, index: usize, f: impl FnOnce(&mut Cache) -> R) -> R {
+        let shard = &self.shards[index];
+        let Some(probe) = self.lock_probes.as_ref().map(|p| &p[index]) else {
+            let mut cache = shard.cache.lock().expect("shard mutex poisoned");
+            return f(&mut cache);
+        };
+        probe.acquisitions.inc();
+        let mut cache = match shard.cache.try_lock() {
+            Ok(guard) => {
+                probe.wait_us.observe(0);
+                guard
+            }
+            Err(TryLockError::WouldBlock) => {
+                probe.contended.inc();
+                let blocked = Instant::now();
+                let guard = shard.cache.lock().expect("shard mutex poisoned");
+                probe.wait_us.observe(blocked.elapsed().as_micros() as u64);
+                guard
+            }
+            Err(TryLockError::Poisoned(_)) => panic!("shard mutex poisoned"),
+        };
+        let held = Instant::now();
+        let result = f(&mut cache);
+        drop(cache);
+        probe.hold_us.observe(held.elapsed().as_micros() as u64);
+        result
+    }
+
     /// One full request against the engine: look the document up in its
     /// shard, fetch-and-insert on a miss, and account the outcome in the
     /// shard's lock-free counters. Returns `true` on a hit.
     pub fn request(&self, doc: DocId, doc_type: DocumentType, size: ByteSize) -> bool {
-        let shard = &self.shards[self.shard_of(doc)];
-        let hit = {
-            let mut cache = shard.cache.lock().expect("shard mutex poisoned");
+        let index = self.shard_of(doc);
+        let hit = self.locked(index, |cache| {
             let hit = cache.access(doc);
             if !hit {
                 cache.insert(doc, doc_type, size);
             }
             hit
-        };
-        shard.counters.record(size, hit);
+        });
+        self.shards[index].counters.record(size, hit);
         hit
     }
 
     /// Drops `doc`'s cached copy (origin-side modification), if any.
     pub fn invalidate(&self, doc: DocId) -> bool {
-        let shard = &self.shards[self.shard_of(doc)];
-        let mut cache = shard.cache.lock().expect("shard mutex poisoned");
-        cache.invalidate(doc)
+        self.locked(self.shard_of(doc), |cache| cache.invalidate(doc))
     }
 
     /// Runs `f` with shard `index`'s cache locked.
     ///
     /// This is the replay drivers' bulk path: a worker that owns a
     /// shard's whole request subsequence takes the stripe lock once and
-    /// replays through it, instead of locking per request.
+    /// replays through it, instead of locking per request (so with
+    /// probes installed the cost is one timed acquisition per shard per
+    /// pass — nothing per request).
     pub fn with_shard<R>(&self, index: usize, f: impl FnOnce(&mut Cache) -> R) -> R {
-        let mut cache = self.shards[index]
-            .cache
-            .lock()
-            .expect("shard mutex poisoned");
-        f(&mut cache)
+        self.locked(index, f)
     }
 
     /// Shard `index`'s lock-free counters (for bulk accounting next to
@@ -623,6 +718,72 @@ mod tests {
             e.snapshot().iter().map(|s| s.requests).sum::<u64>(),
             totals.requests
         );
+    }
+
+    #[test]
+    fn lock_probes_do_not_change_behavior() {
+        let mut probed = engine(4);
+        probed.set_lock_probes((0..4).map(|_| ShardLockProbe::new()).collect());
+        let plain = engine(4);
+        for id in 0..500u64 {
+            let doc = DocId::new(id % 93);
+            let size = ByteSize::new(40 + id % 7);
+            assert_eq!(
+                probed.request(doc, DocumentType::Html, size),
+                plain.request(doc, DocumentType::Html, size)
+            );
+        }
+        assert_eq!(
+            probed.invalidate(DocId::new(1)),
+            plain.invalidate(DocId::new(1))
+        );
+        assert_eq!(probed.len(), plain.len());
+        assert_eq!(probed.used_bytes(), plain.used_bytes());
+        assert_eq!(probed.totals(), plain.totals());
+        // Every acquisition was observed, single-threaded ones uncontended.
+        let probes = probed.lock_probes().unwrap();
+        let acquisitions: u64 = probes.iter().map(|p| p.acquisitions.get()).sum();
+        assert_eq!(acquisitions, 501);
+        for p in probes {
+            assert_eq!(p.contended.get(), 0);
+            assert_eq!(p.contention_ratio(), 0.0);
+            assert_eq!(p.wait_us.count(), p.acquisitions.get());
+            assert_eq!(p.hold_us.count(), p.acquisitions.get());
+        }
+        assert!(plain.lock_probes().is_none());
+    }
+
+    #[test]
+    fn contended_lock_registers_wait_time() {
+        let mut e = engine(1);
+        e.set_lock_probes(vec![ShardLockProbe::new()]);
+        std::thread::scope(|scope| {
+            // One holder pins the single shard's lock while another
+            // thread requests through it — the request must block and
+            // the probe must see the contention.
+            let engine = &e;
+            let holder = scope.spawn(move || {
+                engine.with_shard(0, |_cache| {
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                });
+            });
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            engine.request(DocId::new(1), DocumentType::Html, ByteSize::new(10));
+            holder.join().unwrap();
+        });
+        let probe = &e.lock_probes().unwrap()[0];
+        assert_eq!(probe.acquisitions.get(), 2);
+        assert_eq!(probe.contended.get(), 1);
+        assert!((probe.contention_ratio() - 0.5).abs() < 1e-12);
+        // The blocked request waited most of the 30ms hold.
+        assert!(probe.wait_us.sum() >= 10_000, "{}", probe.wait_us.sum());
+        assert!(probe.hold_us.sum() >= 20_000, "{}", probe.hold_us.sum());
+    }
+
+    #[test]
+    #[should_panic(expected = "one lock probe per shard")]
+    fn probe_count_must_match_shards() {
+        engine(4).set_lock_probes(vec![ShardLockProbe::new()]);
     }
 
     #[test]

@@ -87,6 +87,11 @@ impl HttpResponse {
         HttpResponse::ok("application/json", body)
     }
 
+    /// A `200` HTML response (for the `/dash` page).
+    pub fn html(body: impl Into<Vec<u8>>) -> HttpResponse {
+        HttpResponse::ok("text/html; charset=utf-8", body)
+    }
+
     /// A `404 Not Found` response.
     pub fn not_found() -> HttpResponse {
         HttpResponse::status(404, "not found\n")
@@ -113,8 +118,11 @@ impl HttpResponse {
     }
 
     fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        // Observability responses are live state: `no-store` keeps
+        // browsers and intermediaries from replaying a stale /dash or
+        // /snapshot.
         let head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nCache-Control: no-store\r\nConnection: close\r\n\r\n",
             self.status,
             self.reason(),
             self.content_type,
@@ -371,6 +379,24 @@ mod tests {
             .parse()
             .unwrap();
         assert_eq!(length, "hello".len());
+        shutdown.store(true, Ordering::Relaxed);
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn every_response_is_no_store_and_html_is_typed() {
+        let (addr, shutdown, join) = start(|req| match req.path.as_str() {
+            "/dash" => HttpResponse::html("<html></html>"),
+            _ => HttpResponse::not_found(),
+        });
+        let dash = get(addr, "/dash");
+        assert!(dash.contains("Cache-Control: no-store\r\n"), "{dash}");
+        assert!(
+            dash.contains("Content-Type: text/html; charset=utf-8"),
+            "{dash}"
+        );
+        let missing = get(addr, "/nope");
+        assert!(missing.contains("Cache-Control: no-store\r\n"), "{missing}");
         shutdown.store(true, Ordering::Relaxed);
         join.join().unwrap();
     }

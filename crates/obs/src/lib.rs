@@ -30,6 +30,12 @@
 //! * [`http`] — a minimal std-only HTTP/1.1 server ([`HttpServer`]) for
 //!   live observability endpoints (`/metrics`, `/healthz`, `/snapshot`)
 //!   with cooperative shutdown via a shared flag.
+//! * [`window`] — windowed percentile histograms: a
+//!   [`WindowedHistogram`] ring of log2-bucket histograms rotated per
+//!   window with lock-free recording and p50/p90/p99/p999 estimation,
+//!   plus the [`QuantileGauges`] export helper.
+//! * [`tsdb`] — a [`SnapshotRing`] mini-TSDB retaining the last K
+//!   flattened registry snapshots for `GET /query` and `/dash`.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -41,6 +47,8 @@ pub mod log;
 pub mod registry;
 pub mod sink;
 pub mod span;
+pub mod tsdb;
+pub mod window;
 
 pub use flight::{
     merge_sorted, DecisionRecord, EventKind, FlightRecorder, FlightSink, Reason, ReasonChannel,
@@ -48,6 +56,10 @@ pub use flight::{
 };
 pub use http::{HttpRequest, HttpResponse, HttpServer};
 pub use log::{FieldValue, Level, LogCapture, Logger};
-pub use registry::{Counter, Gauge, Histogram, Registry, Series};
+pub use registry::{
+    bucket_bound, bucket_index, Counter, FlatSample, Gauge, Histogram, Registry, Series, BUCKETS,
+};
 pub use sink::{HeapCost, HeapOp, MetricsSink, PolicyProbe};
 pub use span::{chrome_trace_json, SpanEvent, TraceClock, TraceRecorder};
+pub use tsdb::SnapshotRing;
+pub use window::{quantile_from_buckets, QuantileGauges, WindowedHistogram};

@@ -35,7 +35,7 @@ use std::sync::{Arc, Mutex};
 
 /// Number of histogram buckets: finite upper bounds `2^0 .. 2^31`, plus
 /// a final catch-all (`+Inf`) bucket.
-const BUCKETS: usize = 33;
+pub const BUCKETS: usize = 33;
 
 /// Default number of retained samples in a [`Series`] before it starts
 /// thinning (keeping every other sample and doubling its stride).
@@ -108,7 +108,7 @@ pub struct Histogram(Arc<HistogramCells>);
 /// The bucket index for an observation: the smallest `b` with
 /// `v <= 2^b`, clamped to the catch-all bucket.
 #[inline]
-fn bucket_index(v: u64) -> usize {
+pub fn bucket_index(v: u64) -> usize {
     if v <= 1 {
         0
     } else {
@@ -117,11 +117,17 @@ fn bucket_index(v: u64) -> usize {
 }
 
 /// The finite upper bound of bucket `b` (the catch-all has none).
-fn bucket_bound(b: usize) -> Option<u64> {
+pub fn bucket_bound(b: usize) -> Option<u64> {
     (b < BUCKETS - 1).then(|| 1u64 << b)
 }
 
 impl Histogram {
+    /// A histogram not (yet) attached to any registry; pair with
+    /// [`Registry::attach_histogram`] to export it later.
+    pub fn detached() -> Self {
+        Histogram(Arc::new(HistogramCells::default()))
+    }
+
     /// Records one observation.
     #[inline]
     pub fn observe(&self, v: u64) {
@@ -141,8 +147,42 @@ impl Histogram {
     }
 
     /// Per-bucket (non-cumulative) counts.
-    fn bucket_counts(&self) -> [u64; BUCKETS] {
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
         std::array::from_fn(|b| self.0.buckets[b].load(Ordering::Relaxed))
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::detached()
+    }
+}
+
+impl Counter {
+    /// A counter not (yet) attached to any registry; pair with
+    /// [`Registry::attach_counter`] to export it later.
+    pub fn detached() -> Self {
+        Counter(Arc::new(AtomicU64::new(0)))
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Counter::detached()
+    }
+}
+
+impl Gauge {
+    /// A gauge not (yet) attached to any registry; pair with
+    /// [`Registry::attach_gauge`] to export it later.
+    pub fn detached() -> Self {
+        Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge::detached()
     }
 }
 
@@ -194,6 +234,19 @@ impl Series {
     pub fn stride(&self) -> u64 {
         self.0.lock().expect("series lock").stride
     }
+}
+
+/// One scalar sample produced by [`Registry::flat_samples`]: a metric
+/// name (histograms flatten to `_count`/`_sum`), its label set, and the
+/// current value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatSample {
+    /// The exported sample name.
+    pub name: String,
+    /// Label key/value pairs in registration order.
+    pub labels: Vec<(String, String)>,
+    /// The current value (counters and histogram counts cast to `f64`).
+    pub value: f64,
 }
 
 #[derive(Debug)]
@@ -273,6 +326,22 @@ impl Registry {
         handle
     }
 
+    /// Registers an existing (detached) counter handle so it shows up in
+    /// both exports — the instrumented code keeps its original handle.
+    pub fn attach_counter(&self, name: &str, help: &str, labels: &[(&str, &str)], h: &Counter) {
+        self.register(name, help, labels, Cells::Counter(h.clone()));
+    }
+
+    /// Registers an existing (detached) gauge handle.
+    pub fn attach_gauge(&self, name: &str, help: &str, labels: &[(&str, &str)], h: &Gauge) {
+        self.register(name, help, labels, Cells::Gauge(h.clone()));
+    }
+
+    /// Registers an existing (detached) histogram handle.
+    pub fn attach_histogram(&self, name: &str, help: &str, labels: &[(&str, &str)], h: &Histogram) {
+        self.register(name, help, labels, Cells::Histogram(h.clone()));
+    }
+
     /// Registers a bounded sample series and returns its handle.
     pub fn series(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Series {
         let handle = Series(Arc::new(Mutex::new(SeriesCells {
@@ -292,6 +361,45 @@ impl Registry {
     /// Whether no metrics are registered.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Flattens every metric into scalar samples for time-series capture
+    /// (see `tsdb::SnapshotRing`).
+    ///
+    /// Counters and gauges yield one sample each under their registered
+    /// name; histograms yield `<name>_count` and `<name>_sum`; series are
+    /// skipped (they are already trajectories).
+    pub fn flat_samples(&self) -> Vec<FlatSample> {
+        let metrics = self.metrics.lock().expect("registry lock");
+        let mut out = Vec::with_capacity(metrics.len());
+        for m in metrics.iter() {
+            match &m.cells {
+                Cells::Counter(c) => out.push(FlatSample {
+                    name: m.name.clone(),
+                    labels: m.labels.clone(),
+                    value: c.get() as f64,
+                }),
+                Cells::Gauge(g) => out.push(FlatSample {
+                    name: m.name.clone(),
+                    labels: m.labels.clone(),
+                    value: g.get(),
+                }),
+                Cells::Histogram(h) => {
+                    out.push(FlatSample {
+                        name: format!("{}_count", m.name),
+                        labels: m.labels.clone(),
+                        value: h.count() as f64,
+                    });
+                    out.push(FlatSample {
+                        name: format!("{}_sum", m.name),
+                        labels: m.labels.clone(),
+                        value: h.sum() as f64,
+                    });
+                }
+                Cells::Series(_) => {}
+            }
+        }
+        out
     }
 
     /// Renders the Prometheus text exposition format.

@@ -1,0 +1,259 @@
+//! A miniature in-memory TSDB: the last `K` registry snapshots.
+//!
+//! A [`SnapshotRing`] retains up to `K` flattened registry captures
+//! (see [`Registry::flat_samples`]) with caller-supplied wall-clock
+//! stamps. Captures happen at a coarse cadence (one per replay pass in
+//! `webcache serve`), so a short mutex around a `VecDeque` is plenty —
+//! nothing here is on a request hot path.
+//!
+//! Two read paths:
+//!
+//! * [`SnapshotRing::query_json`] renders the trailing points of one
+//!   metric family for `GET /query?metric=&last=`;
+//! * [`SnapshotRing::series`] extracts a plain `(unix_ms, value)`
+//!   vector for one labelled sample, which `GET /dash` turns into
+//!   sparklines.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use crate::registry::{json_f64, json_string, FlatSample, Registry};
+
+#[derive(Debug)]
+struct Snapshot {
+    unix_ms: u64,
+    samples: Vec<FlatSample>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    capacity: usize,
+    snaps: VecDeque<Snapshot>,
+}
+
+/// A bounded ring of flattened registry snapshots.
+///
+/// Cloning shares the ring: the serve loop captures on one handle while
+/// HTTP routes query another.
+#[derive(Debug, Clone)]
+pub struct SnapshotRing(Arc<Mutex<Inner>>);
+
+impl SnapshotRing {
+    /// Creates a ring retaining up to `capacity` snapshots (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        SnapshotRing(Arc::new(Mutex::new(Inner {
+            capacity: capacity.max(1),
+            snaps: VecDeque::new(),
+        })))
+    }
+
+    /// Captures the registry's current flat samples, evicting the
+    /// oldest snapshot when the ring is full.
+    pub fn capture(&self, registry: &Registry, unix_ms: u64) {
+        let samples = registry.flat_samples();
+        let mut inner = self.0.lock().expect("snapshot ring lock");
+        if inner.snaps.len() == inner.capacity {
+            inner.snaps.pop_front();
+        }
+        inner.snaps.push_back(Snapshot { unix_ms, samples });
+    }
+
+    /// Retained snapshot count.
+    pub fn len(&self) -> usize {
+        self.0.lock().expect("snapshot ring lock").snaps.len()
+    }
+
+    /// Whether no snapshots have been captured yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum retained snapshots.
+    pub fn capacity(&self) -> usize {
+        self.0.lock().expect("snapshot ring lock").capacity
+    }
+
+    /// Every distinct sample name seen in the newest snapshot (the
+    /// `/query` 404 body lists these so typos are debuggable).
+    pub fn metric_names(&self) -> Vec<String> {
+        let inner = self.0.lock().expect("snapshot ring lock");
+        let mut names: Vec<String> = Vec::new();
+        if let Some(snap) = inner.snaps.back() {
+            for s in &snap.samples {
+                if !names.iter().any(|n| n == &s.name) {
+                    names.push(s.name.clone());
+                }
+            }
+        }
+        names
+    }
+
+    /// Renders the trailing `last` points of the sample family `metric`
+    /// as JSON, or `None` when the metric never appeared in any
+    /// retained snapshot.
+    ///
+    /// Shape:
+    /// ```json
+    /// {"metric": "m", "window": 3, "points": [
+    ///   {"unix_ms": 1000, "samples": [{"labels": {...}, "value": 1}]}
+    /// ]}
+    /// ```
+    pub fn query_json(&self, metric: &str, last: usize) -> Option<String> {
+        use std::fmt::Write as _;
+        let inner = self.0.lock().expect("snapshot ring lock");
+        let mut seen = false;
+        let mut points: Vec<String> = Vec::new();
+        let skip = inner.snaps.len().saturating_sub(last.max(1));
+        for snap in inner.snaps.iter().skip(skip) {
+            let mut samples = String::new();
+            for s in snap.samples.iter().filter(|s| s.name == metric) {
+                seen = true;
+                if !samples.is_empty() {
+                    samples.push_str(", ");
+                }
+                let labels: Vec<String> = s
+                    .labels
+                    .iter()
+                    .map(|(k, v)| format!("{}: {}", json_string(k), json_string(v)))
+                    .collect();
+                let _ = write!(
+                    samples,
+                    "{{\"labels\": {{{}}}, \"value\": {}}}",
+                    labels.join(", "),
+                    json_f64(s.value)
+                );
+            }
+            if !samples.is_empty() {
+                points.push(format!(
+                    "{{\"unix_ms\": {}, \"samples\": [{samples}]}}",
+                    snap.unix_ms
+                ));
+            }
+        }
+        // A metric can exist without appearing in the window (e.g.
+        // registered after early snapshots): any retained appearance
+        // counts as "known".
+        if !seen {
+            seen = inner
+                .snaps
+                .iter()
+                .any(|snap| snap.samples.iter().any(|s| s.name == metric));
+        }
+        if !seen {
+            return None;
+        }
+        Some(format!(
+            "{{\"metric\": {}, \"window\": {}, \"points\": [\n  {}\n]}}\n",
+            json_string(metric),
+            points.len(),
+            points.join(",\n  ")
+        ))
+    }
+
+    /// The `(unix_ms, value)` trajectory of one labelled sample: the
+    /// first sample per snapshot named `metric` whose labels contain
+    /// every `(key, value)` pair in `labels`.
+    pub fn series(&self, metric: &str, labels: &[(&str, &str)]) -> Vec<(u64, f64)> {
+        let inner = self.0.lock().expect("snapshot ring lock");
+        let mut out = Vec::with_capacity(inner.snaps.len());
+        for snap in inner.snaps.iter() {
+            let hit = snap.samples.iter().find(|s| {
+                s.name == metric
+                    && labels
+                        .iter()
+                        .all(|&(k, v)| s.labels.iter().any(|(sk, sv)| sk == k && sv == v))
+            });
+            if let Some(s) = hit {
+                out.push((snap.unix_ms, s.value));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_with_counter() -> (SnapshotRing, Registry, crate::registry::Counter) {
+        let r = Registry::new();
+        let c = r.counter("reqs_total", "Requests.", &[("shard", "0")]);
+        (SnapshotRing::new(3), r, c)
+    }
+
+    #[test]
+    fn capture_evicts_oldest_at_capacity() {
+        let (ring, r, c) = ring_with_counter();
+        for t in 0..5u64 {
+            c.inc();
+            ring.capture(&r, 1000 + t);
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.capacity(), 3);
+        let series = ring.series("reqs_total", &[]);
+        assert_eq!(series, vec![(1002, 3.0), (1003, 4.0), (1004, 5.0)]);
+    }
+
+    #[test]
+    fn query_json_returns_trailing_window() {
+        let (ring, r, c) = ring_with_counter();
+        for t in 0..3u64 {
+            c.inc();
+            ring.capture(&r, t);
+        }
+        let json = ring.query_json("reqs_total", 2).unwrap();
+        let parsed = crate::json::parse(&json).expect("query parses");
+        assert_eq!(parsed.get("metric").unwrap().as_str(), Some("reqs_total"));
+        let points = parsed.get("points").unwrap().as_array().unwrap();
+        assert_eq!(points.len(), 2, "{json}");
+        let last = &points[1];
+        assert_eq!(last.get("unix_ms").unwrap().as_f64(), Some(2.0));
+        let samples = last.get("samples").unwrap().as_array().unwrap();
+        assert_eq!(samples[0].get("value").unwrap().as_f64(), Some(3.0));
+        assert_eq!(
+            samples[0]
+                .get("labels")
+                .unwrap()
+                .get("shard")
+                .unwrap()
+                .as_str(),
+            Some("0")
+        );
+    }
+
+    #[test]
+    fn unknown_metric_is_none() {
+        let (ring, r, _c) = ring_with_counter();
+        ring.capture(&r, 0);
+        assert!(ring.query_json("nope_total", 10).is_none());
+        assert_eq!(ring.metric_names(), vec!["reqs_total".to_owned()]);
+    }
+
+    #[test]
+    fn histograms_flatten_to_count_and_sum() {
+        let r = Registry::new();
+        let h = r.histogram("lat_us", "Latency.", &[]);
+        h.observe(10);
+        h.observe(20);
+        let ring = SnapshotRing::new(2);
+        ring.capture(&r, 7);
+        assert_eq!(ring.series("lat_us_count", &[]), vec![(7, 2.0)]);
+        assert_eq!(ring.series("lat_us_sum", &[]), vec![(7, 30.0)]);
+        assert!(ring.series("lat_us", &[]).is_empty());
+    }
+
+    #[test]
+    fn series_filters_by_label_subset() {
+        let r = Registry::new();
+        let a = r.gauge("hr", "Hit rate.", &[("shard", "0")]);
+        let b = r.gauge("hr", "Hit rate.", &[("shard", "1")]);
+        a.set(0.5);
+        b.set(0.9);
+        let ring = SnapshotRing::new(2);
+        ring.capture(&r, 1);
+        assert_eq!(ring.series("hr", &[("shard", "1")]), vec![(1, 0.9)]);
+        // No filter: first matching sample wins.
+        assert_eq!(ring.series("hr", &[]), vec![(1, 0.5)]);
+        assert!(ring.series("hr", &[("shard", "9")]).is_empty());
+    }
+}

@@ -31,7 +31,9 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
-use webcache_core::{Cache, Eviction, PolicySpec, ShardBalance, ShardConfigError, ShardedEngine};
+use webcache_core::{
+    Cache, Eviction, PolicySpec, ShardBalance, ShardConfigError, ShardLockProbe, ShardedEngine,
+};
 use webcache_trace::{ByteSize, DenseTrace, DocumentType, TypeMap};
 
 use crate::live::{LiveStatus, LiveSummary, TraceSource};
@@ -216,7 +218,7 @@ impl ConcurrentReport {
 
 /// Replays dense traces through a sharded engine with client threads.
 /// See the [module docs](self).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ConcurrentSimulator {
     /// The policy spec; the replacement half is instantiated once per
     /// shard, the admission half once per shard's cache.
@@ -226,6 +228,11 @@ pub struct ConcurrentSimulator {
     pub config: SimulationConfig,
     /// Batch size of the per-shard hot loop.
     pub batch_size: usize,
+    /// Optional per-shard lock-contention probes, cloned onto each
+    /// pass's engine (the handles share cells, so stats accumulate
+    /// across passes). `None` leaves the engine's lock path
+    /// uninstrumented.
+    pub lock_probes: Option<Vec<ShardLockProbe>>,
 }
 
 impl ConcurrentSimulator {
@@ -242,7 +249,16 @@ impl ConcurrentSimulator {
             spec,
             config,
             batch_size: DEFAULT_BATCH_SIZE,
+            lock_probes: None,
         }
+    }
+
+    /// Installs per-shard lock probes (one per shard; see
+    /// [`ShardedEngine::set_lock_probes`]).
+    #[must_use]
+    pub fn with_lock_probes(mut self, probes: Vec<ShardLockProbe>) -> ConcurrentSimulator {
+        self.lock_probes = Some(probes);
+        self
     }
 
     /// Splits `trace` for `shards` shards and replays it with `clients`
@@ -314,7 +330,7 @@ impl ConcurrentSimulator {
         let shards = sharded.shard_count();
         let clients = clients.max(1).min(shards.max(1));
         let started = Instant::now();
-        let engine = ShardedEngine::with_dense_shards(
+        let mut engine = ShardedEngine::with_dense_shards(
             self.config.capacity,
             self.spec,
             self.config.admission_rule,
@@ -322,6 +338,10 @@ impl ConcurrentSimulator {
             true,
         )
         .expect("ShardedTrace shard count is validated");
+        if let Some(probes) = &self.lock_probes {
+            engine.set_lock_probes(probes.clone());
+        }
+        let engine = engine;
         let warmup_end = ((trace.len() as f64) * self.config.warmup_fraction).floor() as usize;
 
         let mut outcomes: Vec<Option<(ShardOutcome, O)>> = std::thread::scope(|scope| {
@@ -603,7 +623,7 @@ pub struct ConcurrentPassSummary {
 /// [`ReplayLoop`](crate::live::ReplayLoop): one fresh engine per pass,
 /// shutdown honored between passes *and* at batch boundaries within a
 /// pass (an interrupted pass is discarded, not reported).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ShardedReplayLoop {
     /// Cache/simulation parameters, applied to every pass.
     pub config: SimulationConfig,
@@ -617,6 +637,9 @@ pub struct ShardedReplayLoop {
     pub shards: usize,
     /// Client threads per pass.
     pub clients: usize,
+    /// Optional per-shard lock probes, shared across every pass's
+    /// engine (handles share cells, so contention stats accumulate).
+    pub lock_probes: Option<Vec<ShardLockProbe>>,
 }
 
 impl ShardedReplayLoop {
@@ -666,7 +689,8 @@ impl ShardedReplayLoop {
         F: FnMut(&ConcurrentPassSummary),
     {
         webcache_core::validate_shard_count(self.shards)?;
-        let simulator = ConcurrentSimulator::new(self.spec, self.config);
+        let mut simulator = ConcurrentSimulator::new(self.spec, self.config);
+        simulator.lock_probes = self.lock_probes.clone();
         status.set_replaying(true);
         let mut passes = 0u64;
         let mut requests = 0u64;
@@ -871,6 +895,7 @@ mod tests {
             max_passes: Some(3),
             shards: 4,
             clients: 4,
+            lock_probes: None,
         }
         .run(&mut source, &status, &shutdown, |pass| {
             seen.push((pass.pass, pass.report.shards));
@@ -897,10 +922,35 @@ mod tests {
             max_passes: Some(1),
             shards: 6,
             clients: 2,
+            lock_probes: None,
         }
         .run(&mut source, &status, &shutdown, |_| {})
         .unwrap_err();
         assert_eq!(err, ShardConfigError::NotPowerOfTwo(6));
+    }
+
+    #[test]
+    fn lock_probes_observe_every_shard_acquisition_without_changing_results() {
+        let dense = DenseTrace::build(&mixed_trace(2_000, 131));
+        let sharded = ShardedTrace::build(&dense, 4).unwrap();
+        let config = config(12_000);
+        let plain = ConcurrentSimulator::new(PolicyKind::Lru, config);
+        let probes: Vec<ShardLockProbe> = (0..4).map(|_| ShardLockProbe::new()).collect();
+        let probed =
+            ConcurrentSimulator::new(PolicyKind::Lru, config).with_lock_probes(probes.clone());
+        let baseline = plain.run_sharded(&dense, &sharded, 4);
+        let report = probed.run_sharded(&dense, &sharded, 4);
+        assert_eq!(report.by_type(), baseline.by_type());
+        // The bulk path takes each shard's lock exactly once per pass.
+        for probe in &probes {
+            assert_eq!(probe.acquisitions.get(), 1);
+            assert_eq!(probe.hold_us.count(), 1);
+        }
+        // A second pass through the same probes accumulates.
+        probed.run_sharded(&dense, &sharded, 4);
+        for probe in &probes {
+            assert_eq!(probe.acquisitions.get(), 2);
+        }
     }
 
     #[test]

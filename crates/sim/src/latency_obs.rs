@@ -1,0 +1,236 @@
+//! Live modeled-latency observation.
+//!
+//! The paper's whole argument for cache replacement is delivered
+//! latency, yet the serve path historically exported only hit-rate
+//! shapes; [`crate::latency`]'s two-link model was post-hoc report
+//! math. [`LatencyObserver`] closes that loop: on every measured
+//! access it drives the [`LatencyModel`] — a hit transfers over the
+//! fast local link, any miss (cold or modification) over the slow
+//! origin link — and records the modeled microseconds into per-
+//! [`DocumentType`] [`WindowedHistogram`]s plus an overall one.
+//!
+//! The observer is a cheap clone over `Arc`-shared histograms, so the
+//! same instance works in both serve modes: pushed through the serial
+//! observer tuple, or cloned per shard by the concurrent factory (the
+//! record path is relaxed atomics). Window rotation is decoupled from
+//! recording: the serve loop calls
+//! [`LatencyObserver::rotate_and_publish`] at each pass boundary,
+//! which advances every ring and refreshes the exported
+//! `p50/p90/p99/p999` gauges.
+
+use webcache_obs::{QuantileGauges, Registry, WindowedHistogram};
+use webcache_trace::DocumentType;
+
+use crate::latency::LatencyModel;
+use crate::observe::{AccessEvent, AccessKind, Observer};
+
+/// Exported metric name for the modeled per-request latency quantiles.
+pub const LATENCY_METRIC: &str = "webcache_modeled_latency_us";
+
+/// Label value of the all-types aggregate alongside the per-type rows.
+pub const OVERALL_LABEL: &str = "overall";
+
+/// Default number of trailing windows retained per histogram.
+pub const DEFAULT_LATENCY_WINDOWS: usize = 8;
+
+/// Observes modeled request latency into windowed percentile
+/// histograms. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct LatencyObserver {
+    model: LatencyModel,
+    per_type: [WindowedHistogram; DocumentType::ALL.len()],
+    overall: WindowedHistogram,
+    gauges: Option<LatencyGauges>,
+}
+
+#[derive(Debug, Clone)]
+struct LatencyGauges {
+    per_type: [QuantileGauges; DocumentType::ALL.len()],
+    overall: QuantileGauges,
+}
+
+impl LatencyObserver {
+    /// An observer with `windows` trailing windows per histogram and no
+    /// registry export (tests, ad-hoc harnesses).
+    pub fn new(model: LatencyModel, windows: usize) -> LatencyObserver {
+        LatencyObserver {
+            model,
+            per_type: std::array::from_fn(|_| WindowedHistogram::new(windows)),
+            overall: WindowedHistogram::new(windows),
+            gauges: None,
+        }
+    }
+
+    /// An observer whose quantiles export through `registry` as the
+    /// [`LATENCY_METRIC`] gauge family, labelled
+    /// `doc_type=<type label>|"overall"` × `quantile=p50..p999`.
+    pub fn register(model: LatencyModel, windows: usize, registry: &Registry) -> LatencyObserver {
+        let mut observer = LatencyObserver::new(model, windows);
+        let help = "Modeled request latency (two-link model) in microseconds.";
+        observer.gauges = Some(LatencyGauges {
+            per_type: std::array::from_fn(|i| {
+                let labels = [("doc_type", DocumentType::ALL[i].label())];
+                QuantileGauges::register(registry, LATENCY_METRIC, help, &labels)
+            }),
+            overall: QuantileGauges::register(
+                registry,
+                LATENCY_METRIC,
+                help,
+                &[("doc_type", OVERALL_LABEL)],
+            ),
+        });
+        observer
+    }
+
+    /// The modeled latency of one access in microseconds: hits ride the
+    /// local link, misses pay the origin link.
+    pub fn modeled_latency_us(&self, event: &AccessEvent, kind: AccessKind) -> u64 {
+        let link = if kind.is_hit() {
+            &self.model.local
+        } else {
+            &self.model.origin
+        };
+        (link.transfer_ms(event.size) * 1_000.0) as u64
+    }
+
+    /// The windowed histogram of one document type.
+    pub fn histogram(&self, doc_type: DocumentType) -> &WindowedHistogram {
+        &self.per_type[doc_type.index()]
+    }
+
+    /// The windowed histogram over all types.
+    pub fn overall(&self) -> &WindowedHistogram {
+        &self.overall
+    }
+
+    /// Rotates every window ring and republishes the quantile gauges.
+    /// Call once per pass (or anomaly window) from the serve loop — not
+    /// from the record path.
+    pub fn rotate_and_publish(&self) {
+        if let Some(gauges) = &self.gauges {
+            for (h, g) in self.per_type.iter().zip(gauges.per_type.iter()) {
+                g.publish(h);
+            }
+            gauges.overall.publish(&self.overall);
+        }
+        for h in &self.per_type {
+            h.rotate();
+        }
+        self.overall.rotate();
+    }
+}
+
+impl Observer for LatencyObserver {
+    #[inline]
+    fn on_access(&mut self, event: AccessEvent, kind: AccessKind) {
+        if event.warmup {
+            return;
+        }
+        let us = self.modeled_latency_us(&event, kind);
+        self.per_type[event.doc_type.index()].record(us);
+        self.overall.record(us);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webcache_trace::{ByteSize, DocId};
+
+    fn event(doc_type: DocumentType, size: u64, warmup: bool) -> AccessEvent {
+        AccessEvent {
+            index: 0,
+            doc: DocId::new(1),
+            doc_type,
+            size: ByteSize::new(size),
+            warmup,
+        }
+    }
+
+    #[test]
+    fn hits_ride_the_fast_link_and_misses_the_slow_one() {
+        let mut obs = LatencyObserver::new(LatencyModel::campus_2001(), 4);
+        obs.on_access(event(DocumentType::Html, 10_000, false), AccessKind::Hit);
+        obs.on_access(event(DocumentType::Html, 10_000, false), AccessKind::Miss);
+        let h = obs.histogram(DocumentType::Html);
+        assert_eq!(h.count(), 2);
+        // campus_2001: hit ≈ 5ms + 10KB/10MBps ≈ 6ms; miss ≈ 150ms +
+        // 10KB/300KBps ≈ 183ms. The p999 must see the miss tail.
+        let p999 = h.quantile(0.999).unwrap();
+        assert!(p999 > 100_000.0, "{p999}");
+        let p1 = h.quantile(0.01).unwrap();
+        assert!(p1 < 10_000.0, "{p1}");
+        assert_eq!(obs.overall().count(), 2);
+    }
+
+    #[test]
+    fn modification_miss_pays_the_origin_link() {
+        let obs = LatencyObserver::new(LatencyModel::campus_2001(), 2);
+        let e = event(DocumentType::Image, 5_000, false);
+        let hit_us = obs.modeled_latency_us(&e, AccessKind::Hit);
+        let mod_us = obs.modeled_latency_us(&e, AccessKind::ModificationMiss);
+        let miss_us = obs.modeled_latency_us(&e, AccessKind::Miss);
+        assert_eq!(mod_us, miss_us);
+        assert!(mod_us > hit_us);
+    }
+
+    #[test]
+    fn warmup_accesses_are_not_recorded() {
+        let mut obs = LatencyObserver::new(LatencyModel::campus_2001(), 2);
+        obs.on_access(event(DocumentType::Html, 1_000, true), AccessKind::Hit);
+        assert_eq!(obs.overall().count(), 0);
+        assert_eq!(obs.histogram(DocumentType::Html).count(), 0);
+    }
+
+    #[test]
+    fn clones_share_histograms_across_threads() {
+        let obs = LatencyObserver::new(LatencyModel::campus_2001(), 4);
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let mut clone = obs.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1_000 {
+                        clone.on_access(
+                            event(DocumentType::MultiMedia, 2_000, false),
+                            AccessKind::Miss,
+                        );
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(obs.histogram(DocumentType::MultiMedia).count(), 4_000);
+        assert_eq!(obs.overall().count(), 4_000);
+    }
+
+    #[test]
+    fn register_publishes_per_type_and_overall_gauges() {
+        let registry = Registry::new();
+        let mut obs = LatencyObserver::register(LatencyModel::campus_2001(), 4, &registry);
+        obs.on_access(event(DocumentType::Html, 10_000, false), AccessKind::Miss);
+        obs.rotate_and_publish();
+        let text = registry.prometheus_text();
+        assert!(
+            text.contains("webcache_modeled_latency_us{doc_type=\"HTML\",quantile=\"p99\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("webcache_modeled_latency_us{doc_type=\"overall\",quantile=\"p50\"}"),
+            "{text}"
+        );
+        let p99_html = text
+            .lines()
+            .find(|l| l.contains("doc_type=\"HTML\",quantile=\"p99\"}"))
+            .unwrap();
+        let v: f64 = p99_html.split_whitespace().last().unwrap().parse().unwrap();
+        assert!(v > 100_000.0, "{p99_html}");
+        // Types that saw no traffic publish 0, not garbage.
+        let image_p50 = text
+            .lines()
+            .find(|l| l.contains("doc_type=\"Images\",quantile=\"p50\"}"))
+            .unwrap();
+        assert!(image_p50.ends_with(" 0"), "{image_p50}");
+    }
+}

@@ -47,6 +47,7 @@ pub mod experiment;
 pub mod flight;
 pub mod hierarchy;
 pub mod latency;
+pub mod latency_obs;
 pub mod live;
 pub mod logobs;
 pub mod metrics;
@@ -57,6 +58,7 @@ pub mod profile;
 pub mod regret;
 pub mod report;
 pub mod simulator;
+pub mod slo;
 pub mod windowed;
 
 pub use anomaly::{AnomalyConfig, AnomalyKind, AnomalyObserver, AnomalyTrigger};
@@ -68,6 +70,7 @@ pub use experiment::{CacheSizeSweep, SweepPoint, SweepProgress, SweepReport};
 pub use flight::FlightObserver;
 pub use hierarchy::{simulate_hierarchy, HierarchyConfig, HierarchyReport};
 pub use latency::{LatencyEstimate, LatencyModel, LinkModel};
+pub use latency_obs::LatencyObserver;
 pub use live::{FixedSource, LiveStatus, LiveSummary, PassSummary, ReplayLoop, TraceSource};
 pub use logobs::LogObserver;
 pub use metrics::HitStats;
@@ -81,4 +84,5 @@ pub use simulator::{
     ModificationRule, SimulationConfig, SimulationConfigBuilder, SimulationReport, Simulator,
     DEFAULT_BATCH_SIZE,
 };
+pub use slo::{SloBreach, SloConfig, SloTracker, SloTrigger};
 pub use windowed::{ChurnCounters, Window, WindowSpec, WindowedMetrics};

@@ -1,0 +1,135 @@
+//! Property tests for the windowed percentile histograms behind the
+//! tail-latency gauges: the log2-bucket quantile estimator must agree
+//! with the exact sorted-sample quantile within one bucket's
+//! resolution, and per-shard histogram merging must be order-invariant
+//! and lossless versus recording into a single histogram.
+//!
+//! These laws pin the `/metrics` latency surface of `webcache serve`:
+//! the p50/p99 gauges are computed from bucket counts, not samples, so
+//! the only tolerated error is the within-bucket interpolation — never
+//! a wrong bucket, never a merge artifact.
+
+use proptest::prelude::*;
+
+use webcache_obs::{bucket_index, quantile_from_buckets, WindowedHistogram, BUCKETS};
+
+/// The exact nearest-rank quantile of a sample set (the definition
+/// `quantile_from_buckets` approximates through its buckets).
+fn exact_nearest_rank(sorted: &[u64], q: f64) -> u64 {
+    let total = sorted.len() as f64;
+    let rank = ((q * total).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// The value range covered by one log2 bucket.
+fn bucket_bounds(b: usize) -> (f64, f64) {
+    let lo = if b == 0 {
+        0.0
+    } else {
+        (1u64 << (b - 1)) as f64
+    };
+    let hi = (1u64 << b) as f64;
+    (lo, hi)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// p50/p99 (and the extremes) from the histogram land inside the
+    /// log2 bucket of the exact sorted-sample nearest-rank quantile.
+    /// Samples stay below the catch-all bucket's lower bound (2^31), as
+    /// the catch-all has no upper bound to interpolate toward.
+    #[test]
+    fn histogram_quantiles_agree_with_exact_within_bucket_resolution(
+        samples in prop::collection::vec(1u64..2_000_000_000, 1..300),
+        windows in 2usize..6,
+    ) {
+        let h = WindowedHistogram::new(windows);
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in [0.01, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let est = h.quantile(q).expect("non-empty histogram");
+            let exact = exact_nearest_rank(&sorted, q);
+            let (lo, hi) = bucket_bounds(bucket_index(exact));
+            prop_assert!(
+                est >= lo && est <= hi,
+                "q={} est={} exact={} bucket=[{}, {}]",
+                q, est, exact, lo, hi
+            );
+        }
+    }
+
+    /// Aggregating after rotations equals the bucket-sum over all
+    /// retained windows: recording the same samples with rotations
+    /// sprinkled in (but fewer than `windows`, so nothing is evicted)
+    /// must not change any quantile.
+    #[test]
+    fn rotation_without_eviction_preserves_quantiles(
+        samples in prop::collection::vec(1u64..1_000_000, 1..200),
+        windows in 3usize..8,
+    ) {
+        let plain = WindowedHistogram::new(windows);
+        let rotated = WindowedHistogram::new(windows);
+        for &s in &samples {
+            plain.record(s);
+        }
+        // Spread the same samples over `windows - 1` rotations: all
+        // stay retained, so the aggregate must be identical.
+        let chunk = samples.len().div_ceil(windows - 1);
+        for (i, &s) in samples.iter().enumerate() {
+            if i > 0 && i % chunk == 0 {
+                rotated.rotate();
+            }
+            rotated.record(s);
+        }
+        prop_assert_eq!(plain.aggregate_buckets(), rotated.aggregate_buckets());
+        prop_assert_eq!(plain.quantile(0.5), rotated.quantile(0.5));
+        prop_assert_eq!(plain.quantile(0.99), rotated.quantile(0.99));
+    }
+
+    /// Per-shard merge is order-invariant and equals single-shard:
+    /// scattering samples across N histograms and summing their buckets
+    /// (in any shard order) yields exactly the buckets — and thus
+    /// exactly the quantiles — of one histogram fed everything.
+    #[test]
+    fn per_shard_bucket_merge_is_order_invariant_and_lossless(
+        samples in prop::collection::vec(1u64..50_000_000, 1..250),
+        shards in 1usize..9,
+        offset in 0usize..8,
+    ) {
+        let single = WindowedHistogram::new(4);
+        let per_shard: Vec<WindowedHistogram> =
+            (0..shards).map(|_| WindowedHistogram::new(4)).collect();
+        for (i, &s) in samples.iter().enumerate() {
+            single.record(s);
+            // Deterministic but uneven scatter across shards.
+            per_shard[(i.wrapping_mul(2654435761)) % shards].record(s);
+        }
+        // Merge in two different shard orders: forward and rotated.
+        let merge = |order: &[usize]| {
+            let mut merged = [0u64; BUCKETS];
+            for &shard in order {
+                let buckets = per_shard[shard].aggregate_buckets();
+                for (m, b) in merged.iter_mut().zip(buckets.iter()) {
+                    *m += b;
+                }
+            }
+            merged
+        };
+        let forward: Vec<usize> = (0..shards).collect();
+        let rotated: Vec<usize> = (0..shards).map(|i| (i + offset) % shards).collect();
+        let merged_forward = merge(&forward);
+        let merged_rotated = merge(&rotated);
+        prop_assert_eq!(merged_forward, merged_rotated);
+        prop_assert_eq!(merged_forward, single.aggregate_buckets());
+        for q in [0.5, 0.99] {
+            prop_assert_eq!(
+                quantile_from_buckets(&merged_forward, q),
+                single.quantile(q)
+            );
+        }
+    }
+}
